@@ -1,0 +1,168 @@
+//! Component microbenches: the hot paths of the substrate crates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::rc::Rc;
+
+use flash_core::caches::{LruCache, MappedCache};
+use flash_core::{deploy, ServerConfig, Site};
+use flash_http::request::{ParseStatus, RequestParser};
+use flash_http::response::{ResponseHeader, Status};
+use flash_simcore::{EventQueue, SimRng, SimTime};
+use flash_simos::pagecache::PageCache;
+use flash_simos::{FileId, MachineConfig, Simulation};
+use flash_workload::{attach_fleet, ClientFleet, ConnMode, Trace, TraceConfig, Zipf};
+
+fn bench_http(c: &mut Criterion) {
+    let mut g = c.benchmark_group("http");
+    let req = b"GET /~user13/d2/f97.html HTTP/1.1\r\nHost: cs.rice.edu\r\nConnection: keep-alive\r\nUser-Agent: bench\r\n\r\n";
+    g.throughput(Throughput::Bytes(req.len() as u64));
+    g.bench_function("parse_request", |b| {
+        b.iter(|| {
+            let mut p = RequestParser::new();
+            match p.feed(black_box(req)) {
+                ParseStatus::Done(r) => black_box(r),
+                other => panic!("{other:?}"),
+            }
+        })
+    });
+    g.bench_function("build_padded_header", |b| {
+        b.iter(|| {
+            black_box(ResponseHeader::build(
+                Status::Ok,
+                "text/html",
+                black_box(10_240),
+                true,
+                true,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("caches");
+    g.bench_function("lru_hit", |b| {
+        let mut lru = LruCache::new(1024);
+        for i in 0..1024u64 {
+            lru.insert(i, i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 37) % 1024;
+            black_box(lru.get(&i).copied())
+        })
+    });
+    g.bench_function("lru_insert_evict", |b| {
+        let mut lru = LruCache::new(512);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(lru.insert(i, i))
+        })
+    });
+    g.bench_function("mapped_cache_map", |b| {
+        let mut mc = MappedCache::new(32 * 1024 * 1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(mc.map(FileId((i % 4096) as u32 + 1), 0, 8 * 1024))
+        })
+    });
+    g.bench_function("page_cache_touch", |b| {
+        let mut pc = PageCache::new(16 * 1024);
+        for p in 0..16 * 1024u64 {
+            pc.insert((FileId(1), p));
+        }
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 613) % (16 * 1024);
+            black_box(pc.touch((FileId(1), p)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_simcore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore");
+    g.bench_function("event_queue_push_pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        b.iter(|| {
+            // Relative scheduling keeps every event in the future no
+            // matter how far the pops advanced the clock.
+            for i in 0..64 {
+                q.schedule_in(1 + i * 7, i);
+            }
+            for _ in 0..64 {
+                black_box(q.pop());
+            }
+        })
+    });
+    g.bench_function("zipf_sample", |b| {
+        let z = Zipf::new(20_000, 0.78);
+        let mut rng = SimRng::new(1);
+        b.iter(|| black_box(z.sample(&mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    let cfg = TraceConfig {
+        dataset_bytes: 16 * 1024 * 1024,
+        n_requests: 20_000,
+        ..TraceConfig::ece()
+    };
+    g.bench_function("trace_generate_16mb", |b| {
+        b.iter(|| black_box(Trace::generate(&cfg, 3)))
+    });
+    let base = Trace::generate(&cfg, 3);
+    g.bench_function("trace_truncate", |b| {
+        b.iter(|| black_box(base.truncate_to_dataset(8 * 1024 * 1024)))
+    });
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    g.sampling_mode(criterion::SamplingMode::Flat);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    // End-to-end: one simulated second of Flash under 16 LAN clients on
+    // a small cached site — the cost of simulating, not of serving.
+    g.bench_function("flash_one_simulated_second", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(MachineConfig::freebsd());
+            let trace = Rc::new(Trace::single_file(8 * 1024));
+            let site = Site::build(&mut sim.kernel, &trace.specs);
+            let server = deploy(&mut sim, &ServerConfig::flash(), site).expect("deploy");
+            attach_fleet(
+                &mut sim,
+                server.listen,
+                trace,
+                &ClientFleet {
+                    clients: 16,
+                    mode: ConnMode::PerRequest,
+                    ..ClientFleet::default()
+                },
+            );
+            sim.run_until(SimTime::from_secs(1));
+            black_box(sim.kernel.metrics.requests.total())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    components,
+    bench_http,
+    bench_caches,
+    bench_simcore,
+    bench_workload,
+    bench_simulation
+);
+criterion_main!(components);

@@ -1,0 +1,50 @@
+//! One Criterion bench per paper figure, each running the corresponding
+//! experiment driver at `Scale::Quick`. The measured quantity is the wall
+//! time to simulate the experiment; the *scientific* outputs (the series
+//! themselves) are produced by `cargo run --release --example
+//! reproduce_figures` and archived in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion, SamplingMode};
+use std::hint::black_box;
+use std::time::Duration;
+
+use flash_experiments::{ablation, breakdown, dataset_sweep, single_file, trace_bars, wan, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    // Each iteration simulates a full (quick-scale) experiment — seconds
+    // of wall time — so sample sparsely and flat.
+    g.sample_size(10);
+    g.sampling_mode(SamplingMode::Flat);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(8));
+
+    g.bench_function("fig06_single_file_solaris", |b| {
+        b.iter(|| black_box(single_file::fig06(Scale::Quick)))
+    });
+    g.bench_function("fig07_single_file_freebsd", |b| {
+        b.iter(|| black_box(single_file::fig07(Scale::Quick)))
+    });
+    g.bench_function("fig08_rice_traces", |b| {
+        b.iter(|| black_box(trace_bars::fig08(Scale::Quick)))
+    });
+    g.bench_function("fig09_dataset_sweep_freebsd", |b| {
+        b.iter(|| black_box(dataset_sweep::fig09(Scale::Quick)))
+    });
+    g.bench_function("fig10_dataset_sweep_solaris", |b| {
+        b.iter(|| black_box(dataset_sweep::fig10(Scale::Quick)))
+    });
+    g.bench_function("fig11_optimization_breakdown", |b| {
+        b.iter(|| black_box(breakdown::fig11(Scale::Quick)))
+    });
+    g.bench_function("fig12_wan_clients", |b| {
+        b.iter(|| black_box(wan::fig12(Scale::Quick)))
+    });
+    g.bench_function("ablations", |b| {
+        b.iter(|| black_box(ablation::all(Scale::Quick)))
+    });
+    g.finish();
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

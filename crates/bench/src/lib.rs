@@ -1,0 +1,4 @@
+//! Benchmark crate: Criterion benches regenerating each paper figure at
+//! reduced scale (`benches/figures.rs`) plus component microbenches
+//! (`benches/components.rs`). The full-scale figure regeneration lives in
+//! the root example `reproduce_figures`.

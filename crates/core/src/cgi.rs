@@ -1,0 +1,75 @@
+//! Persistent CGI application processes (§5.6).
+//!
+//! Dynamic requests are forwarded to auxiliary application processes over
+//! pipes. Applications are persistent (FastCGI-style, §5.6), so process
+//! creation is amortized; they can compute arbitrarily long without
+//! affecting the server process. The application signals output-ready via
+//! the done pipe; the server then transmits the output like static
+//! content, reading from the pipe descriptor.
+
+use std::rc::Rc;
+
+use flash_simos::kernel::Kernel;
+use flash_simos::syscall::{Blocking, Completion, PipeMsg};
+use flash_simos::{Pid, PipeId, ProcessLogic};
+
+use crate::helper::{OP_CGI, OP_CGI_DONE};
+use crate::site::{FileKind, Site};
+
+/// The logic of one persistent CGI application process.
+pub struct CgiAppLogic {
+    job_pipe: PipeId,
+    done_pipe: PipeId,
+    site: Rc<Site>,
+    current: Option<PipeMsg>,
+}
+
+impl CgiAppLogic {
+    /// Creates an application process serving jobs from `job_pipe`.
+    pub fn new(job_pipe: PipeId, done_pipe: PipeId, site: Rc<Site>) -> Self {
+        CgiAppLogic {
+            job_pipe,
+            done_pipe,
+            site,
+            current: None,
+        }
+    }
+}
+
+impl ProcessLogic for CgiAppLogic {
+    fn on_run(&mut self, _pid: Pid, k: &mut Kernel, completion: Completion) {
+        match completion {
+            Completion::Start | Completion::PipeSent => {
+                k.sys_pipe_recv(self.job_pipe, Blocking::Yes);
+            }
+            Completion::PipeMsg { msg, .. } => {
+                assert_eq!(msg.op, OP_CGI, "CGI app received non-CGI job");
+                self.current = Some(msg);
+                let f = self.site.file(msg.b);
+                let FileKind::Cgi { compute_ns, .. } = f.kind else {
+                    panic!("CGI job for a static file {}", f.path);
+                };
+                // The application computes (or blocks on its own I/O) for
+                // its configured time, then announces output.
+                k.sys_sleep(compute_ns);
+            }
+            Completion::TimerFired => {
+                let job = self.current.take().expect("timer without a job");
+                let f = self.site.file(job.b);
+                let FileKind::Cgi { output_bytes, .. } = f.kind else {
+                    unreachable!("validated on receipt");
+                };
+                k.sys_pipe_send(
+                    self.done_pipe,
+                    PipeMsg {
+                        op: OP_CGI_DONE,
+                        a: job.a,
+                        b: job.b,
+                        c: output_bytes,
+                    },
+                );
+            }
+            other => panic!("CGI app got unexpected completion {other:?}"),
+        }
+    }
+}

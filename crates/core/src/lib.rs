@@ -1,0 +1,48 @@
+//! The Flash web server (Pai, Druschel, Zwaenepoel; USENIX ATC 1999):
+//! the AMPED architecture and its SPED/MP/MT siblings, built from one
+//! code base, on top of the `flash-simos` simulated operating system.
+//!
+//! # Architecture map (paper §3 → modules)
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | AMPED event loop + helpers (Fig. 5) | [`eventloop`], [`helper`] |
+//! | SPED (Fig. 4) | [`eventloop`] with helpers disabled |
+//! | MP (Fig. 2) / MT (Fig. 3) | [`seq`] |
+//! | Pathname/header/mapped-file caches (§5.2–5.4) | [`caches`] |
+//! | Byte-position alignment (§5.5) | `flash-http` + send paths |
+//! | CGI handling (§5.6) | [`cgi`] |
+//! | mincore residency testing (§5.7) | [`eventloop`] send path |
+//!
+//! Baselines: `ServerConfig::apache_like()` (MP without the aggressive
+//! optimizations) and `ServerConfig::zeus_like()` (SPED with misaligned
+//! headers and small-document priority).
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::rc::Rc;
+//! use flash_core::{deploy, ServerConfig, Site, FileSpec};
+//! use flash_simos::{MachineConfig, Simulation};
+//!
+//! let mut sim = Simulation::new(MachineConfig::freebsd());
+//! let site = Site::build(&mut sim.kernel, &[FileSpec::file("/index.html", 8192)]);
+//! let server = deploy(&mut sim, &ServerConfig::flash(), Rc::clone(&site)).unwrap();
+//! assert_eq!(server.name, "Flash");
+//! // Attach client agents (see `flash-workload`) and run the simulation.
+//! ```
+
+pub mod caches;
+pub mod cgi;
+pub mod config;
+pub mod deploy;
+pub mod eventloop;
+pub mod helper;
+pub mod seq;
+pub mod site;
+
+pub use caches::{CacheStats, Caches, CHUNK_BYTES};
+pub use config::{Architecture, ServerConfig};
+pub use deploy::{deploy, DeployError, ServerHandle};
+pub use eventloop::KEEP_ALIVE_BIT;
+pub use site::{FileKind, FileSpec, Site, SiteFile};

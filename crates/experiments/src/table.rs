@@ -1,0 +1,181 @@
+//! Result tables: the series a paper figure plots, with renderers.
+
+use std::fmt::Write as _;
+
+/// One plotted line (server) in a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label ("Flash", "SPED", ...).
+    pub label: String,
+    /// (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The y value at the given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|(_, y)| *y)
+    }
+
+    /// Largest y value (0 for an empty series).
+    pub fn y_max(&self) -> f64 {
+        self.points.iter().map(|(_, y)| *y).fold(0.0, f64::max)
+    }
+}
+
+/// A reproduced figure: axes plus one series per server.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Paper figure id ("fig06-bandwidth").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Plotted series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Looks up a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders a GitHub-markdown table (x in the first column, one
+    /// column per series).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id, self.title);
+        let _ = write!(out, "| {} |", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {} |", s.label);
+        }
+        out.push('\n');
+        let _ = write!(out, "|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        out.push('\n');
+        for &(x, _) in self.series.first().map(|s| &s.points[..]).unwrap_or(&[]) {
+            let _ = write!(out, "| {x:.1} |");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(out, " {y:.1} |");
+                    }
+                    None => {
+                        let _ = write!(out, " – |");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "\n(y = {})", self.y_label);
+        out
+    }
+
+    /// Renders CSV: header `x,label1,label2,...`, one row per x.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", sanitize_csv(&self.x_label));
+        for s in &self.series {
+            let _ = write!(out, ",{}", sanitize_csv(&s.label));
+        }
+        out.push('\n');
+        for &(x, _) in self.series.first().map(|s| &s.points[..]).unwrap_or(&[]) {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(out, ",{y:.3}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn sanitize_csv(s: &str) -> String {
+    s.replace([',', '\n'], " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut f = Figure::new("figX", "test", "size", "Mb/s");
+        let mut a = Series::new("Flash");
+        a.points = vec![(1.0, 10.0), (2.0, 20.0)];
+        let mut b = Series::new("SPED");
+        b.points = vec![(1.0, 11.0), (2.0, 19.0)];
+        f.series = vec![a, b];
+        f
+    }
+
+    #[test]
+    fn y_lookup_and_max() {
+        let f = sample();
+        assert_eq!(f.series("Flash").unwrap().y_at(2.0), Some(20.0));
+        assert_eq!(f.series("Flash").unwrap().y_at(3.0), None);
+        assert_eq!(f.series("SPED").unwrap().y_max(), 19.0);
+        assert!(f.series("Zeus").is_none());
+    }
+
+    #[test]
+    fn markdown_has_header_and_rows() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| size | Flash | SPED |"));
+        assert!(md.contains("| 1.0 | 10.0 | 11.0 |"));
+        assert!(md.contains("| 2.0 | 20.0 | 19.0 |"));
+    }
+
+    #[test]
+    fn csv_is_well_formed() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("size,Flash,SPED"));
+        assert_eq!(lines.next(), Some("1,10.000,11.000"));
+        assert_eq!(lines.next(), Some("2,20.000,19.000"));
+    }
+
+    #[test]
+    fn csv_sanitizes_labels() {
+        let mut f = sample();
+        f.series[0].label = "Fl,ash".into();
+        assert!(f.to_csv().starts_with("size,Fl ash,SPED"));
+    }
+}

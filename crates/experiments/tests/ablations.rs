@@ -1,0 +1,62 @@
+//! Shape tests for the ablation studies.
+
+use flash_experiments::{ablation, Scale};
+
+#[test]
+fn helper_pool_saturates_quickly() {
+    let fig = ablation::helper_pool_sweep(Scale::Quick);
+    let s = fig.series("Flash").expect("series");
+    let one = s.y_at(1.0).expect("pool=1");
+    let eight = s.y_at(8.0).expect("pool=8");
+    let thirty_two = s.y_at(32.0).expect("pool=32");
+    // One helper serializes the disk like SPED-with-extra-steps; a small
+    // pool buys most of the win ("enough helpers to keep the disk busy").
+    assert!(eight > one * 1.15, "8 helpers {eight} vs 1 helper {one}");
+    let gain_8_to_32 = thirty_two / eight;
+    assert!(
+        gain_8_to_32 < 1.5,
+        "returns must diminish: 8→32 gave {gain_8_to_32:.2}x"
+    );
+}
+
+#[test]
+fn alignment_padding_pays_for_itself() {
+    let fig = ablation::alignment_ablation(Scale::Quick);
+    let aligned = fig.series("aligned").unwrap();
+    let raw = fig.series("misaligned").unwrap();
+    for &(x, y) in &aligned.points {
+        let r = raw.y_at(x).unwrap();
+        assert!(y > r, "aligned {y} should beat misaligned {r} at {x} KB");
+    }
+    // The penalty is per body byte, so the relative gap grows with size.
+    let gap = |x: f64| 1.0 - raw.y_at(x).unwrap() / aligned.y_at(x).unwrap();
+    assert!(gap(50.0) > gap(5.0), "gap must grow with file size");
+}
+
+#[test]
+fn clook_beats_fcfs_for_amped() {
+    let fig = ablation::disk_scheduler_ablation(Scale::Quick);
+    let clook = fig.series("C-LOOK").unwrap().y_at(0.0).unwrap();
+    let fcfs = fig.series("FCFS").unwrap().y_at(0.0).unwrap();
+    assert!(clook > fcfs, "C-LOOK {clook} vs FCFS {fcfs}");
+}
+
+#[test]
+fn heuristic_close_to_mincore_and_both_beat_none() {
+    let fig = ablation::residency_policy(Scale::Quick);
+    let at = |label: &str, x: f64| fig.series(label).unwrap().y_at(x).unwrap();
+    // Cached: all three are close (residency checks barely matter).
+    let spread = (at("mincore (Flash)", 30.0) - at("none (SPED)", 30.0)).abs();
+    assert!(spread < at("none (SPED)", 30.0) * 0.15);
+    // Disk-bound: any residency policy beats none by a wide margin, and
+    // the §5.7 heuristic lands in mincore's neighbourhood.
+    let mincore = at("mincore (Flash)", 150.0);
+    let heur = at("heuristic (§5.7)", 150.0);
+    let none = at("none (SPED)", 150.0);
+    assert!(mincore > none * 1.5, "mincore {mincore} vs none {none}");
+    assert!(heur > none * 1.3, "heuristic {heur} vs none {none}");
+    assert!(
+        (heur - mincore).abs() < mincore * 0.35,
+        "heuristic {heur} should be near mincore {mincore}"
+    );
+}

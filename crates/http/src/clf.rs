@@ -1,0 +1,112 @@
+//! NCSA Common Log Format reading and writing.
+//!
+//! The paper's realistic workloads replay access logs from Rice
+//! University servers (CS, Owlnet, ECE). Those logs are not public, so
+//! `flash-workload` *generates* synthetic logs in this format and the
+//! replay machinery parses them back — exercising the same code path a
+//! user would run on their own logs.
+//!
+//! Format: `host ident user [timestamp] "request line" status bytes`.
+
+use std::fmt::Write as _;
+
+/// One access-log entry (the fields replay cares about).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Client host (opaque).
+    pub host: String,
+    /// Request path (from the quoted request line).
+    pub path: String,
+    /// HTTP status code served.
+    pub status: u16,
+    /// Response body size in bytes.
+    pub bytes: u64,
+}
+
+impl LogEntry {
+    /// Renders the entry as one CLF line (fixed timestamp — replay
+    /// ignores it, and determinism helps tests).
+    pub fn to_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{} - - [10/Jun/1999:18:46:32 -0600] \"GET {} HTTP/1.0\" {} {}",
+            self.host, self.path, self.status, self.bytes
+        );
+        s
+    }
+
+    /// Parses one CLF line. Returns `None` for malformed lines (real logs
+    /// contain them; replay skips silently, like the paper's tools).
+    pub fn parse(line: &str) -> Option<LogEntry> {
+        let host = line.split_whitespace().next()?.to_string();
+        let q1 = line.find('"')?;
+        let rest = &line[q1 + 1..];
+        let q2 = rest.find('"')?;
+        let request_line = &rest[..q2];
+        let path = request_line.split_whitespace().nth(1)?.to_string();
+        let tail = rest[q2 + 1..].trim();
+        let mut tail_parts = tail.split_whitespace();
+        let status: u16 = tail_parts.next()?.parse().ok()?;
+        let bytes: u64 = match tail_parts.next()? {
+            "-" => 0,
+            n => n.parse().ok()?,
+        };
+        Some(LogEntry {
+            host,
+            path,
+            status,
+            bytes,
+        })
+    }
+}
+
+/// Parses a whole log, skipping malformed lines.
+pub fn parse_log(text: &str) -> Vec<LogEntry> {
+    text.lines().filter_map(LogEntry::parse).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let e = LogEntry {
+            host: "cs.rice.edu".into(),
+            path: "/~vivek/flash.html".into(),
+            status: 200,
+            bytes: 10_240,
+        };
+        let parsed = LogEntry::parse(&e.to_line()).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn parses_dash_bytes_as_zero() {
+        let line = "dialup42 - - [10/Jun/1999:00:00:00 -0600] \"GET /x HTTP/1.0\" 304 -";
+        let e = LogEntry::parse(line).unwrap();
+        assert_eq!(e.status, 304);
+        assert_eq!(e.bytes, 0);
+    }
+
+    #[test]
+    fn malformed_lines_yield_none() {
+        assert!(LogEntry::parse("").is_none());
+        assert!(LogEntry::parse("no quotes here 200 77").is_none());
+        assert!(LogEntry::parse("h - - [t] \"GET\" 200 1").is_none());
+        assert!(LogEntry::parse("h - - [t] \"GET /x HTTP/1.0\" twohundred 1").is_none());
+    }
+
+    #[test]
+    fn parse_log_skips_garbage() {
+        let text = "\
+a - - [t] \"GET /1 HTTP/1.0\" 200 10
+garbage line
+b - - [t] \"GET /2 HTTP/1.0\" 404 0";
+        let entries = parse_log(text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].path, "/1");
+        assert_eq!(entries[1].status, 404);
+    }
+}

@@ -1,0 +1,18 @@
+//! HTTP/1.0 and HTTP/1.1 machinery for the Flash reproduction.
+//!
+//! Provides an incremental request parser ([`request`]), a response-header
+//! generator with the paper's §5.5 byte-position alignment padding
+//! ([`response`]), MIME type mapping ([`mime`]), and the NCSA Common Log
+//! Format ([`clf`]) used for trace replay.
+//!
+//! The same code serves both the simulator (`flash-core` computes header
+//! lengths and alignment from it) and the real-socket server
+//! (`flash-net` parses and emits actual bytes with it).
+
+pub mod clf;
+pub mod mime;
+pub mod request;
+pub mod response;
+
+pub use request::{Method, ParseError, Request, RequestParser, Version};
+pub use response::{ResponseHeader, Status, ALIGN};

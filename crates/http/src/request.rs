@@ -1,0 +1,474 @@
+//! Incremental HTTP request parsing.
+//!
+//! The parser consumes bytes as they arrive from a socket (requests can be
+//! split across arbitrarily many reads — slow WAN clients in the paper's
+//! §6.4 do exactly this) and never panics on malformed input: every
+//! failure is a typed [`ParseError`] that the server maps to a 4xx
+//! response.
+
+use bytes::BytesMut;
+use std::fmt;
+
+/// Maximum accepted request-header size; larger requests are rejected
+/// (defense against unbounded buffering).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// HTTP request method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// GET — the only method that returns content.
+    Get,
+    /// HEAD — headers only.
+    Head,
+    /// POST — accepted and routed to CGI handling.
+    Post,
+}
+
+impl Method {
+    fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "HEAD" => Some(Method::Head),
+            "POST" => Some(Method::Post),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+        })
+    }
+}
+
+/// HTTP protocol version of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// HTTP/0.9 (bare `GET /path` line).
+    Http09,
+    /// HTTP/1.0.
+    Http10,
+    /// HTTP/1.1 (persistent by default).
+    Http11,
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Version::Http09 => "HTTP/0.9",
+            Version::Http10 => "HTTP/1.0",
+            Version::Http11 => "HTTP/1.1",
+        })
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Decoded path (no query string), always starting with `/`.
+    pub path: String,
+    /// Raw query string (after `?`), if any.
+    pub query: Option<String>,
+    /// Protocol version.
+    pub version: Version,
+    /// Value of the `Connection` header, lower-cased, if present.
+    pub connection: Option<String>,
+    /// Value of the `Host` header, if present.
+    pub host: Option<String>,
+    /// Value of the `If-Modified-Since` header, if present (verbatim).
+    pub if_modified_since: Option<String>,
+}
+
+impl Request {
+    /// Whether the connection should persist after this request
+    /// (HTTP/1.1 default-on, HTTP/1.0 with `keep-alive`).
+    pub fn keep_alive(&self) -> bool {
+        match self.version {
+            Version::Http09 => false,
+            Version::Http10 => matches!(self.connection.as_deref(), Some("keep-alive")),
+            Version::Http11 => !matches!(self.connection.as_deref(), Some("close")),
+        }
+    }
+
+    /// Number of pathname components ("/a/b/c.html" → 3); the simulator
+    /// charges per-component translation cost.
+    pub fn path_components(&self) -> u32 {
+        self.path.split('/').filter(|s| !s.is_empty()).count() as u32
+    }
+}
+
+/// Why a request failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Request line was not `METHOD SP PATH [SP VERSION]`.
+    BadRequestLine,
+    /// Method unknown.
+    BadMethod,
+    /// Version string unknown.
+    BadVersion,
+    /// A path escaped the document root via `..`.
+    PathTraversal,
+    /// Header section exceeded [`MAX_HEADER_BYTES`].
+    TooLarge,
+    /// A header line had no `:` separator.
+    BadHeader,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ParseError::BadRequestLine => "malformed request line",
+            ParseError::BadMethod => "unknown method",
+            ParseError::BadVersion => "unknown HTTP version",
+            ParseError::PathTraversal => "path escapes document root",
+            ParseError::TooLarge => "request header too large",
+            ParseError::BadHeader => "malformed header line",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Outcome of feeding bytes to the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseStatus {
+    /// Need more bytes.
+    Incomplete,
+    /// A complete request was parsed.
+    Done(Request),
+    /// The request is malformed.
+    Error(ParseError),
+}
+
+/// An incremental request parser. Feed it socket bytes with
+/// [`RequestParser::feed`]; it buffers until a full header is present.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: BytesMut,
+}
+
+impl RequestParser {
+    /// Creates an empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently buffered (for tests and flow control).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends `bytes` and attempts to parse. On [`ParseStatus::Done`]
+    /// the consumed request is removed from the buffer, so pipelined
+    /// requests parse one at a time.
+    pub fn feed(&mut self, bytes: &[u8]) -> ParseStatus {
+        self.buf.extend_from_slice(bytes);
+        if self.buf.len() > MAX_HEADER_BYTES {
+            return ParseStatus::Error(ParseError::TooLarge);
+        }
+        // An HTTP/0.9 request is a single CRLF- (or LF-) terminated line;
+        // 1.0/1.1 headers end with a blank line.
+        let Some(line_end) = find(&self.buf, b"\n") else {
+            return ParseStatus::Incomplete;
+        };
+        let first_line = trim_cr(&self.buf[..line_end]);
+        let is_09 = !first_line
+            .rsplit(|&b| b == b' ')
+            .next()
+            .is_some_and(|last| last.starts_with(b"HTTP/"));
+        let header_end = if is_09 {
+            line_end + 1
+        } else {
+            match find(&self.buf, b"\r\n\r\n") {
+                Some(i) => i + 4,
+                None => match find(&self.buf, b"\n\n") {
+                    Some(i) => i + 2,
+                    None => return ParseStatus::Incomplete,
+                },
+            }
+        };
+        let header = self.buf.split_to(header_end);
+        match parse_header(&header) {
+            Ok(req) => ParseStatus::Done(req),
+            Err(e) => ParseStatus::Error(e),
+        }
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+fn trim_cr(line: &[u8]) -> &[u8] {
+    match line.last() {
+        Some(b'\r') => &line[..line.len() - 1],
+        _ => line,
+    }
+}
+
+fn parse_header(raw: &[u8]) -> Result<Request, ParseError> {
+    let text = String::from_utf8_lossy(raw);
+    let mut lines = text.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().ok_or(ParseError::BadRequestLine)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(ParseError::BadRequestLine)?;
+    let target = parts.next().ok_or(ParseError::BadRequestLine)?;
+    let version = match parts.next() {
+        None => Version::Http09,
+        Some("HTTP/1.0") => Version::Http10,
+        Some("HTTP/1.1") => Version::Http11,
+        Some(v) if v.starts_with("HTTP/") => return Err(ParseError::BadVersion),
+        Some(_) => return Err(ParseError::BadRequestLine),
+    };
+    if parts.next().is_some() {
+        return Err(ParseError::BadRequestLine);
+    }
+    let method = Method::parse(method).ok_or(ParseError::BadMethod)?;
+    let (path_raw, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q.to_string())),
+        None => (target, None),
+    };
+    let path = normalize_path(path_raw)?;
+
+    let mut connection = None;
+    let mut host = None;
+    let mut if_modified_since = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(ParseError::BadHeader)?;
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "connection" => connection = Some(value.to_ascii_lowercase()),
+            "host" => host = Some(value.to_string()),
+            "if-modified-since" => if_modified_since = Some(value.to_string()),
+            _ => {}
+        }
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        version,
+        connection,
+        host,
+        if_modified_since,
+    })
+}
+
+/// Percent-decodes and normalizes a request path, rejecting traversal
+/// outside the document root.
+fn normalize_path(raw: &str) -> Result<String, ParseError> {
+    let decoded = percent_decode(raw);
+    let mut out: Vec<&str> = Vec::new();
+    for seg in decoded.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                if out.pop().is_none() {
+                    return Err(ParseError::PathTraversal);
+                }
+            }
+            s => out.push(s),
+        }
+    }
+    let mut path = String::from("/");
+    path.push_str(&out.join("/"));
+    // Preserve a trailing slash (directory request) except on the root.
+    if decoded.ends_with('/') && path.len() > 1 {
+        path.push('/');
+    }
+    Ok(path)
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            let hex = |b: u8| -> Option<u8> {
+                match b {
+                    b'0'..=b'9' => Some(b - b'0'),
+                    b'a'..=b'f' => Some(b - b'a' + 10),
+                    b'A'..=b'F' => Some(b - b'A' + 10),
+                    _ => None,
+                }
+            };
+            if let (Some(h), Some(l)) = (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                out.push(h << 4 | l);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ParseStatus {
+        RequestParser::new().feed(s.as_bytes())
+    }
+
+    fn done(s: &str) -> Request {
+        match parse(s) {
+            ParseStatus::Done(r) => r,
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let r = done("GET /index.html HTTP/1.0\r\n\r\n");
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path, "/index.html");
+        assert_eq!(r.version, Version::Http10);
+        assert!(!r.keep_alive());
+        assert_eq!(r.path_components(), 1);
+    }
+
+    #[test]
+    fn parses_headers_of_interest() {
+        let r = done(
+            "GET /a/b.html HTTP/1.0\r\nHost: rice.edu\r\nConnection: Keep-Alive\r\nIf-Modified-Since: Sat, 29 Oct 1994 19:43:31 GMT\r\n\r\n",
+        );
+        assert_eq!(r.host.as_deref(), Some("rice.edu"));
+        assert_eq!(r.connection.as_deref(), Some("keep-alive"));
+        assert!(r.keep_alive());
+        assert!(r.if_modified_since.is_some());
+        assert_eq!(r.path_components(), 2);
+    }
+
+    #[test]
+    fn http11_is_persistent_by_default() {
+        assert!(done("GET / HTTP/1.1\r\nHost: x\r\n\r\n").keep_alive());
+        assert!(!done("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive());
+    }
+
+    #[test]
+    fn http09_bare_line() {
+        let r = done("GET /foo.html\r\n");
+        assert_eq!(r.version, Version::Http09);
+        assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn query_string_split() {
+        let r = done("GET /cgi-bin/search?q=flash+server HTTP/1.0\r\n\r\n");
+        assert_eq!(r.path, "/cgi-bin/search");
+        assert_eq!(r.query.as_deref(), Some("q=flash+server"));
+    }
+
+    #[test]
+    fn percent_decoding() {
+        let r = done("GET /my%20file.html HTTP/1.0\r\n\r\n");
+        assert_eq!(r.path, "/my file.html");
+    }
+
+    #[test]
+    fn dot_segments_collapse() {
+        let r = done("GET /a/./b/../c.html HTTP/1.0\r\n\r\n");
+        assert_eq!(r.path, "/a/c.html");
+    }
+
+    #[test]
+    fn traversal_is_rejected() {
+        assert_eq!(
+            parse("GET /../etc/passwd HTTP/1.0\r\n\r\n"),
+            ParseStatus::Error(ParseError::PathTraversal)
+        );
+        assert_eq!(
+            parse("GET /a/../../x HTTP/1.0\r\n\r\n"),
+            ParseStatus::Error(ParseError::PathTraversal)
+        );
+    }
+
+    #[test]
+    fn incremental_feeding() {
+        let mut p = RequestParser::new();
+        assert_eq!(p.feed(b"GE"), ParseStatus::Incomplete);
+        assert_eq!(p.feed(b"T /x.html HT"), ParseStatus::Incomplete);
+        assert_eq!(p.feed(b"TP/1.0\r\n"), ParseStatus::Incomplete);
+        match p.feed(b"\r\n") {
+            ParseStatus::Done(r) => assert_eq!(r.path, "/x.html"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let mut p = RequestParser::new();
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        match p.feed(two) {
+            ParseStatus::Done(r) => assert_eq!(r.path, "/a"),
+            other => panic!("{other:?}"),
+        }
+        match p.feed(b"") {
+            ParseStatus::Done(r) => assert_eq!(r.path, "/b"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_lf_line_endings_accepted() {
+        let r = done("GET /x HTTP/1.0\nHost: y\n\n");
+        assert_eq!(r.path, "/x");
+        assert_eq!(r.host.as_deref(), Some("y"));
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        assert_eq!(
+            parse("FROB /x HTTP/1.0\r\n\r\n"),
+            ParseStatus::Error(ParseError::BadMethod)
+        );
+        assert_eq!(
+            parse("GET /x HTTP/3.9\r\n\r\n"),
+            ParseStatus::Error(ParseError::BadVersion)
+        );
+        assert_eq!(
+            parse("GET\r\n\r\n"),
+            ParseStatus::Error(ParseError::BadRequestLine)
+        );
+        assert_eq!(
+            parse("GET /x HTTP/1.0\r\nNoColonHere\r\n\r\n"),
+            ParseStatus::Error(ParseError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn oversized_header_rejected() {
+        let mut p = RequestParser::new();
+        let big = vec![b'a'; MAX_HEADER_BYTES + 1];
+        assert_eq!(p.feed(&big), ParseStatus::Error(ParseError::TooLarge));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic() {
+        // Smoke test; the proptest suite drives this much harder.
+        for chunk in [&b"\x00\xff\xfe GET"[..], b"\r\n\r\n", b"%%%%%"] {
+            let mut p = RequestParser::new();
+            let _ = p.feed(chunk);
+        }
+    }
+
+    #[test]
+    fn trailing_slash_preserved() {
+        assert_eq!(done("GET /dir/ HTTP/1.0\r\n\r\n").path, "/dir/");
+        assert_eq!(done("GET / HTTP/1.0\r\n\r\n").path, "/");
+    }
+}

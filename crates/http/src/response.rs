@@ -1,0 +1,215 @@
+//! Response-header generation with byte-position alignment.
+//!
+//! §5.5 of the paper: `writev` of a header followed by file data causes
+//! misaligned kernel copies of *all* subsequent regions when the header
+//! length is not a multiple of the machine word; Flash therefore aligns
+//! response headers on 32-byte boundaries (cache-line size) by padding a
+//! variable-length field. [`ResponseHeader`] implements exactly that.
+
+use std::fmt::Write as _;
+
+/// Alignment target for response headers (bytes). The paper picks 32 to
+/// match cache-line-optimized copy loops.
+pub const ALIGN: usize = 32;
+
+/// HTTP status codes used by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200 OK.
+    Ok,
+    /// 304 Not Modified.
+    NotModified,
+    /// 400 Bad Request.
+    BadRequest,
+    /// 403 Forbidden.
+    Forbidden,
+    /// 404 Not Found.
+    NotFound,
+    /// 500 Internal Server Error.
+    InternalError,
+    /// 501 Not Implemented.
+    NotImplemented,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::NotModified => 304,
+            Status::BadRequest => 400,
+            Status::Forbidden => 403,
+            Status::NotFound => 404,
+            Status::InternalError => 500,
+            Status::NotImplemented => 501,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::NotModified => "Not Modified",
+            Status::BadRequest => "Bad Request",
+            Status::Forbidden => "Forbidden",
+            Status::NotFound => "Not Found",
+            Status::InternalError => "Internal Server Error",
+            Status::NotImplemented => "Not Implemented",
+        }
+    }
+}
+
+/// A rendered response header, optionally padded to [`ALIGN`] bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseHeader {
+    bytes: Vec<u8>,
+    aligned: bool,
+}
+
+impl ResponseHeader {
+    /// Builds a header for `status` with the given content metadata.
+    ///
+    /// With `pad_align` the Server field is padded so the total header
+    /// length is a multiple of [`ALIGN`] (Flash's §5.5 optimization);
+    /// without it the length is whatever it happens to be (how Apache and
+    /// Zeus behaved, triggering the misaligned-copy penalty).
+    pub fn build(
+        status: Status,
+        content_type: &str,
+        content_length: u64,
+        keep_alive: bool,
+        pad_align: bool,
+    ) -> ResponseHeader {
+        let mut h = String::with_capacity(192);
+        let _ = write!(h, "HTTP/1.1 {} {}\r\n", status.code(), status.reason());
+        // Fixed-format date keeps header length deterministic for the
+        // simulator; a real deployment would render the current time.
+        h.push_str("Date: Thu, 10 Jun 1999 18:46:32 GMT\r\n");
+        let server_at = h.len() + "Server: ".len();
+        h.push_str("Server: Flash/1.0\r\n");
+        if keep_alive {
+            h.push_str("Connection: keep-alive\r\n");
+        } else {
+            h.push_str("Connection: close\r\n");
+        }
+        let _ = write!(h, "Content-Type: {content_type}\r\n");
+        let _ = write!(h, "Content-Length: {content_length}\r\n");
+        h.push_str("\r\n");
+
+        let mut bytes = h.into_bytes();
+        let mut aligned = bytes.len().is_multiple_of(ALIGN);
+        if pad_align && !aligned {
+            // Pad the Server product token (a variable-length field the
+            // paper calls out as the padding site) with trailing spaces.
+            let pad = ALIGN - bytes.len() % ALIGN;
+            let insert_at = server_at + "Flash/1.0".len();
+            let spaces = vec![b' '; pad];
+            bytes.splice(insert_at..insert_at, spaces);
+            aligned = true;
+        }
+        debug_assert!(!pad_align || bytes.len().is_multiple_of(ALIGN));
+        ResponseHeader { bytes, aligned }
+    }
+
+    /// The header bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Header length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Headers are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the header length is a multiple of [`ALIGN`].
+    pub fn aligned(&self) -> bool {
+        self.aligned
+    }
+}
+
+/// Renders a minimal HTML error body for a status (used for 4xx/5xx).
+pub fn error_body(status: Status) -> Vec<u8> {
+    format!(
+        "<html><head><title>{} {}</title></head>\n<body><h1>{}</h1></body></html>\n",
+        status.code(),
+        status.reason(),
+        status.reason()
+    )
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_headers_are_aligned() {
+        for len in [0u64, 1, 512, 4096, 123_456_789] {
+            for ka in [false, true] {
+                let h = ResponseHeader::build(Status::Ok, "text/html", len, ka, true);
+                assert_eq!(h.len() % ALIGN, 0, "len={len} ka={ka}");
+                assert!(h.aligned());
+            }
+        }
+    }
+
+    #[test]
+    fn unpadded_headers_usually_are_not_aligned() {
+        let misaligned = (0..64)
+            .filter(|len| {
+                !ResponseHeader::build(Status::Ok, "text/plain", *len, false, false).aligned()
+            })
+            .count();
+        assert!(misaligned > 48, "only {misaligned}/64 misaligned");
+    }
+
+    #[test]
+    fn header_contains_required_fields() {
+        let h = ResponseHeader::build(Status::Ok, "image/gif", 42, true, true);
+        let s = String::from_utf8(h.as_bytes().to_vec()).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 42\r\n"));
+        assert!(s.contains("Content-Type: image/gif\r\n"));
+        assert!(s.contains("Connection: keep-alive\r\n"));
+        assert!(s.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn padding_preserves_header_syntax() {
+        let h = ResponseHeader::build(Status::Ok, "text/html", 7, false, true);
+        let s = String::from_utf8(h.as_bytes().to_vec()).unwrap();
+        // The padded Server line must still be one well-formed line.
+        let server_line = s
+            .lines()
+            .find(|l| l.starts_with("Server:"))
+            .expect("server header present");
+        assert!(server_line.trim_end().ends_with("Flash/1.0"));
+    }
+
+    #[test]
+    fn status_codes_and_reasons() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::NotFound.code(), 404);
+        assert_eq!(Status::NotModified.code(), 304);
+        assert_eq!(Status::InternalError.reason(), "Internal Server Error");
+    }
+
+    #[test]
+    fn error_bodies_mention_the_status() {
+        let b = String::from_utf8(error_body(Status::NotFound)).unwrap();
+        assert!(b.contains("404"));
+        assert!(b.contains("Not Found"));
+    }
+
+    #[test]
+    fn deterministic_for_same_inputs() {
+        let a = ResponseHeader::build(Status::Ok, "text/html", 100, true, true);
+        let b = ResponseHeader::build(Status::Ok, "text/html", 100, true, true);
+        assert_eq!(a, b);
+    }
+}

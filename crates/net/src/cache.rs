@@ -1,0 +1,159 @@
+//! The real server's application-level content cache.
+//!
+//! Plays the role of Flash's pathname-translation + mapped-file +
+//! response-header caches combined: a hit serves entirely from memory
+//! with a pre-rendered (alignment-padded) header. Residency testing via
+//! `mincore` has no portable stable equivalent, so — exactly as §5.7 of
+//! the paper suggests as the fallback — the server treats its own
+//! LRU-bounded cache as the definition of "in memory" and routes misses
+//! to helper threads.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use flash_core::caches::LruCache;
+use flash_http::mime;
+use flash_http::response::{ResponseHeader, Status};
+
+/// One cached, ready-to-send response.
+#[derive(Debug)]
+pub struct Entry {
+    /// Pre-rendered, alignment-padded response header (keep-alive form).
+    pub header_keep: Bytes,
+    /// Pre-rendered header, close form.
+    pub header_close: Bytes,
+    /// File contents.
+    pub body: Bytes,
+}
+
+impl Entry {
+    /// Builds an entry for `path` with `body` contents.
+    pub fn build(path: &str, body: Vec<u8>) -> Arc<Entry> {
+        let ctype = mime::content_type(path);
+        let len = body.len() as u64;
+        Arc::new(Entry {
+            header_keep: Bytes::from(
+                ResponseHeader::build(Status::Ok, ctype, len, true, true)
+                    .as_bytes()
+                    .to_vec(),
+            ),
+            header_close: Bytes::from(
+                ResponseHeader::build(Status::Ok, ctype, len, false, true)
+                    .as_bytes()
+                    .to_vec(),
+            ),
+            body: Bytes::from(body),
+        })
+    }
+
+    /// Total cached bytes (headers + body).
+    pub fn cost(&self) -> u64 {
+        (self.header_keep.len() + self.header_close.len() + self.body.len()) as u64
+    }
+}
+
+/// A byte-bounded LRU cache of rendered responses, keyed by URL path.
+pub struct ContentCache {
+    lru: LruCache<String, Arc<Entry>>,
+    capacity_bytes: u64,
+    used_bytes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ContentCache {
+    /// Creates a cache bounded to `capacity_bytes`.
+    pub fn new(capacity_bytes: u64) -> Self {
+        ContentCache {
+            // Entries are at least ~300 bytes (two headers); the entry
+            // bound below is therefore unreachable before the byte bound.
+            lru: LruCache::new((capacity_bytes / 256 + 2) as usize),
+            capacity_bytes,
+            used_bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a path, promoting on hit.
+    pub fn get(&mut self, path: &str) -> Option<Arc<Entry>> {
+        match self.lru.get(&path.to_string()) {
+            Some(e) => {
+                self.hits += 1;
+                Some(Arc::clone(e))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an entry, evicting LRU entries past the byte bound.
+    pub fn insert(&mut self, path: String, entry: Arc<Entry>) {
+        self.used_bytes += entry.cost();
+        if let Some((_, old)) = self.lru.insert(path, entry) {
+            self.used_bytes -= old.cost();
+        }
+        while self.used_bytes > self.capacity_bytes {
+            match self.lru.pop_lru() {
+                Some((_, old)) => self.used_bytes -= old.cost(),
+                None => break,
+            }
+        }
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_headers_are_aligned_and_formed() {
+        let e = Entry::build("/x.html", b"hello".to_vec());
+        assert_eq!(e.header_keep.len() % 32, 0);
+        assert_eq!(e.header_close.len() % 32, 0);
+        assert!(e.header_keep.starts_with(b"HTTP/1.1 200 OK\r\n"));
+        assert_eq!(&e.body[..], b"hello");
+        assert!(e.cost() > 5);
+    }
+
+    #[test]
+    fn cache_hit_and_miss_counting() {
+        let mut c = ContentCache::new(1024 * 1024);
+        assert!(c.get("/a").is_none());
+        c.insert("/a".into(), Entry::build("/a", vec![1, 2, 3]));
+        assert!(c.get("/a").is_some());
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn byte_bound_evicts_lru() {
+        let mut c = ContentCache::new(3000);
+        for i in 0..10 {
+            c.insert(format!("/f{i}"), Entry::build("/f", vec![0u8; 700]));
+            assert!(c.used_bytes() <= 3000, "used {}", c.used_bytes());
+        }
+        assert!(c.get("/f9").is_some());
+        assert!(c.get("/f0").is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_accounting() {
+        let mut c = ContentCache::new(100_000);
+        c.insert("/a".into(), Entry::build("/a", vec![0u8; 1000]));
+        let first = c.used_bytes();
+        c.insert("/a".into(), Entry::build("/a", vec![0u8; 2000]));
+        assert_eq!(c.used_bytes(), first + 1000);
+    }
+}

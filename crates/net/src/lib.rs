@@ -1,0 +1,36 @@
+//! A real, runnable Flash-style web server on actual sockets.
+//!
+//! Two servers built from the shared `flash-http` machinery:
+//!
+//! * [`server::Server`] — **AMPED**: a poll(2) event loop (one small FFI
+//!   shim in [`poll`], no external I/O crates) that never blocks on disk;
+//!   helper threads perform all filesystem work and signal completion
+//!   over a socketpair, the modern analogue of the paper's helper
+//!   processes and IPC pipes.
+//! * [`mt::MtServer`] — **MT**: thread-per-connection with blocking I/O
+//!   and a shared, locked content cache, for comparison.
+//!
+//! Substitutions from the 1999 original (documented in DESIGN.md):
+//! helper *threads* instead of forked processes (§3.4 permits both), and
+//! an application-level content cache instead of `mmap`+`mincore` (§5.7
+//! describes this fallback for systems without usable residency tests).
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use flash_net::{NetConfig, Server};
+//!
+//! let server = Server::start("127.0.0.1:8080", NetConfig::new("./public")).unwrap();
+//! println!("serving on http://{}", server.addr());
+//! // ... later:
+//! server.stop();
+//! ```
+
+pub mod cache;
+pub mod mt;
+pub mod poll;
+pub mod server;
+
+pub use cache::{ContentCache, Entry};
+pub use mt::MtServer;
+pub use server::{NetConfig, Server, ServerStats};

@@ -1,0 +1,176 @@
+//! The MT variant on real sockets: one blocking thread per connection.
+//!
+//! The §3.2 architecture for comparison with the AMPED server in
+//! [`crate::server`]: threads share the content cache behind a lock, each
+//! handles one connection at a time with blocking I/O, and the OS
+//! provides all the overlap. Simpler than the event loop — the exact
+//! trade the paper discusses — at the cost of per-connection threads and
+//! lock traffic.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use flash_http::request::ParseStatus;
+use flash_http::response::{error_body, ResponseHeader, Status};
+use flash_http::Method;
+use parking_lot::Mutex;
+
+use crate::cache::{ContentCache, Entry};
+use crate::server::NetConfig;
+
+/// Handle to a running MT server.
+pub struct MtServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MtServer {
+    /// Binds `addr` and starts the accept loop.
+    pub fn start(addr: impl ToSocketAddrs, cfg: NetConfig) -> io::Result<MtServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // A short accept timeout lets the loop observe shutdown.
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown2 = Arc::clone(&shutdown);
+        let cache = Arc::new(Mutex::new(ContentCache::new(cfg.cache_bytes)));
+        let accept_thread = std::thread::Builder::new()
+            .name("flash-mt-accept".into())
+            .spawn(move || {
+                let mut workers: Vec<JoinHandle<()>> = Vec::new();
+                while !shutdown2.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let cache = Arc::clone(&cache);
+                            let cfg = cfg.clone();
+                            let flag = Arc::clone(&shutdown2);
+                            if let Ok(h) = std::thread::Builder::new()
+                                .name("flash-mt-conn".into())
+                                .spawn(move || serve_conn(stream, cache, cfg, flag))
+                            {
+                                workers.push(h);
+                            }
+                        }
+                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                    workers.retain(|h| !h.is_finished());
+                }
+                for h in workers {
+                    let _ = h.join();
+                }
+            })?;
+        Ok(MtServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server and joins the accept loop.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_conn(
+    mut stream: TcpStream,
+    cache: Arc<Mutex<ContentCache>>,
+    cfg: NetConfig,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut parser = flash_http::RequestParser::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => n,
+            Err(ref e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        let req = match parser.feed(&buf[..n]) {
+            ParseStatus::Done(r) => r,
+            ParseStatus::Incomplete => continue,
+            ParseStatus::Error(_) => {
+                let _ = respond_error(&mut stream, Status::BadRequest, false);
+                return;
+            }
+        };
+        let keep = req.keep_alive();
+        let head_only = req.method == Method::Head;
+        if req.method == Method::Post {
+            let _ = respond_error(&mut stream, Status::NotImplemented, head_only);
+            return;
+        }
+        let mut path = req.path.clone();
+        if path.ends_with('/') {
+            path.push_str("index.html");
+        }
+        // Check the shared cache (lock), then do the blocking disk work
+        // on this thread — only this connection stalls.
+        let cached = cache.lock().get(&path);
+        let entry = match cached {
+            Some(e) => Ok(e),
+            None => match std::fs::read(cfg.docroot.join(path.trim_start_matches('/'))) {
+                Ok(body) => {
+                    let e = Entry::build(&path, body);
+                    cache.lock().insert(path.clone(), Arc::clone(&e));
+                    Ok(e)
+                }
+                Err(err) => Err(match err.kind() {
+                    io::ErrorKind::NotFound => Status::NotFound,
+                    io::ErrorKind::PermissionDenied => Status::Forbidden,
+                    _ => Status::InternalError,
+                }),
+            },
+        };
+        let ok = match entry {
+            Ok(e) => {
+                let hdr = if keep {
+                    &e.header_keep
+                } else {
+                    &e.header_close
+                };
+                stream.write_all(hdr).is_ok() && (head_only || stream.write_all(&e.body).is_ok())
+            }
+            Err(status) => respond_error(&mut stream, status, head_only).is_ok(),
+        };
+        if !ok || !keep {
+            return;
+        }
+    }
+}
+
+fn respond_error(stream: &mut TcpStream, status: Status, head_only: bool) -> io::Result<()> {
+    let body = Bytes::from(error_body(status));
+    let hdr = ResponseHeader::build(status, "text/html", body.len() as u64, false, true);
+    stream.write_all(hdr.as_bytes())?;
+    if !head_only {
+        stream.write_all(&body)?;
+    }
+    Ok(())
+}

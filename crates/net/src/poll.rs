@@ -1,0 +1,136 @@
+//! Minimal safe wrapper over `poll(2)`.
+//!
+//! The AMPED event loop needs exactly one kernel interface beyond what
+//! `std` offers: readiness multiplexing. Rather than pulling in `libc` or
+//! `mio`, a single foreign function is declared here (the platform libc
+//! is already linked by every Rust program on Unix). This mirrors the
+//! paper's portability argument: the server uses only ubiquitous APIs.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// Readable readiness (POLLIN).
+pub const POLL_IN: i16 = 0x001;
+/// Writable readiness (POLLOUT).
+pub const POLL_OUT: i16 = 0x004;
+/// Error condition (POLLERR; only returned in `revents`).
+pub const POLL_ERR: i16 = 0x008;
+/// Hang-up (POLLHUP; only returned in `revents`).
+pub const POLL_HUP: i16 = 0x010;
+
+/// One entry of the poll set — layout-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// File descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events (`POLL_IN` / `POLL_OUT`).
+    pub events: i16,
+    /// Returned events.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Creates an entry watching `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// True if the descriptor is readable (or peer-closed/errored, which
+    /// a reader must observe to reap the connection).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLL_IN | POLL_ERR | POLL_HUP) != 0
+    }
+
+    /// True if the descriptor is writable.
+    pub fn writable(&self) -> bool {
+        self.revents & (POLL_OUT | POLL_ERR | POLL_HUP) != 0
+    }
+}
+
+unsafe extern "C" {
+    // `nfds_t` is `c_ulong` on every Unix Rust supports.
+    fn poll(
+        fds: *mut PollFd,
+        nfds: core::ffi::c_ulong,
+        timeout: core::ffi::c_int,
+    ) -> core::ffi::c_int;
+}
+
+/// Blocks until a descriptor in `fds` is ready or `timeout_ms` expires
+/// (negative = infinite). Returns the number of ready descriptors.
+///
+/// `EINTR` is retried internally, so callers never observe it.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd-compatible structs; the kernel writes only
+        // `revents` within the slice bounds; the pointer does not outlive
+        // the call.
+        let rc = unsafe {
+            poll(
+                fds.as_mut_ptr(),
+                fds.len() as core::ffi::c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn timeout_returns_zero_ready() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLL_IN)];
+        let n = poll_fds(&mut fds, 10).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn data_makes_fd_readable() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        b.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLL_IN)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        assert!(!fds[0].writable());
+    }
+
+    #[test]
+    fn sockets_start_writable() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLL_OUT)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].writable());
+    }
+
+    #[test]
+    fn hangup_reported_as_readable() {
+        let (a, b) = UnixStream::pair().unwrap();
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLL_IN)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable(), "peer close must wake readers");
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end tests of the real AMPED and MT servers over loopback,
+//! using plain `std::net::TcpStream` clients.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use flash_net::{MtServer, NetConfig, Server};
+
+/// Creates a docroot with known content; returns its path guard.
+fn docroot(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("flash-net-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("sub")).unwrap();
+    std::fs::write(dir.join("index.html"), b"<html>hello flash</html>\n").unwrap();
+    std::fs::write(dir.join("sub/page.html"), b"subdir page").unwrap();
+    std::fs::write(dir.join("big.bin"), vec![0xABu8; 2_000_000]).unwrap();
+    dir
+}
+
+/// Sends one request and reads until EOF; returns the raw response.
+fn get(addr: std::net::SocketAddr, req: &str) -> Vec<u8> {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(req.as_bytes()).unwrap();
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    out
+}
+
+fn body_of(response: &[u8]) -> &[u8] {
+    let pos = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    &response[pos + 4..]
+}
+
+#[test]
+fn amped_serves_files_and_404s() {
+    let root = docroot("amped");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    let addr = server.addr();
+
+    let resp = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    let text = String::from_utf8_lossy(&resp);
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+    assert!(text.contains("Content-Type: text/html"));
+    assert_eq!(body_of(&resp), b"<html>hello flash</html>\n");
+
+    let resp = get(addr, "GET /sub/page.html HTTP/1.0\r\n\r\n");
+    assert_eq!(body_of(&resp), b"subdir page");
+
+    let resp = get(addr, "GET /nope.html HTTP/1.0\r\n\r\n");
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 404"));
+
+    // Directory request maps to index.html.
+    let resp = get(addr, "GET / HTTP/1.0\r\n\r\n");
+    assert_eq!(body_of(&resp), b"<html>hello flash</html>\n");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn amped_second_request_hits_cache() {
+    let root = docroot("cache");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    let addr = server.addr();
+    let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    let stats = server.stats();
+    assert_eq!(
+        stats.helper_jobs.load(Ordering::Relaxed),
+        1,
+        "one disk read"
+    );
+    assert!(stats.cache_hits.load(Ordering::Relaxed) >= 2);
+    assert_eq!(stats.requests.load(Ordering::Relaxed), 3);
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn amped_persistent_connection_serves_multiple_requests() {
+    let root = docroot("keepalive");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    for i in 0..5 {
+        s.write_all(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut hdr = Vec::new();
+        let mut byte = [0u8; 1];
+        // Read headers byte-by-byte until the blank line, then the body
+        // by Content-Length.
+        while !hdr.ends_with(b"\r\n\r\n") {
+            s.read_exact(&mut byte).unwrap();
+            hdr.push(byte[0]);
+        }
+        let text = String::from_utf8_lossy(&hdr);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "request {i}: {text}");
+        assert!(text.contains("Connection: keep-alive"));
+        let len: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; len];
+        s.read_exact(&mut body).unwrap();
+        assert_eq!(body, b"<html>hello flash</html>\n");
+    }
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn amped_streams_large_files_intact() {
+    let root = docroot("large");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    let resp = get(server.addr(), "GET /big.bin HTTP/1.0\r\n\r\n");
+    let body = body_of(&resp);
+    assert_eq!(body.len(), 2_000_000);
+    assert!(body.iter().all(|&b| b == 0xAB));
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn amped_handles_concurrent_clients() {
+    let root = docroot("concurrent");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    let addr = server.addr();
+    let threads: Vec<_> = (0..16)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let path = if i % 2 == 0 {
+                    "/index.html"
+                } else {
+                    "/sub/page.html"
+                };
+                for _ in 0..20 {
+                    let resp = get(addr, &format!("GET {path} HTTP/1.0\r\n\r\n"));
+                    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 200"));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(server.stats().requests.load(Ordering::Relaxed), 320);
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn amped_rejects_bad_requests_and_post() {
+    let root = docroot("bad");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    let addr = server.addr();
+    let resp = get(addr, "BOGUS /x HTTP/9.9\r\n\r\n");
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 400"));
+    let resp = get(addr, "POST /cgi-bin/x HTTP/1.0\r\n\r\n");
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 501"));
+    // Traversal normalizes inside the docroot; escaping yields 400.
+    let resp = get(addr, "GET /../../etc/passwd HTTP/1.0\r\n\r\n");
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 400"));
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn amped_head_returns_headers_only() {
+    let root = docroot("head");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    let resp = get(server.addr(), "HEAD /index.html HTTP/1.0\r\n\r\n");
+    let text = String::from_utf8_lossy(&resp);
+    assert!(text.starts_with("HTTP/1.1 200 OK"));
+    assert!(text.contains("Content-Length: 25"));
+    assert!(body_of(&resp).is_empty());
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn amped_headers_are_alignment_padded() {
+    let root = docroot("align");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    let resp = get(server.addr(), "GET /index.html HTTP/1.0\r\n\r\n");
+    let pos = resp.windows(4).position(|w| w == b"\r\n\r\n").unwrap();
+    assert_eq!((pos + 4) % 32, 0, "header must be 32-byte aligned (§5.5)");
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn mt_server_serves_and_shares_cache() {
+    let root = docroot("mt");
+    let server = MtServer::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    let addr = server.addr();
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let resp = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+                    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 200"));
+                    assert_eq!(body_of(&resp), b"<html>hello flash</html>\n");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let resp = get(addr, "GET /gone HTTP/1.0\r\n\r\n");
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 404"));
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}

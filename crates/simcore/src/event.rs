@@ -1,0 +1,195 @@
+//! Deterministic future-event queue.
+//!
+//! A classic discrete-event simulation calendar: events are popped in
+//! non-decreasing time order, and events scheduled for the same instant are
+//! popped in insertion order (FIFO). The tie-break matters — it makes whole
+//! simulations reproducible bit-for-bit for a given seed, which the
+//! integration tests rely on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{Nanos, SimTime};
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event calendar ordered by time, FIFO within an instant.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far (a cheap progress/fuel measure).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past; scheduling into the past would silently
+    /// corrupt causality, which is a bug in the caller.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` to fire `delay` nanoseconds from now.
+    pub fn schedule_in(&mut self, delay: Nanos, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.popped += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(30), "c");
+        q.schedule_at(SimTime(10), "a");
+        q.schedule_at(SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_popped_event() {
+        let mut q = EventQueue::new();
+        q.schedule_in(7, ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime(7));
+        assert_eq!(q.now(), SimTime(7));
+        assert_eq!(q.events_processed(), 1);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in(10, "first");
+        q.pop().unwrap();
+        q.schedule_in(10, "second");
+        assert_eq!(q.peek_time(), Some(SimTime(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), ());
+        q.pop().unwrap();
+        q.schedule_at(SimTime(5), ());
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_in(1, ());
+        q.schedule_in(2, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,20 @@
+//! Discrete-event simulation engine used by the Flash reproduction.
+//!
+//! This crate is deliberately independent of the web-server domain: it
+//! provides simulated time ([`SimTime`]), a deterministic event queue
+//! ([`event::EventQueue`]), a seedable random-number wrapper
+//! ([`rng::SimRng`]), and statistics collectors ([`stats`]).
+//!
+//! The simulated OS (`flash-simos`) and the experiment drivers
+//! (`flash-experiments`) build on these primitives. Everything is
+//! deterministic given a seed, which is what lets the integration tests
+//! assert the qualitative shapes of the paper's figures.
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use time::SimTime;

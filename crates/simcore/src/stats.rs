@@ -1,0 +1,282 @@
+//! Statistics collectors for simulation runs.
+//!
+//! Three collectors cover everything the experiments report:
+//! [`Counter`] for totals, [`Histogram`] for latency-style distributions,
+//! and [`TimeWeighted`] for quantities that have a value over time
+//! (queue depth, cache occupancy).
+
+use crate::time::{Nanos, SimTime, SEC};
+
+/// A monotonically increasing event/byte counter with a rate helper.
+#[derive(Debug, Default, Clone)]
+pub struct Counter {
+    total: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.total += n;
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Average rate per second over `elapsed` simulated time.
+    pub fn rate_per_sec(&self, elapsed: Nanos) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.total as f64 * SEC as f64 / elapsed as f64
+    }
+
+    /// Total interpreted as bytes, expressed in megabits per second.
+    pub fn megabits_per_sec(&self, elapsed: Nanos) -> f64 {
+        self.rate_per_sec(elapsed) * 8.0 / 1_000_000.0
+    }
+}
+
+/// Log-bucketed histogram for durations (or any u64 quantity).
+///
+/// Buckets are powers of two, which is plenty of resolution for the
+/// latency distributions the experiments report and keeps the collector
+/// allocation-free after construction.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper bound of the bucket containing the q-quantile (q in `[0,1]`).
+    ///
+    /// Log-bucketing means this is an approximation with at most 2x error,
+    /// which is fine for the order-of-magnitude latency reporting the
+    /// experiments do.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return if idx == 0 { 0 } else { 1u64 << idx };
+            }
+        }
+        self.max
+    }
+}
+
+/// Tracks the time-weighted average of a piecewise-constant quantity.
+///
+/// Call [`TimeWeighted::set`] whenever the value changes; the collector
+/// integrates value × duration between updates.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    value: f64,
+    last_update: SimTime,
+    integral: f64,
+    peak: f64,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Creates a gauge starting at zero at t = 0.
+    pub fn new() -> Self {
+        TimeWeighted {
+            value: 0.0,
+            last_update: SimTime::ZERO,
+            integral: 0.0,
+            peak: 0.0,
+        }
+    }
+
+    /// Sets the value at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let dt = now.since(self.last_update) as f64;
+        self.integral += self.value * dt;
+        self.value = value;
+        self.last_update = now;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Adjusts the value by `delta` at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current (instantaneous) value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Peak value observed.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted average over `[0, now]`.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let total = now.as_nanos() as f64;
+        if total == 0.0 {
+            return self.value;
+        }
+        let pending = self.value * now.since(self.last_update) as f64;
+        (self.integral + pending) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rates() {
+        let mut c = Counter::new();
+        c.add(1000);
+        assert_eq!(c.total(), 1000);
+        // 1000 events over 2 seconds = 500/s.
+        assert!((c.rate_per_sec(2 * SEC) - 500.0).abs() < 1e-9);
+        // 1000 bytes over 1 second = 0.008 Mb/s.
+        assert!((c.megabits_per_sec(SEC) - 0.008).abs() < 1e-9);
+        assert_eq!(c.rate_per_sec(0), 0.0);
+    }
+
+    #[test]
+    fn histogram_basic_moments() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 8);
+        assert!((h.mean() - 3.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let q50 = h.quantile(0.5);
+        let q90 = h.quantile(0.9);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q90 && q90 <= q99);
+        assert!((256..=1024).contains(&q50), "q50={q50}");
+    }
+
+    #[test]
+    fn histogram_empty_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut g = TimeWeighted::new();
+        // Value 2 for 10ns, then 4 for 10ns => average 3 at t=20.
+        g.set(SimTime(0), 2.0);
+        g.set(SimTime(10), 4.0);
+        assert!((g.average(SimTime(20)) - 3.0).abs() < 1e-9);
+        assert_eq!(g.peak(), 4.0);
+        assert_eq!(g.current(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_add() {
+        let mut g = TimeWeighted::new();
+        g.add(SimTime(0), 1.0);
+        g.add(SimTime(10), 1.0);
+        g.add(SimTime(20), -2.0);
+        assert_eq!(g.current(), 0.0);
+        // 1 for 10ns, 2 for 10ns, 0 for 10ns => 1.0 average at t=30.
+        assert!((g.average(SimTime(30)) - 1.0).abs() < 1e-9);
+    }
+}

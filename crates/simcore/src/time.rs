@@ -1,0 +1,165 @@
+//! Simulated time.
+//!
+//! Time is a monotone count of nanoseconds since simulation start. A newtype
+//! keeps it from being confused with byte counts or identifiers, and gives a
+//! single place for unit conversions used throughout the workspace.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Nanoseconds as a plain integer, used for durations and cost constants.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICRO: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLI: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SEC: Nanos = 1_000_000_000;
+
+/// An instant in simulated time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub Nanos);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * SEC)
+    }
+
+    /// Builds an instant from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * MILLI)
+    }
+
+    /// Builds an instant from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * MICRO)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> Nanos {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / SEC as f64
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(self, earlier: SimTime) -> Nanos {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<Nanos> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Nanos) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<Nanos> for SimTime {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Nanos;
+
+    fn sub(self, rhs: SimTime) -> Nanos {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= SEC {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= MILLI {
+            write!(f, "{:.3}ms", self.0 as f64 / MILLI as f64)
+        } else if self.0 >= MICRO {
+            write!(f, "{:.3}us", self.0 as f64 / MICRO as f64)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// Converts a byte count and a per-byte cost into a duration.
+///
+/// Used for copy, checksum and wire-transfer costs where the model charges a
+/// constant number of nanoseconds per byte.
+pub fn per_byte(bytes: u64, ns_per_byte: f64) -> Nanos {
+    (bytes as f64 * ns_per_byte).round() as Nanos
+}
+
+/// Duration to move `bytes` over a link of `bits_per_sec` capacity.
+pub fn wire_time(bytes: u64, bits_per_sec: u64) -> Nanos {
+    if bits_per_sec == 0 {
+        return Nanos::MAX / 4;
+    }
+    ((bytes as u128 * 8 * SEC as u128) / bits_per_sec as u128) as Nanos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2 * SEC);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3 * MILLI);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7 * MICRO);
+        assert!((SimTime::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_is_saturating_on_subtraction() {
+        let a = SimTime::from_micros(5);
+        let b = SimTime::from_micros(9);
+        assert_eq!(b - a, 4 * MICRO);
+        assert_eq!(a - b, 0);
+        assert_eq!(a.since(b), 0);
+        assert_eq!(b.since(a), 4 * MICRO);
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = SimTime::ZERO;
+        t += 10;
+        t += 5;
+        assert_eq!(t.as_nanos(), 15);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime(12)), "12ns");
+        assert_eq!(format!("{}", SimTime::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimTime::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn per_byte_costs() {
+        assert_eq!(per_byte(1000, 30.0), 30_000);
+        assert_eq!(per_byte(0, 30.0), 0);
+        // Fractional per-byte costs round to the nearest nanosecond.
+        assert_eq!(per_byte(3, 0.4), 1);
+    }
+
+    #[test]
+    fn wire_time_matches_link_rate() {
+        // 100 Mb/s moves 12.5 MB per second.
+        let t = wire_time(12_500_000, 100_000_000);
+        assert_eq!(t, SEC);
+        // Zero-rate links never complete but must not panic or overflow.
+        assert!(wire_time(1, 0) > SEC * 1000);
+    }
+}

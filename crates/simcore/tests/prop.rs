@@ -1,0 +1,75 @@
+//! Property tests for the simulation engine's core invariants.
+
+use flash_simcore::stats::Histogram;
+use flash_simcore::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in non-decreasing time order regardless of insertion
+    /// order, and FIFO within a timestamp.
+    #[test]
+    fn event_queue_total_order(delays in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, d) in delays.iter().enumerate() {
+            q.schedule_at(SimTime(*d), i);
+        }
+        let mut last_time = 0;
+        let mut last_seq_at_time: Option<usize> = None;
+        while let Some((t, seq)) = q.pop() {
+            prop_assert!(t.as_nanos() >= last_time);
+            if t.as_nanos() == last_time {
+                if let Some(prev) = last_seq_at_time {
+                    prop_assert!(seq > prev, "FIFO violated within an instant");
+                }
+            } else {
+                last_time = t.as_nanos();
+            }
+            last_seq_at_time = Some(seq);
+            prop_assert_eq!(q.now(), t);
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// The clock never runs backwards across interleaved schedule/pop.
+    #[test]
+    fn clock_is_monotone(ops in proptest::collection::vec(0u64..500, 1..100)) {
+        let mut q = EventQueue::new();
+        let mut last = SimTime::ZERO;
+        for d in ops {
+            q.schedule_in(d, ());
+            if d % 3 == 0 {
+                if let Some((t, _)) = q.pop() {
+                    prop_assert!(t >= last);
+                    last = t;
+                }
+            }
+        }
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Histogram invariants: count, min ≤ mean ≤ max, quantile monotone,
+    /// and every quantile within [min, 2*max] (log-bucket slack).
+    #[test]
+    fn histogram_moments(samples in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let min = *samples.iter().min().expect("nonempty");
+        let max = *samples.iter().max().expect("nonempty");
+        prop_assert_eq!(h.min(), min);
+        prop_assert_eq!(h.max(), max);
+        prop_assert!(h.mean() >= min as f64 && h.mean() <= max as f64);
+        let mut prev = 0;
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantiles must be monotone");
+            prop_assert!(v <= max.max(1) * 2, "q{q} = {v} beyond 2*max {max}");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Machine configuration: memory, disk and network parameters.
+
+use crate::profile::OsProfile;
+use flash_simcore::time::Nanos;
+
+/// Size of a page (and of a disk block) in the simulation.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Mechanical disk parameters (1999-era SCSI disk).
+#[derive(Debug, Clone)]
+pub struct DiskParams {
+    /// Fixed per-request overhead (controller, interrupt).
+    pub overhead_ns: Nanos,
+    /// Seek cost for a full-stroke move; actual seeks scale with
+    /// sqrt(distance/full_stroke), a standard seek-curve approximation.
+    pub full_seek_ns: Nanos,
+    /// Minimum (track-to-track) seek cost.
+    pub min_seek_ns: Nanos,
+    /// Average rotational delay (half a revolution; 7200 rpm → ~4.2 ms).
+    pub rotation_ns: Nanos,
+    /// Media transfer rate in bytes per second.
+    pub transfer_bytes_per_sec: u64,
+    /// Total disk capacity in blocks (defines the seek distance scale).
+    pub total_blocks: u64,
+    /// Use C-LOOK elevator scheduling when true, FCFS when false.
+    pub elevator: bool,
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        DiskParams {
+            overhead_ns: 500_000,
+            full_seek_ns: 16_000_000,
+            min_seek_ns: 1_200_000,
+            rotation_ns: 4_200_000,
+            transfer_bytes_per_sec: 20_000_000,
+            total_blocks: 2_000_000, // ~8 GB
+            elevator: true,
+        }
+    }
+}
+
+/// Network parameters for the server's links.
+#[derive(Debug, Clone)]
+pub struct NetParams {
+    /// Aggregate NIC capacity in bits/s (the paper's testbed has multiple
+    /// 100 Mb/s Ethernets; four gives 400 Mb/s so the CPU, not the wire,
+    /// limits cached-workload throughput).
+    pub nic_bps: u64,
+    /// Default per-client link rate in bits/s (LAN clients).
+    pub client_bps: u64,
+    /// Default round-trip time between client and server.
+    pub rtt_ns: Nanos,
+    /// TCP send-buffer capacity per connection.
+    pub sendbuf_bytes: u64,
+    /// Listen-socket backlog.
+    pub backlog: usize,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            nic_bps: 400_000_000,
+            client_bps: 100_000_000,
+            rtt_ns: 200_000,
+            sendbuf_bytes: 64 * 1024,
+            backlog: 1024,
+        }
+    }
+}
+
+/// Physical memory model.
+///
+/// The page cache receives whatever is left of physical memory after the
+/// kernel and all process-resident memory; this competition is central to
+/// the paper (§4.1 "Memory effects"): MP servers with hundreds of processes
+/// shrink the file cache, while SPED/AMPED leave almost everything to it.
+#[derive(Debug, Clone)]
+pub struct MemoryParams {
+    /// Total physical memory in bytes (paper: 128 MB).
+    pub total_bytes: u64,
+    /// Memory reserved for kernel text/data and boot-time structures.
+    pub kernel_bytes: u64,
+}
+
+impl Default for MemoryParams {
+    fn default() -> Self {
+        MemoryParams {
+            total_bytes: 128 * 1024 * 1024,
+            kernel_bytes: 20 * 1024 * 1024,
+        }
+    }
+}
+
+impl MemoryParams {
+    /// Page-cache capacity in pages given `consumed` bytes of process and
+    /// application memory, with a small floor so the simulation degrades
+    /// rather than dividing by zero under extreme overcommit.
+    pub fn cache_pages(&self, consumed: u64) -> u64 {
+        let floor = 2 * 1024 * 1024 / PAGE_SIZE;
+        let avail = self
+            .total_bytes
+            .saturating_sub(self.kernel_bytes)
+            .saturating_sub(consumed);
+        (avail / PAGE_SIZE).max(floor)
+    }
+
+    /// Bytes of overcommit (process memory beyond what physically fits),
+    /// used by the crude paging penalty model.
+    pub fn overcommit_bytes(&self, consumed: u64) -> u64 {
+        consumed.saturating_sub(self.total_bytes.saturating_sub(self.kernel_bytes))
+    }
+}
+
+/// Complete machine description handed to the kernel at construction.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// OS cost profile (FreeBSD or Solaris preset, or custom).
+    pub os: OsProfile,
+    /// Physical memory.
+    pub memory: MemoryParams,
+    /// Disk mechanics.
+    pub disk: DiskParams,
+    /// Network links.
+    pub net: NetParams,
+}
+
+impl MachineConfig {
+    /// The paper's testbed running FreeBSD 2.2.6.
+    pub fn freebsd() -> Self {
+        MachineConfig {
+            os: OsProfile::freebsd(),
+            memory: MemoryParams::default(),
+            disk: DiskParams::default(),
+            net: NetParams::default(),
+        }
+    }
+
+    /// The paper's testbed running Solaris 2.6. Solaris's kernel and
+    /// daemons leave noticeably less memory to the file cache than
+    /// FreeBSD's (the paper picks a 90 MB dataset for the §6.4 WAN test
+    /// precisely because it exceeds the Solaris effective cache).
+    pub fn solaris() -> Self {
+        let mut cfg = MachineConfig {
+            os: OsProfile::solaris(),
+            ..Self::freebsd()
+        };
+        cfg.memory.kernel_bytes = 36 * 1024 * 1024;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_capacity_shrinks_with_consumption() {
+        let m = MemoryParams::default();
+        let all = m.cache_pages(0);
+        let less = m.cache_pages(40 * 1024 * 1024);
+        assert!(less < all);
+        assert_eq!(all - less, 40 * 1024 * 1024 / PAGE_SIZE);
+    }
+
+    #[test]
+    fn cache_capacity_has_floor_under_overcommit() {
+        let m = MemoryParams::default();
+        let floored = m.cache_pages(1024 * 1024 * 1024);
+        assert_eq!(floored, 2 * 1024 * 1024 / PAGE_SIZE);
+    }
+
+    #[test]
+    fn overcommit_measures_deficit() {
+        let m = MemoryParams::default();
+        assert_eq!(m.overcommit_bytes(0), 0);
+        let usable = m.total_bytes - m.kernel_bytes;
+        assert_eq!(m.overcommit_bytes(usable + 5), 5);
+    }
+
+    #[test]
+    fn presets_differ_only_in_os() {
+        let f = MachineConfig::freebsd();
+        let s = MachineConfig::solaris();
+        assert_eq!(f.memory.total_bytes, s.memory.total_bytes);
+        assert_eq!(f.net.nic_bps, s.net.nic_bps);
+        assert_ne!(f.os.name, s.os.name);
+    }
+}

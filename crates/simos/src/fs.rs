@@ -1,0 +1,183 @@
+//! Simulated filesystem: file metadata and on-disk layout.
+//!
+//! Files occupy contiguous block extents on the simulated disk, allocated
+//! in creation order with a small inter-file gap (a simple model of FFS
+//! cylinder-group locality). Each file also has a *metadata page* — a page
+//! of a synthetic "metadata file" shared by a group of files — which models
+//! the inode/directory blocks that `open`/`stat` must read; cold pathname
+//! translation therefore costs disk I/O, which is exactly the work Flash's
+//! name-translation helpers absorb.
+
+use crate::config::PAGE_SIZE;
+use crate::ids::FileId;
+
+/// Number of files whose metadata shares one on-disk metadata page.
+pub const INODES_PER_PAGE: u64 = 32;
+
+/// The reserved file id that backs metadata pages.
+pub const META_FILE: FileId = FileId(0);
+
+/// One file in the simulated filesystem.
+#[derive(Debug, Clone)]
+pub struct FsFile {
+    /// Identifier (index into the file table).
+    pub id: FileId,
+    /// Logical size in bytes.
+    pub size: u64,
+    /// First disk block of the file's extent.
+    pub start_block: u64,
+    /// Number of pathname components ("/a/b/c.html" = 3), which scales
+    /// the CPU cost of `open`/`stat`.
+    pub components: u32,
+}
+
+impl FsFile {
+    /// Number of pages (= blocks) the file occupies.
+    pub fn pages(&self) -> u64 {
+        self.size.div_ceil(PAGE_SIZE).max(1)
+    }
+
+    /// The metadata page (of [`META_FILE`]) holding this file's inode.
+    pub fn meta_page(&self) -> u64 {
+        self.id.0 as u64 / INODES_PER_PAGE
+    }
+}
+
+/// The file table plus a bump allocator over disk blocks.
+#[derive(Debug)]
+pub struct FileSystem {
+    files: Vec<FsFile>,
+    next_block: u64,
+    /// Gap in blocks left between consecutive files (fragmentation knob:
+    /// larger gaps mean longer seeks between files).
+    pub inter_file_gap: u64,
+}
+
+impl Default for FileSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FileSystem {
+    /// Creates an empty filesystem. Block 0 onwards is reserved for
+    /// metadata; data extents start after a metadata area.
+    pub fn new() -> Self {
+        FileSystem {
+            files: Vec::new(),
+            // Reserve 4 MB at the front of the disk for metadata pages,
+            // so metadata and data cause cross-region seeks like a real
+            // FFS inode area would.
+            next_block: 4 * 1024 * 1024 / PAGE_SIZE,
+            inter_file_gap: 8,
+        }
+    }
+
+    /// Creates a file of `size` bytes with `components` pathname
+    /// components and returns its id. Ids start at 1; 0 is [`META_FILE`].
+    pub fn create(&mut self, size: u64, components: u32) -> FileId {
+        let id = FileId(self.files.len() as u32 + 1);
+        let blocks = size.div_ceil(PAGE_SIZE).max(1);
+        let f = FsFile {
+            id,
+            size,
+            start_block: self.next_block,
+            components,
+        };
+        self.next_block += blocks + self.inter_file_gap;
+        self.files.push(f);
+        id
+    }
+
+    /// Looks up a file by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`META_FILE`] or an id that was never created — both are
+    /// kernel-internal logic errors, not runtime conditions.
+    pub fn get(&self, id: FileId) -> &FsFile {
+        assert!(id.0 != 0, "META_FILE has no FsFile entry");
+        &self.files[(id.0 - 1) as usize]
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when no files exist.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total bytes across all files (the dataset size of a workload).
+    pub fn dataset_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.size).sum()
+    }
+
+    /// Disk block that backs `page` of `file` (data files only; metadata
+    /// pages live at the front of the disk at their page index).
+    pub fn block_of(&self, file: FileId, page: u64) -> u64 {
+        if file == META_FILE {
+            page
+        } else {
+            self.get(file).start_block + page
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_assigns_increasing_ids_and_extents() {
+        let mut fs = FileSystem::new();
+        let a = fs.create(10_000, 3);
+        let b = fs.create(500, 2);
+        assert_eq!(a, FileId(1));
+        assert_eq!(b, FileId(2));
+        let fa = fs.get(a);
+        let fb = fs.get(b);
+        assert_eq!(fa.pages(), 3);
+        assert_eq!(fb.pages(), 1);
+        assert!(fb.start_block >= fa.start_block + fa.pages());
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs.dataset_bytes(), 10_500);
+    }
+
+    #[test]
+    fn zero_byte_files_still_occupy_a_page() {
+        let mut fs = FileSystem::new();
+        let id = fs.create(0, 1);
+        assert_eq!(fs.get(id).pages(), 1);
+    }
+
+    #[test]
+    fn meta_pages_are_shared_between_neighbours() {
+        let mut fs = FileSystem::new();
+        let ids: Vec<_> = (0..40).map(|_| fs.create(100, 2)).collect();
+        let p0 = fs.get(ids[0]).meta_page();
+        let p31 = fs.get(ids[30]).meta_page();
+        let p33 = fs.get(ids[33]).meta_page();
+        assert_eq!(p0, p31);
+        assert_ne!(p0, p33);
+    }
+
+    #[test]
+    fn data_blocks_leave_room_for_metadata() {
+        let mut fs = FileSystem::new();
+        let id = fs.create(100, 1);
+        // Metadata block for page 5 of the meta file is block 5; data
+        // blocks start past the reserved metadata area.
+        assert_eq!(fs.block_of(META_FILE, 5), 5);
+        assert!(fs.block_of(id, 0) >= 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "META_FILE")]
+    fn meta_file_has_no_entry() {
+        let fs = FileSystem::new();
+        let _ = fs.get(META_FILE);
+    }
+}

@@ -1,0 +1,67 @@
+//! Identifier newtypes for kernel objects.
+//!
+//! Using distinct newtypes (instead of bare `u32`s) prevents the classic
+//! "passed a connection id where a file id was expected" class of bug at
+//! compile time, at zero runtime cost.
+
+/// A simulated process or kernel thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+/// An established TCP connection (server-side socket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u32);
+
+/// A unidirectional IPC pipe carrying small messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PipeId(pub u32);
+
+/// A file in the simulated filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// An external agent (simulated client machine); lives outside the
+/// simulated server CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AgentId(pub u32);
+
+/// A listening socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ListenId(pub u32);
+
+/// A descriptor as seen by `select`: the server registers interest in
+/// these and the kernel reports readiness.
+///
+/// Read and write interest on a connection are distinct members, mirroring
+/// the separate read/write fd-sets of `select(2)`: an event-driven server
+/// registers write interest only while it has pending data, otherwise
+/// `select` would spin on always-writable sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fd {
+    /// Readiness = pending connection in the accept queue.
+    Listen(ListenId),
+    /// Readiness = request bytes available to read.
+    ConnRead(ConnId),
+    /// Readiness = free space in the TCP send buffer.
+    ConnWrite(ConnId),
+    /// Readiness = a message is queued in the pipe.
+    Pipe(PipeId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fds_hash_and_compare_by_variant_and_id() {
+        let mut set = HashSet::new();
+        set.insert(Fd::ConnRead(ConnId(1)));
+        set.insert(Fd::ConnWrite(ConnId(1)));
+        set.insert(Fd::Listen(ListenId(1)));
+        set.insert(Fd::Pipe(PipeId(1)));
+        assert_eq!(set.len(), 4);
+        assert!(set.contains(&Fd::ConnRead(ConnId(1))));
+        assert!(!set.contains(&Fd::ConnRead(ConnId(2))));
+    }
+}

@@ -1,0 +1,45 @@
+//! A simulated 1999-era uniprocessor UNIX machine for the Flash paper
+//! reproduction.
+//!
+//! The crate models the parts of an operating system that the paper's
+//! argument depends on:
+//!
+//! * a **CPU scheduler** with context-switch and thread-switch costs
+//!   ([`kernel`], [`proc`]);
+//! * a **unified page cache** sized by physical memory minus process and
+//!   application memory ([`pagecache`], [`config`]);
+//! * a **mechanical disk** with seek/rotation/transfer times and C-LOOK
+//!   scheduling ([`disk`]);
+//! * a **network** of per-connection TCP send buffers behind a shared NIC
+//!   with per-client link rates ([`net`]);
+//! * a **syscall layer** ([`kernel::Kernel`]) whose file operations block
+//!   the caller on a page-cache miss *even in non-blocking mode* — the
+//!   1999 UNIX behaviour (§3.3 of the paper) that SPED servers suffer
+//!   from and AMPED's helper processes work around.
+//!
+//! Two OS cost profiles ([`profile::OsProfile::freebsd`],
+//! [`profile::OsProfile::solaris`]) reproduce the paper's two testbeds.
+//!
+//! Server architectures (in `flash-core`) implement
+//! [`sim::ProcessLogic`]; workload clients (in `flash-workload`)
+//! implement [`sim::Agent`]; a [`sim::Simulation`] ties them together.
+
+pub mod config;
+pub mod disk;
+pub mod fs;
+pub mod ids;
+pub mod kernel;
+pub mod metrics;
+pub mod net;
+pub mod pagecache;
+pub mod proc;
+pub mod profile;
+pub mod sim;
+pub mod syscall;
+
+pub use config::{MachineConfig, PAGE_SIZE};
+pub use ids::{AgentId, ConnId, Fd, FileId, ListenId, Pid, PipeId};
+pub use kernel::{AgentEvent, Kernel, SendSrc};
+pub use profile::OsProfile;
+pub use sim::{Agent, ProcessLogic, Simulation};
+pub use syscall::{Blocking, Completion, PipeMsg};

@@ -1,0 +1,149 @@
+//! Run metrics: what an experiment measures.
+//!
+//! A run has a warm-up phase (caches filling, connections ramping) and a
+//! measurement window; [`Metrics::open_window`] discards warm-up counts.
+//! Bandwidth and request rate — the paper's reported quantities — are
+//! computed over the window.
+
+use flash_simcore::stats::{Counter, Histogram};
+use flash_simcore::time::Nanos;
+use flash_simcore::SimTime;
+
+/// Counters and distributions collected during a simulation run.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    window_start: SimTime,
+    /// Response bytes delivered to clients (headers + bodies).
+    pub bytes_out: Counter,
+    /// HTTP responses fully delivered to clients.
+    pub requests: Counter,
+    /// Connections accepted by the server.
+    pub conns_accepted: Counter,
+    /// SYNs dropped due to a full accept queue.
+    pub syn_drops: Counter,
+    /// Disk read requests issued to the device.
+    pub disk_reads: Counter,
+    /// Bytes read from the disk media.
+    pub disk_bytes: Counter,
+    /// Process/thread context switches.
+    pub ctx_switches: Counter,
+    /// `select` invocations.
+    pub select_calls: Counter,
+    /// Descriptors returned ready across all `select` calls (the paper's
+    /// §6.4 aggregation effect: more ready fds per call amortizes cost).
+    pub select_ready_fds: Counter,
+    /// CPU busy time within the window.
+    pub cpu_busy_ns: u64,
+    /// Disk busy time within the window.
+    pub disk_busy_ns: u64,
+    /// End-to-end response latency (request sent → last byte received).
+    pub response_latency: Histogram,
+}
+
+impl Metrics {
+    /// Starts the measurement window at `now`, zeroing all counters.
+    pub fn open_window(&mut self, now: SimTime) {
+        *self = Metrics {
+            window_start: now,
+            ..Metrics::default()
+        };
+    }
+
+    /// Start of the measurement window.
+    pub fn window_start(&self) -> SimTime {
+        self.window_start
+    }
+
+    /// Window length at time `now`.
+    pub fn elapsed(&self, now: SimTime) -> Nanos {
+        now.since(self.window_start)
+    }
+
+    /// Delivered bandwidth in Mb/s over the window.
+    pub fn bandwidth_mbps(&self, now: SimTime) -> f64 {
+        self.bytes_out.megabits_per_sec(self.elapsed(now))
+    }
+
+    /// Completed requests per second over the window.
+    pub fn request_rate(&self, now: SimTime) -> f64 {
+        self.requests.rate_per_sec(self.elapsed(now))
+    }
+
+    /// CPU utilization in [0, 1] over the window.
+    pub fn cpu_utilization(&self, now: SimTime) -> f64 {
+        let e = self.elapsed(now);
+        if e == 0 {
+            0.0
+        } else {
+            self.cpu_busy_ns as f64 / e as f64
+        }
+    }
+
+    /// Disk utilization in [0, 1] over the window.
+    pub fn disk_utilization(&self, now: SimTime) -> f64 {
+        let e = self.elapsed(now);
+        if e == 0 {
+            0.0
+        } else {
+            self.disk_busy_ns as f64 / e as f64
+        }
+    }
+
+    /// Mean ready descriptors per `select` call.
+    pub fn select_aggregation(&self) -> f64 {
+        if self.select_calls.total() == 0 {
+            0.0
+        } else {
+            self.select_ready_fds.total() as f64 / self.select_calls.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_simcore::time::SEC;
+
+    #[test]
+    fn window_resets_counters() {
+        let mut m = Metrics::default();
+        m.bytes_out.add(1_000_000);
+        m.requests.add(10);
+        m.open_window(SimTime(5 * SEC));
+        assert_eq!(m.bytes_out.total(), 0);
+        assert_eq!(m.requests.total(), 0);
+        assert_eq!(m.window_start(), SimTime(5 * SEC));
+    }
+
+    #[test]
+    fn rates_use_window_not_absolute_time() {
+        let mut m = Metrics::default();
+        m.open_window(SimTime(10 * SEC));
+        m.bytes_out.add(12_500_000); // 100 Mb
+        m.requests.add(500);
+        let now = SimTime(11 * SEC);
+        assert!((m.bandwidth_mbps(now) - 100.0).abs() < 1e-9);
+        assert!((m.request_rate(now) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilizations_bounded() {
+        let mut m = Metrics::default();
+        m.open_window(SimTime::ZERO);
+        m.cpu_busy_ns = SEC / 2;
+        m.disk_busy_ns = SEC / 4;
+        let now = SimTime(SEC);
+        assert!((m.cpu_utilization(now) - 0.5).abs() < 1e-9);
+        assert!((m.disk_utilization(now) - 0.25).abs() < 1e-9);
+        assert_eq!(Metrics::default().cpu_utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn select_aggregation_mean() {
+        let mut m = Metrics::default();
+        assert_eq!(m.select_aggregation(), 0.0);
+        m.select_calls.add(4);
+        m.select_ready_fds.add(10);
+        assert!((m.select_aggregation() - 2.5).abs() < 1e-9);
+    }
+}

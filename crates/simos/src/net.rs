@@ -1,0 +1,238 @@
+//! Network objects: connections and listen sockets.
+//!
+//! These are passive state holders; the kernel (in [`crate::kernel`])
+//! drives them and schedules wire events. The model per connection is a
+//! TCP send buffer drained in chunks, each chunk serialized through the
+//! shared NIC (capacity `nic_bps`) and then paced by the client's own
+//! link (`client_bps`). Slow clients therefore hold data in the send
+//! buffer for a long time — the WAN effect of §6.4.
+
+use std::collections::VecDeque;
+
+use flash_simcore::time::Nanos;
+use flash_simcore::SimTime;
+
+use crate::ids::{AgentId, ConnId, ListenId, Pid};
+
+/// Lifecycle of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Established and usable.
+    Open,
+    /// Server called `close`; remaining send-buffer bytes still draining.
+    Closing,
+    /// Fully closed; id is dead.
+    Closed,
+}
+
+/// Maximum bytes moved per simulated wire event. Smaller chunks model
+/// finer interleaving at more event cost; 16 KB keeps event counts low
+/// while still interleaving competing connections fairly.
+pub const WIRE_CHUNK: u64 = 16 * 1024;
+
+/// One established connection (server-side view plus wire state).
+#[derive(Debug)]
+pub struct Connection {
+    /// Identifier.
+    pub id: ConnId,
+    /// The client agent on the other end.
+    pub agent: AgentId,
+    /// Client link rate in bits/s.
+    pub client_bps: u64,
+    /// Round-trip time to the client.
+    pub rtt_ns: Nanos,
+    /// Lifecycle state.
+    pub state: ConnState,
+    /// Request bytes that have arrived and are readable by the server.
+    pub in_avail: u64,
+    /// Opaque request tokens that arrived with those bytes (one per
+    /// complete request; the workload and server agree on their meaning —
+    /// typically an index into the shared file set).
+    pub in_tokens: VecDeque<u64>,
+    /// Bytes currently held in the TCP send buffer.
+    pub sendbuf_used: u64,
+    /// Send buffer capacity.
+    pub sendbuf_cap: u64,
+    /// True while a wire chunk is scheduled for this connection.
+    pub inflight: bool,
+    /// Earliest time the client link is free (per-connection pacing).
+    pub link_free_at: SimTime,
+    /// Total bytes ever accepted into the send buffer.
+    pub total_enqueued: u64,
+    /// Total bytes delivered to the client.
+    pub total_delivered: u64,
+    /// Byte offsets (in `total_enqueued` space) at which a response ends;
+    /// used to tell the client agent "response complete" at the moment
+    /// the last byte *arrives*, which is what a benchmark client observes.
+    pub boundaries: VecDeque<u64>,
+    /// Process blocked reading this connection, if any.
+    pub read_waiter: Option<Pid>,
+    /// Process blocked writing this connection, if any.
+    pub write_waiter: Option<Pid>,
+}
+
+impl Connection {
+    /// Creates an open connection.
+    pub fn new(
+        id: ConnId,
+        agent: AgentId,
+        client_bps: u64,
+        rtt_ns: Nanos,
+        sendbuf_cap: u64,
+    ) -> Self {
+        Connection {
+            id,
+            agent,
+            client_bps,
+            rtt_ns,
+            state: ConnState::Open,
+            in_avail: 0,
+            in_tokens: VecDeque::new(),
+            sendbuf_used: 0,
+            sendbuf_cap,
+            inflight: false,
+            link_free_at: SimTime::ZERO,
+            total_enqueued: 0,
+            total_delivered: 0,
+            boundaries: VecDeque::new(),
+            read_waiter: None,
+            write_waiter: None,
+        }
+    }
+
+    /// Free space in the send buffer.
+    pub fn space(&self) -> u64 {
+        self.sendbuf_cap - self.sendbuf_used
+    }
+
+    /// Accepts `n` bytes into the send buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds free space (callers must clamp first).
+    pub fn enqueue(&mut self, n: u64) {
+        assert!(n <= self.space(), "send buffer overflow");
+        self.sendbuf_used += n;
+        self.total_enqueued += n;
+    }
+
+    /// Marks the current enqueue position as the end of a response.
+    pub fn mark_response_boundary(&mut self) {
+        self.boundaries.push_back(self.total_enqueued);
+    }
+
+    /// Records delivery of `n` bytes to the client; returns how many
+    /// response boundaries were crossed (normally 0 or 1).
+    pub fn deliver(&mut self, n: u64) -> u32 {
+        self.sendbuf_used -= n;
+        self.total_delivered += n;
+        let mut crossed = 0;
+        while let Some(&b) = self.boundaries.front() {
+            if self.total_delivered >= b {
+                self.boundaries.pop_front();
+                crossed += 1;
+            } else {
+                break;
+            }
+        }
+        crossed
+    }
+
+    /// Size of the next wire chunk to transmit (0 when nothing buffered).
+    pub fn next_chunk(&self) -> u64 {
+        self.sendbuf_used.min(WIRE_CHUNK)
+    }
+}
+
+/// A listening socket with its accept queue.
+#[derive(Debug)]
+pub struct Listen {
+    /// Identifier.
+    pub id: ListenId,
+    /// Maximum accept-queue length; SYNs beyond this are dropped.
+    pub backlog: usize,
+    /// Established connections waiting to be accepted.
+    pub queue: VecDeque<ConnId>,
+    /// Processes blocked in `accept` (MP/MT servers park here).
+    pub accept_waiters: VecDeque<Pid>,
+}
+
+impl Listen {
+    /// Creates an empty listen socket.
+    pub fn new(id: ListenId, backlog: usize) -> Self {
+        Listen {
+            id,
+            backlog,
+            queue: VecDeque::new(),
+            accept_waiters: VecDeque::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn() -> Connection {
+        Connection::new(ConnId(1), AgentId(0), 100_000_000, 200_000, 64 * 1024)
+    }
+
+    #[test]
+    fn sendbuf_accounting() {
+        let mut c = conn();
+        assert_eq!(c.space(), 64 * 1024);
+        c.enqueue(10_000);
+        assert_eq!(c.space(), 64 * 1024 - 10_000);
+        assert_eq!(c.deliver(4_000), 0);
+        assert_eq!(c.sendbuf_used, 6_000);
+        assert_eq!(c.total_delivered, 4_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn enqueue_past_capacity_panics() {
+        let mut c = conn();
+        c.enqueue(64 * 1024 + 1);
+    }
+
+    #[test]
+    fn response_boundaries_fire_on_delivery() {
+        let mut c = conn();
+        c.enqueue(1_000);
+        c.mark_response_boundary();
+        c.enqueue(2_000);
+        c.mark_response_boundary();
+        assert_eq!(c.deliver(999), 0);
+        assert_eq!(c.deliver(1), 1, "first response completed");
+        assert_eq!(c.deliver(2_000), 1, "second response completed");
+        assert!(c.boundaries.is_empty());
+    }
+
+    #[test]
+    fn multiple_boundaries_can_cross_in_one_delivery() {
+        let mut c = conn();
+        c.enqueue(100);
+        c.mark_response_boundary();
+        c.enqueue(100);
+        c.mark_response_boundary();
+        assert_eq!(c.deliver(200), 2);
+    }
+
+    #[test]
+    fn next_chunk_clamps_to_wire_chunk() {
+        let mut c = conn();
+        assert_eq!(c.next_chunk(), 0);
+        c.enqueue(5_000);
+        assert_eq!(c.next_chunk(), 5_000);
+        c.enqueue(40_000);
+        assert_eq!(c.next_chunk(), WIRE_CHUNK);
+    }
+
+    #[test]
+    fn listen_starts_empty() {
+        let l = Listen::new(ListenId(0), 128);
+        assert!(l.queue.is_empty());
+        assert!(l.accept_waiters.is_empty());
+        assert_eq!(l.backlog, 128);
+    }
+}

@@ -1,0 +1,354 @@
+//! Global filesystem page cache with LRU replacement.
+//!
+//! The cache approximates the BSD/Solaris unified buffer cache: all file
+//! reads (whether through `read(2)` or `mmap` page faults) go through it,
+//! and it is sized by whatever physical memory is not consumed by the
+//! kernel and process memory (see [`crate::config::MemoryParams`]).
+//!
+//! LRU stands in for the clock algorithm of the real kernels — the paper
+//! itself makes that substitution in the opposite direction for Flash's
+//! mapped-file cache (§5.4: "We use LRU to approximate the 'clock' page
+//! replacement algorithm used in many operating systems").
+//!
+//! Implementation: a hash map from `(file, page)` to a slot in a slab of
+//! doubly-linked nodes, giving O(1) lookup, touch, insert and evict.
+
+use std::collections::HashMap;
+
+use crate::ids::FileId;
+
+/// Key of one cached page.
+pub type PageKey = (FileId, u64);
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: PageKey,
+    prev: u32,
+    next: u32,
+}
+
+/// An LRU cache of file pages with a mutable capacity.
+#[derive(Debug)]
+pub struct PageCache {
+    map: HashMap<PageKey, u32>,
+    slab: Vec<Node>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    capacity: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PageCache {
+    /// Creates a cache holding at most `capacity` pages.
+    pub fn new(capacity: u64) -> Self {
+        PageCache {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Current number of resident pages.
+    pub fn len(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// True when no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// (hits, misses, evictions) counters since construction.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Changes the capacity, evicting LRU pages if the cache is now over.
+    pub fn set_capacity(&mut self, capacity: u64) {
+        self.capacity = capacity;
+        while self.len() > self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    /// Residency test without promoting the page (this is what `mincore`
+    /// does — it must not perturb replacement state).
+    pub fn resident(&self, key: PageKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Returns true and promotes the page if resident; records a hit or a
+    /// miss. This is the access path used by reads and page faults.
+    pub fn touch(&mut self, key: PageKey) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            self.unlink(idx);
+            self.push_front(idx);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts a page as most-recently-used, evicting as needed.
+    /// Inserting an already-resident page just promotes it.
+    pub fn insert(&mut self, key: PageKey) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        while self.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Node {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slab.push(Node {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    /// Drops every page belonging to `file` (used by tests and by file
+    /// invalidation). O(resident pages).
+    pub fn remove_file(&mut self, file: FileId) {
+        let keys: Vec<PageKey> = self
+            .map
+            .keys()
+            .filter(|(f, _)| *f == file)
+            .copied()
+            .collect();
+        for k in keys {
+            if let Some(idx) = self.map.remove(&k) {
+                self.unlink(idx);
+                self.free.push(idx);
+            }
+        }
+    }
+
+    /// Counts resident pages in `[first, first + count)` of `file`.
+    pub fn resident_count(&self, file: FileId, first: u64, count: u64) -> u64 {
+        (first..first + count)
+            .filter(|p| self.resident((file, *p)))
+            .count() as u64
+    }
+
+    fn evict_lru(&mut self) {
+        let idx = self.tail;
+        if idx == NIL {
+            return;
+        }
+        let key = self.slab[idx as usize].key;
+        self.unlink(idx);
+        self.map.remove(&key);
+        self.free.push(idx);
+        self.evictions += 1;
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.slab[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.slab[prev as usize].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next as usize].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        let n = &mut self.slab[idx as usize];
+        n.prev = NIL;
+        n.next = NIL;
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let n = &mut self.slab[idx as usize];
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Least-recently-used key, if any (exposed for tests).
+    pub fn lru_key(&self) -> Option<PageKey> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(self.slab[self.tail as usize].key)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(f: u32, p: u64) -> PageKey {
+        (FileId(f), p)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = PageCache::new(4);
+        c.insert(k(1, 0));
+        c.insert(k(1, 1));
+        assert!(c.resident(k(1, 0)));
+        assert!(!c.resident(k(2, 0)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_lru_order() {
+        let mut c = PageCache::new(3);
+        c.insert(k(1, 0));
+        c.insert(k(1, 1));
+        c.insert(k(1, 2));
+        // Touch page 0 so page 1 becomes LRU.
+        assert!(c.touch(k(1, 0)));
+        c.insert(k(1, 3));
+        assert!(c.resident(k(1, 0)));
+        assert!(!c.resident(k(1, 1)), "LRU page should have been evicted");
+        assert_eq!(c.stats().2, 1);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = PageCache::new(10);
+        for p in 0..100 {
+            c.insert(k(1, p));
+            assert!(c.len() <= 10);
+        }
+        assert_eq!(c.len(), 10);
+        // The survivors are the 10 most recently inserted.
+        for p in 90..100 {
+            assert!(c.resident(k(1, p)));
+        }
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let mut c = PageCache::new(8);
+        for p in 0..8 {
+            c.insert(k(1, p));
+        }
+        c.set_capacity(3);
+        assert_eq!(c.len(), 3);
+        for p in 5..8 {
+            assert!(c.resident(k(1, p)));
+        }
+    }
+
+    #[test]
+    fn mincore_style_check_does_not_promote() {
+        let mut c = PageCache::new(2);
+        c.insert(k(1, 0));
+        c.insert(k(1, 1));
+        // `resident` must not promote page 0...
+        assert!(c.resident(k(1, 0)));
+        c.insert(k(1, 2));
+        // ...so page 0 (LRU) is the one evicted.
+        assert!(!c.resident(k(1, 0)));
+        assert!(c.resident(k(1, 1)));
+    }
+
+    #[test]
+    fn touch_counts_hits_and_misses() {
+        let mut c = PageCache::new(2);
+        c.insert(k(1, 0));
+        assert!(c.touch(k(1, 0)));
+        assert!(!c.touch(k(1, 9)));
+        let (h, m, _) = c.stats();
+        assert_eq!((h, m), (1, 1));
+    }
+
+    #[test]
+    fn remove_file_is_selective() {
+        let mut c = PageCache::new(8);
+        c.insert(k(1, 0));
+        c.insert(k(2, 0));
+        c.insert(k(1, 1));
+        c.remove_file(FileId(1));
+        assert!(!c.resident(k(1, 0)));
+        assert!(!c.resident(k(1, 1)));
+        assert!(c.resident(k(2, 0)));
+        assert_eq!(c.len(), 1);
+        // Freed slots are reused.
+        c.insert(k(3, 0));
+        c.insert(k(3, 1));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn resident_count_ranges() {
+        let mut c = PageCache::new(8);
+        c.insert(k(1, 2));
+        c.insert(k(1, 4));
+        assert_eq!(c.resident_count(FileId(1), 0, 6), 2);
+        assert_eq!(c.resident_count(FileId(1), 3, 1), 0);
+        assert_eq!(c.resident_count(FileId(2), 0, 6), 0);
+    }
+
+    #[test]
+    fn zero_capacity_accepts_nothing() {
+        let mut c = PageCache::new(0);
+        c.insert(k(1, 0));
+        assert!(c.is_empty());
+        assert!(!c.touch(k(1, 0)));
+    }
+
+    #[test]
+    fn reinsert_promotes_instead_of_duplicating() {
+        let mut c = PageCache::new(3);
+        c.insert(k(1, 0));
+        c.insert(k(1, 1));
+        c.insert(k(1, 0));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lru_key(), Some(k(1, 1)));
+    }
+}

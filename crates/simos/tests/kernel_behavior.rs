@@ -1,0 +1,249 @@
+//! Focused kernel-behaviour tests: pipes, select-on-pipe, timers, partial
+//! writes, backlog overflow, and memory-pressure effects — driven through
+//! tiny closure-based process logics.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use flash_simcore::SimTime;
+use flash_simos::kernel::SendSrc;
+use flash_simos::proc::ProcKind;
+use flash_simos::sim::FnLogic;
+use flash_simos::{
+    AgentEvent, Agent, Blocking, Completion, Fd, Kernel, MachineConfig, Simulation,
+};
+
+/// A client that connects once and sends one request; counts data bytes.
+struct OneShot {
+    bytes: Rc<Cell<u64>>,
+    request_bytes: u64,
+}
+
+impl Agent for OneShot {
+    fn on_event(&mut self, k: &mut Kernel, ev: AgentEvent) {
+        match ev {
+            AgentEvent::Connected(conn) => k.agent_send(conn, self.request_bytes, 0),
+            AgentEvent::Data { bytes, .. } => self.bytes.set(self.bytes.get() + bytes),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn blocking_pipe_recv_wakes_on_send() {
+    let mut sim = Simulation::new(MachineConfig::freebsd());
+    let pipe = sim.kernel.add_pipe();
+    let got = Rc::new(Cell::new(0u64));
+    let got2 = Rc::clone(&got);
+    // Reader blocks first, then the writer delivers.
+    sim.add_process(
+        ProcKind::Process,
+        None,
+        0,
+        "reader",
+        Box::new(FnLogic::new(move |_, k: &mut Kernel, c| match c {
+            Completion::Start => k.sys_pipe_recv(pipe, Blocking::Yes),
+            Completion::PipeMsg { msg, .. } => {
+                got2.set(msg.b);
+                k.sys_exit();
+            }
+            other => panic!("{other:?}"),
+        })),
+    );
+    sim.add_process(
+        ProcKind::Process,
+        None,
+        0,
+        "writer",
+        Box::new(FnLogic::new(move |_, k: &mut Kernel, c| match c {
+            Completion::Start => {
+                k.sys_sleep(1_000_000); // let the reader block first
+            }
+            Completion::TimerFired => k.sys_pipe_send(
+                pipe,
+                flash_simos::PipeMsg {
+                    op: 9,
+                    a: 0,
+                    b: 4242,
+                    c: 0,
+                },
+            ),
+            Completion::PipeSent => k.sys_exit(),
+            other => panic!("{other:?}"),
+        })),
+    );
+    sim.run_until(SimTime::from_millis(100));
+    assert_eq!(got.get(), 4242);
+}
+
+#[test]
+fn select_wakes_on_pipe_readiness() {
+    let mut sim = Simulation::new(MachineConfig::freebsd());
+    let pipe = sim.kernel.add_pipe();
+    let woke = Rc::new(Cell::new(false));
+    let woke2 = Rc::clone(&woke);
+    sim.add_process(
+        ProcKind::Process,
+        None,
+        0,
+        "selector",
+        Box::new(FnLogic::new(move |_, k: &mut Kernel, c| match c {
+            Completion::Start => k.sys_select(vec![Fd::Pipe(pipe)]),
+            Completion::SelectReady(ready) => {
+                assert_eq!(ready, vec![Fd::Pipe(pipe)]);
+                woke2.set(true);
+                k.sys_exit();
+            }
+            other => panic!("{other:?}"),
+        })),
+    );
+    sim.add_process(
+        ProcKind::Process,
+        None,
+        0,
+        "producer",
+        Box::new(FnLogic::new(move |_, k: &mut Kernel, c| match c {
+            Completion::Start => k.sys_sleep(500_000),
+            Completion::TimerFired => k.sys_pipe_send(pipe, flash_simos::PipeMsg::default()),
+            Completion::PipeSent => k.sys_exit(),
+            other => panic!("{other:?}"),
+        })),
+    );
+    sim.run_until(SimTime::from_millis(100));
+    assert!(woke.get(), "select must wake on pipe data");
+}
+
+#[test]
+fn writev_is_bounded_by_sendbuf_space() {
+    // A server that writes a 1 MB memory body in one call can only get
+    // sendbuf_bytes accepted.
+    let mut sim = Simulation::new(MachineConfig::freebsd());
+    let sendbuf = sim.kernel.cfg.net.sendbuf_bytes;
+    let listen = sim.kernel.add_listen();
+    let accepted_body = Rc::new(Cell::new(0u64));
+    let accepted2 = Rc::clone(&accepted_body);
+    sim.add_process(
+        ProcKind::Process,
+        None,
+        0,
+        "server",
+        Box::new(FnLogic::new(move |_, k: &mut Kernel, c| match c {
+            Completion::Start => k.sys_accept(listen, Blocking::Yes),
+            Completion::Accepted(conn) => {
+                k.sys_send(conn, 0, SendSrc::Mem { len: 1_000_000 }, true, Blocking::Yes)
+            }
+            Completion::Written { body_bytes, .. } => {
+                accepted2.set(body_bytes);
+                k.sys_exit();
+            }
+            other => panic!("{other:?}"),
+        })),
+    );
+    let bytes = Rc::new(Cell::new(0u64));
+    let b2 = Rc::clone(&bytes);
+    let id = sim.add_agent(move |_| {
+        Box::new(OneShot {
+            bytes: b2,
+            request_bytes: 100,
+        })
+    });
+    sim.kernel.agent_connect(id, listen, 100_000_000, 200_000);
+    sim.run_until(SimTime::from_millis(200));
+    assert_eq!(accepted_body.get(), sendbuf, "writev clamps to free space");
+    assert_eq!(bytes.get(), sendbuf, "client received exactly what drained");
+}
+
+#[test]
+fn backlog_overflow_drops_syns() {
+    let mut machine = MachineConfig::freebsd();
+    machine.net.backlog = 4;
+    let mut sim = Simulation::new(machine);
+    let listen = sim.kernel.add_listen();
+    // No server process accepts, so the queue fills at 4.
+    for _ in 0..10 {
+        let id = sim.add_agent(|_| {
+            Box::new(OneShot {
+                bytes: Rc::new(Cell::new(0)),
+                request_bytes: 10,
+            })
+        });
+        sim.kernel.agent_connect(id, listen, 100_000_000, 200_000);
+    }
+    sim.run_until(SimTime::from_millis(50));
+    assert_eq!(sim.kernel.metrics.syn_drops.total(), 6);
+    assert_eq!(sim.kernel.metrics.conns_accepted.total(), 0);
+}
+
+#[test]
+fn timers_fire_in_order() {
+    let mut sim = Simulation::new(MachineConfig::freebsd());
+    let order = Rc::new(std::cell::RefCell::new(Vec::new()));
+    for (tag, delay) in [(1u64, 3_000_000u64), (2, 1_000_000), (3, 2_000_000)] {
+        let order2 = Rc::clone(&order);
+        sim.add_process(
+            ProcKind::Process,
+            None,
+            0,
+            format!("t{tag}"),
+            Box::new(FnLogic::new(move |_, k: &mut Kernel, c| match c {
+                Completion::Start => k.sys_sleep(delay),
+                Completion::TimerFired => {
+                    order2.borrow_mut().push(tag);
+                    k.sys_exit();
+                }
+                other => panic!("{other:?}"),
+            })),
+        );
+    }
+    sim.run_until(SimTime::from_millis(100));
+    assert_eq!(*order.borrow(), vec![2, 3, 1]);
+}
+
+#[test]
+fn process_memory_shrinks_page_cache_and_exit_restores_it() {
+    let mut sim = Simulation::new(MachineConfig::freebsd());
+    let before = sim.kernel.cache.capacity();
+    let pid = sim.add_process(
+        ProcKind::Process,
+        None,
+        40 * 1024 * 1024,
+        "hog",
+        Box::new(FnLogic::new(|_, k: &mut Kernel, c| match c {
+            Completion::Start => k.sys_sleep(1_000_000),
+            Completion::TimerFired => k.sys_exit(),
+            other => panic!("{other:?}"),
+        })),
+    );
+    let during = sim.kernel.cache.capacity();
+    assert_eq!(before - during, 40 * 1024 * 1024 / flash_simos::PAGE_SIZE);
+    sim.run_until(SimTime::from_millis(10));
+    assert_eq!(
+        sim.kernel.procs.get(pid).state,
+        flash_simos::proc::ProcState::Exited
+    );
+    assert_eq!(sim.kernel.cache.capacity(), before, "exit frees memory");
+}
+
+#[test]
+fn nonblocking_pipe_recv_returns_wouldblock() {
+    let mut sim = Simulation::new(MachineConfig::freebsd());
+    let pipe = sim.kernel.add_pipe();
+    let saw = Rc::new(Cell::new(false));
+    let saw2 = Rc::clone(&saw);
+    sim.add_process(
+        ProcKind::Process,
+        None,
+        0,
+        "poller",
+        Box::new(FnLogic::new(move |_, k: &mut Kernel, c| match c {
+            Completion::Start => k.sys_pipe_recv(pipe, Blocking::No),
+            Completion::WouldBlock => {
+                saw2.set(true);
+                k.sys_exit();
+            }
+            other => panic!("{other:?}"),
+        })),
+    );
+    sim.run_until(SimTime::from_millis(10));
+    assert!(saw.get());
+}

@@ -1,0 +1,120 @@
+//! Property tests for the OS substrates: page cache and disk scheduler.
+
+use flash_simos::config::{DiskParams, PAGE_SIZE};
+use flash_simos::disk::{Disk, DiskReq};
+use flash_simos::pagecache::PageCache;
+use flash_simos::{FileId, Pid};
+use proptest::prelude::*;
+
+/// Random page-cache operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u64),
+    Touch(u32, u64),
+    Resident(u32, u64),
+    SetCapacity(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..8, 0u64..64).prop_map(|(f, p)| Op::Insert(f, p)),
+        (0u32..8, 0u64..64).prop_map(|(f, p)| Op::Touch(f, p)),
+        (0u32..8, 0u64..64).prop_map(|(f, p)| Op::Resident(f, p)),
+        (1u64..32).prop_map(Op::SetCapacity),
+    ]
+}
+
+proptest! {
+    /// Under any operation sequence: the cache never exceeds capacity,
+    /// an inserted key is immediately resident, and `resident` agrees
+    /// with a reference set.
+    #[test]
+    fn page_cache_model(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let mut cache = PageCache::new(16);
+        let mut capacity = 16u64;
+        // Reference model: most-recent-use ordered vector of keys.
+        let mut model: Vec<(FileId, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(f, p) => {
+                    let key = (FileId(f), p);
+                    cache.insert(key);
+                    model.retain(|k| *k != key);
+                    model.push(key);
+                    while model.len() as u64 > capacity {
+                        model.remove(0);
+                    }
+                }
+                Op::Touch(f, p) => {
+                    let key = (FileId(f), p);
+                    let hit = cache.touch(key);
+                    let model_hit = model.contains(&key);
+                    prop_assert_eq!(hit, model_hit);
+                    if model_hit {
+                        model.retain(|k| *k != key);
+                        model.push(key);
+                    }
+                }
+                Op::Resident(f, p) => {
+                    let key = (FileId(f), p);
+                    prop_assert_eq!(cache.resident(key), model.contains(&key));
+                }
+                Op::SetCapacity(c) => {
+                    cache.set_capacity(c);
+                    capacity = c;
+                    while model.len() as u64 > capacity {
+                        model.remove(0);
+                    }
+                }
+            }
+            prop_assert!(cache.len() <= capacity);
+            prop_assert_eq!(cache.len(), model.len() as u64);
+        }
+    }
+
+    /// The disk serves every submitted request exactly once, regardless
+    /// of scheduling policy, and the elevator never loses or duplicates.
+    #[test]
+    fn disk_serves_all_requests(blocks in proptest::collection::vec(0u64..1_000_000, 1..64),
+                                elevator in any::<bool>()) {
+        let mut disk = Disk::new(DiskParams { elevator, ..DiskParams::default() });
+        for (i, b) in blocks.iter().enumerate() {
+            disk.submit(DiskReq {
+                file: FileId(i as u32 + 1),
+                first_page: 0,
+                npages: 1,
+                start_block: *b,
+                waiters: vec![Pid(0)],
+            });
+        }
+        let mut served = Vec::new();
+        let (r, mut next) = disk.complete();
+        served.push(r.file.0);
+        while next.is_some() {
+            let (r, n) = disk.complete();
+            served.push(r.file.0);
+            next = n;
+        }
+        served.sort_unstable();
+        let expected: Vec<u32> = (1..=blocks.len() as u32).collect();
+        prop_assert_eq!(served, expected);
+        prop_assert!(disk.is_idle());
+        prop_assert_eq!(disk.bytes_read, blocks.len() as u64 * PAGE_SIZE);
+    }
+
+    /// Service time is always positive and grows with request size.
+    #[test]
+    fn disk_service_time_sane(npages in 1u64..512, block in 0u64..2_000_000) {
+        let disk = Disk::new(DiskParams::default());
+        let small = disk.service_time(&DiskReq {
+            file: FileId(1), first_page: 0, npages: 1, start_block: block,
+            waiters: vec![],
+        });
+        let big = disk.service_time(&DiskReq {
+            file: FileId(1), first_page: 0, npages, start_block: block,
+            waiters: vec![],
+        });
+        prop_assert!(small > 0);
+        prop_assert!(big >= small);
+    }
+}

@@ -1,0 +1,133 @@
+//! Zipf-distributed popularity sampling.
+//!
+//! Web-request popularity is famously Zipf-like (Arlitt & Williamson,
+//! SIGMETRICS'96 — the paper's reference 2): the i-th most popular
+//! document receives traffic proportional to `1 / i^alpha`. The sampler
+//! precomputes the CDF once and draws in O(log n).
+
+use flash_simcore::SimRng;
+
+/// A sampler over ranks `0..n` with probability ∝ `1/(rank+1)^alpha`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler for `n` items with skew `alpha` (0 = uniform;
+    /// web workloads are typically 0.6–1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the distribution is over a single item.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN in cdf"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of rank `i` (for tests).
+    pub fn mass(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_in_range() {
+        let z = Zipf::new(100, 0.8);
+        let mut rng = SimRng::new(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn head_is_hotter_than_tail() {
+        let z = Zipf::new(1000, 0.8);
+        let mut rng = SimRng::new(2);
+        let mut head = 0;
+        let mut tail = 0;
+        for _ in 0..20_000 {
+            let r = z.sample(&mut rng);
+            if r < 100 {
+                head += 1;
+            }
+            if r >= 900 {
+                tail += 1;
+            }
+        }
+        assert!(
+            head > tail * 5,
+            "head {head} should dominate tail {tail} at alpha=0.8"
+        );
+    }
+
+    #[test]
+    fn alpha_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.mass(i) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_alpha_is_more_skewed() {
+        let lo = Zipf::new(100, 0.4);
+        let hi = Zipf::new(100, 1.2);
+        assert!(hi.mass(0) > lo.mass(0) * 2.0);
+    }
+
+    #[test]
+    fn single_item_always_rank_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = SimRng::new(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn mass_sums_to_one() {
+        let z = Zipf::new(50, 0.9);
+        let total: f64 = (0..50).map(|i| z.mass(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for workload generation: truncation, sampling, sizes.
+
+use flash_simcore::SimRng;
+use flash_workload::{SizeDist, Trace, TraceConfig, Zipf};
+use proptest::prelude::*;
+
+fn small_trace(seed: u64, dataset_kb: u64, n_requests: usize) -> Trace {
+    Trace::generate(
+        &TraceConfig {
+            dataset_bytes: dataset_kb * 1024,
+            n_requests,
+            ..TraceConfig::ece()
+        },
+        seed,
+    )
+}
+
+proptest! {
+    /// Truncation always yields a consistent trace: tokens in range,
+    /// dataset within a file of the target, and never larger than the
+    /// original.
+    #[test]
+    fn truncation_is_consistent(seed in 0u64..1000, target_kb in 64u64..4096) {
+        let base = small_trace(seed, 4096, 4000);
+        let t = base.truncate_to_dataset(target_kb * 1024);
+        for &r in &t.requests {
+            prop_assert!((r as usize) < t.specs.len());
+        }
+        let ds = t.dataset_bytes();
+        prop_assert!(ds <= base.dataset_bytes());
+        prop_assert!(ds <= target_kb * 1024 + SizeDist::default().max_bytes);
+        // The request stream is a subsequence of the original's paths.
+        prop_assert!(t.requests.len() <= base.requests.len());
+    }
+
+    /// Larger targets keep at least as much data (monotonicity).
+    #[test]
+    fn truncation_is_monotone(seed in 0u64..200, a_kb in 64u64..2048, b_kb in 64u64..2048) {
+        let (lo, hi) = (a_kb.min(b_kb), a_kb.max(b_kb));
+        let base = small_trace(seed, 3000, 3000);
+        let dlo = base.truncate_to_dataset(lo * 1024).dataset_bytes();
+        let dhi = base.truncate_to_dataset(hi * 1024).dataset_bytes();
+        prop_assert!(dhi >= dlo);
+    }
+
+    /// Zipf samples stay in range and the most popular rank really is
+    /// sampled at least as often as a deep-tail rank.
+    #[test]
+    fn zipf_in_range_and_skewed(n in 2usize..5000, seed in 0u64..1000) {
+        let z = Zipf::new(n, 0.8);
+        let mut rng = SimRng::new(seed);
+        let mut head = 0u32;
+        let mut tail = 0u32;
+        for _ in 0..500 {
+            let r = z.sample(&mut rng);
+            prop_assert!(r < n);
+            if r == 0 { head += 1; }
+            if r == n - 1 { tail += 1; }
+        }
+        if n > 100 {
+            prop_assert!(head >= tail);
+        }
+    }
+
+    /// Generated file sizes are clamped to the configured range.
+    #[test]
+    fn sizes_respect_bounds(seed in 0u64..1000) {
+        let d = SizeDist::default();
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            let s = d.sample(&mut rng);
+            prop_assert!(s >= 64);
+            prop_assert!(s <= d.max_bytes);
+        }
+    }
+
+    /// CLF round-trip preserves the request path sequence for any seed.
+    #[test]
+    fn clf_round_trip_any_seed(seed in 0u64..500) {
+        let t = small_trace(seed, 256, 200);
+        let back = Trace::from_clf(&t.to_clf());
+        prop_assert_eq!(back.requests.len(), t.requests.len());
+        for (a, b) in t.requests.iter().zip(&back.requests) {
+            prop_assert_eq!(&t.specs[*a as usize].path, &back.specs[*b as usize].path);
+        }
+    }
+}

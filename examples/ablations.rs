@@ -1,0 +1,23 @@
+//! Runs the ablation studies (beyond the paper's figures): helper-pool
+//! sizing, §5.5 alignment, disk-head scheduling, and §5.7 residency
+//! policies. Writes series to `results/ablation-*.csv`.
+//!
+//! Run with:
+//!   cargo run --release --example ablations            # full
+//!   cargo run --release --example ablations -- quick   # smoke
+
+use flash_repro::experiments::{ablation, Scale};
+
+fn main() -> std::io::Result<()> {
+    let scale = if std::env::args().any(|a| a == "quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    std::fs::create_dir_all("results")?;
+    for fig in ablation::all(scale) {
+        println!("{}", fig.to_markdown());
+        std::fs::write(format!("results/{}.csv", fig.id), fig.to_csv())?;
+    }
+    Ok(())
+}

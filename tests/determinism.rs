@@ -1,0 +1,56 @@
+//! Reproducibility: a simulation is a pure function of its seed.
+
+use std::rc::Rc;
+
+use flash_repro::core::ServerConfig;
+use flash_repro::experiments::{run_one, RunParams};
+use flash_repro::simos::MachineConfig;
+use flash_repro::workload::{ClientFleet, ConnMode, Trace, TraceConfig};
+
+fn run(seed: u64) -> (f64, f64, u64) {
+    let trace = Rc::new(Trace::generate(
+        &TraceConfig {
+            dataset_bytes: 3 * 1024 * 1024,
+            n_requests: 10_000,
+            ..TraceConfig::ece()
+        },
+        seed,
+    ));
+    let fleet = ClientFleet {
+        clients: 12,
+        mode: ConnMode::PerRequest,
+        ..ClientFleet::default()
+    };
+    let (r, _) = run_one(
+        &MachineConfig::freebsd(),
+        &ServerConfig::flash(),
+        &trace,
+        &fleet,
+        &RunParams::default(),
+    )
+    .expect("deploy");
+    (r.bandwidth_mbps, r.requests_per_sec, r.disk_reads)
+}
+
+#[test]
+fn identical_seeds_reproduce_bit_for_bit() {
+    let a = run(77);
+    let b = run(77);
+    assert_eq!(a.0.to_bits(), b.0.to_bits(), "bandwidth must be identical");
+    assert_eq!(a.1.to_bits(), b.1.to_bits(), "rate must be identical");
+    assert_eq!(a.2, b.2, "disk reads must be identical");
+}
+
+#[test]
+fn different_seeds_vary_but_agree_qualitatively() {
+    let a = run(1);
+    let b = run(2);
+    // Different traces: numbers differ...
+    assert_ne!(a.0.to_bits(), b.0.to_bits());
+    // ...but the workload class is the same, so within 2x of each other.
+    let ratio = a.0 / b.0;
+    assert!(
+        ratio > 0.5 && ratio < 2.0,
+        "seeds too divergent: {a:?} vs {b:?}"
+    );
+}
