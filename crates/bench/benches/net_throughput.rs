@@ -1,0 +1,126 @@
+//! Concurrent-client throughput of the real servers over loopback:
+//! sharded AMPED (1 shard vs. N shards) against MT, so the multicore
+//! speedup is measured rather than asserted.
+//!
+//! Run with `cargo bench -p flash-bench --bench net_throughput`; under
+//! `cargo test` each configuration runs once as a smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use flash_net::{MtServer, NetConfig, Server};
+
+const CLIENTS: usize = 8;
+const REQS_PER_CLIENT: usize = 50;
+
+/// Builds a docroot of a few small cacheable files.
+fn docroot(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("flash-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for i in 0..8 {
+        std::fs::write(
+            dir.join(format!("f{i}.html")),
+            vec![b'a' + i as u8; 2048 + 512 * i],
+        )
+        .unwrap();
+    }
+    dir
+}
+
+/// One client: a persistent keep-alive connection issuing sequential
+/// requests and fully reading each response through a buffered reader
+/// (so the *server*, not client syscalls, is what gets measured).
+fn client_run(addr: SocketAddr, id: usize, requests: usize) {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.set_nodelay(true).ok();
+    let mut writer = s.try_clone().expect("clone");
+    let mut reader = std::io::BufReader::with_capacity(16 * 1024, s);
+    let mut body = Vec::with_capacity(8192);
+    for r in 0..requests {
+        let path = format!("/f{}.html", (id + r) % 8);
+        writer
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: b\r\n\r\n").as_bytes())
+            .expect("send");
+        let mut len: usize = 0;
+        let mut line = String::new();
+        let mut first = true;
+        loop {
+            line.clear();
+            std::io::BufRead::read_line(&mut reader, &mut line).expect("read header line");
+            if first {
+                assert!(line.starts_with("HTTP/1.1 200 OK"), "{line}");
+                first = false;
+            }
+            if let Some(v) = line.strip_prefix("Content-Length: ") {
+                len = v.trim().parse().unwrap();
+            }
+            if line == "\r\n" || line == "\n" {
+                break;
+            }
+        }
+        body.resize(len, 0);
+        reader.read_exact(&mut body).expect("read body");
+    }
+}
+
+/// Drives `CLIENTS` concurrent keep-alive clients to completion.
+fn storm(addr: SocketAddr) {
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|id| std::thread::spawn(move || client_run(addr, id, REQS_PER_CLIENT)))
+        .collect();
+    for t in threads {
+        t.join().expect("client");
+    }
+}
+
+fn bench_net_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_throughput");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    g.throughput(Throughput::Elements((CLIENTS * REQS_PER_CLIENT) as u64));
+
+    let root = docroot("amped1");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(1)).unwrap();
+    let addr = server.addr();
+    g.bench_function("amped_1_shard", |b| b.iter(|| storm(addr)));
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+
+    let shards = flash_net::server::default_event_loops().max(4);
+    let root = docroot("ampedN");
+    let server = Server::start(
+        "127.0.0.1:0",
+        NetConfig::new(&root).with_event_loops(shards),
+    )
+    .unwrap();
+    let addr = server.addr();
+    g.bench_function(&format!("amped_{shards}_shards"), |b| {
+        b.iter(|| storm(addr))
+    });
+    let spread: Vec<u64> = server
+        .stats()
+        .per_shard()
+        .iter()
+        .map(|s| s.requests.load(std::sync::atomic::Ordering::Relaxed))
+        .collect();
+    println!("per-shard requests after amped_{shards}_shards: {spread:?}");
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+
+    let root = docroot("mt");
+    let server = MtServer::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    let addr = server.addr();
+    g.bench_function("mt_thread_per_conn", |b| b.iter(|| storm(addr)));
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+
+    g.finish();
+}
+
+criterion_group!(net_throughput, bench_net_throughput);
+criterion_main!(net_throughput);

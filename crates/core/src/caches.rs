@@ -12,6 +12,7 @@
 //! [`CacheStats`] records hits and misses so the Figure 11 breakdown
 //! experiment (and the tests) can attribute costs.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -75,7 +76,15 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     /// Looks up `key`, promoting it to most-recently-used on a hit.
-    pub fn get(&mut self, key: &K) -> Option<&V> {
+    ///
+    /// Accepts any borrowed form of the key (`Borrow<Q>`), so a
+    /// `String`-keyed cache is queried with a plain `&str` — no
+    /// per-lookup key allocation on the hot path.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         let idx = *self.map.get(key)?;
         self.unlink(idx);
         self.push_front(idx);
@@ -83,7 +92,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     /// Looks up without promoting (for tests/introspection).
-    pub fn peek(&self, key: &K) -> Option<&V> {
+    pub fn peek<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         let idx = *self.map.get(key)?;
         self.slab[idx as usize].value.as_ref()
     }

@@ -75,9 +75,10 @@ impl ContentCache {
         }
     }
 
-    /// Looks up a path, promoting on hit.
+    /// Looks up a path, promoting on hit. Borrowed-key lookup: no
+    /// allocation on this per-request path.
     pub fn get(&mut self, path: &str) -> Option<Arc<Entry>> {
-        match self.lru.get(&path.to_string()) {
+        match self.lru.get(path) {
             Some(e) => {
                 self.hits += 1;
                 Some(Arc::clone(e))

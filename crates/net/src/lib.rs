@@ -1,19 +1,34 @@
-//! A real, runnable Flash-style web server on actual sockets.
+//! A real, runnable Flash-style web server on actual sockets — the
+//! paper's AMPED architecture, sharded across modern cores.
 //!
 //! Two servers built from the shared `flash-http` machinery:
 //!
-//! * [`server::Server`] — **AMPED**: a poll(2) event loop (one small FFI
-//!   shim in [`poll`], no external I/O crates) that never blocks on disk;
-//!   helper threads perform all filesystem work and signal completion
-//!   over a socketpair, the modern analogue of the paper's helper
-//!   processes and IPC pipes.
-//! * [`mt::MtServer`] — **MT**: thread-per-connection with blocking I/O
-//!   and a shared, locked content cache, for comparison.
+//! * [`server::Server`] — **sharded AMPED**: a lightweight acceptor
+//!   deals connections round-robin to `NetConfig::event_loops`
+//!   independent event-loop shards (default `min(cores, 8)`). Each
+//!   shard is the paper's server verbatim — a poll(2) loop (one small
+//!   FFI shim in [`poll`], no external I/O crates) that never blocks
+//!   on disk, with a **private** [`ContentCache`] so the request path
+//!   takes no locks. A **shared helper pool** performs all filesystem
+//!   work; completions route back to the owning shard over per-shard
+//!   queues with coalesced socketpair wake-ups (one wake byte per
+//!   burst, not per job — the modern analogue of the paper's IPC
+//!   pipes). The send path is zero-copy: cached header and body
+//!   segments go out in a single gathered `writev(2)` (see
+//!   [`writev`]), with partial-write resumption tracked across
+//!   segment boundaries.
+//! * [`mt::MtServer`] — **MT**: thread-per-connection with blocking
+//!   I/O and a shared, locked content cache, for comparison (the §3.2
+//!   trade-off discussion, measurable with `cargo bench -p
+//!   flash-bench --bench net_throughput`).
 //!
 //! Substitutions from the 1999 original (documented in DESIGN.md):
-//! helper *threads* instead of forked processes (§3.4 permits both), and
-//! an application-level content cache instead of `mmap`+`mincore` (§5.7
-//! describes this fallback for systems without usable residency tests).
+//! helper *threads* instead of forked processes (§3.4 permits both),
+//! an application-level content cache instead of `mmap`+`mincore`
+//! (§5.7 describes this fallback for systems without usable residency
+//! tests), and N event-loop shards instead of one process — the paper
+//! predates multicore; per-core loops are how its single-loop design
+//! scales while keeping every invariant intact *within* a shard.
 //!
 //! # Quick start
 //!
@@ -22,6 +37,7 @@
 //!
 //! let server = Server::start("127.0.0.1:8080", NetConfig::new("./public")).unwrap();
 //! println!("serving on http://{}", server.addr());
+//! println!("event-loop shards: {}", server.stats().per_shard().len());
 //! // ... later:
 //! server.stop();
 //! ```
@@ -30,7 +46,8 @@ pub mod cache;
 pub mod mt;
 pub mod poll;
 pub mod server;
+pub mod writev;
 
 pub use cache::{ContentCache, Entry};
 pub use mt::MtServer;
-pub use server::{NetConfig, Server, ServerStats};
+pub use server::{NetConfig, Server, ServerStats, ShardStats};

@@ -9,6 +9,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -21,6 +22,7 @@ use flash_http::Method;
 use parking_lot::Mutex;
 
 use crate::cache::{ContentCache, Entry};
+use crate::poll::{poll_fds, PollFd, POLL_IN};
 use crate::server::NetConfig;
 
 /// Handle to a running MT server.
@@ -44,9 +46,11 @@ impl MtServer {
             .name("flash-mt-accept".into())
             .spawn(move || {
                 let mut workers: Vec<JoinHandle<()>> = Vec::new();
+                let mut fds = [PollFd::new(listener.as_raw_fd(), POLL_IN)];
                 while !shutdown2.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            let _ = stream.set_nodelay(true);
                             let cache = Arc::clone(&cache);
                             let cfg = cfg.clone();
                             let flag = Arc::clone(&shutdown2);
@@ -58,7 +62,12 @@ impl MtServer {
                             }
                         }
                         Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(10));
+                            // Block on the listener until a connection
+                            // actually arrives (bounded so shutdown is
+                            // honoured) instead of sleep-polling, which
+                            // quantized accept latency to the sleep.
+                            fds[0].revents = 0;
+                            let _ = poll_fds(&mut fds, 100);
                         }
                         Err(_) => break,
                     }
@@ -102,22 +111,34 @@ fn serve_conn(
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let n = match stream.read(&mut buf) {
-            Ok(0) => return,
-            Ok(n) => n,
-            Err(ref e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => return,
-        };
-        let req = match parser.feed(&buf[..n]) {
+        // Serve any request already buffered (keep-alive pipelining)
+        // before blocking on the socket for more bytes.
+        let req = match parser.feed(&[]) {
             ParseStatus::Done(r) => r,
-            ParseStatus::Incomplete => continue,
             ParseStatus::Error(_) => {
                 let _ = respond_error(&mut stream, Status::BadRequest, false);
                 return;
+            }
+            ParseStatus::Incomplete => {
+                let n = match stream.read(&mut buf) {
+                    Ok(0) => return,
+                    Ok(n) => n,
+                    Err(ref e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => return,
+                };
+                match parser.feed(&buf[..n]) {
+                    ParseStatus::Done(r) => r,
+                    ParseStatus::Incomplete => continue,
+                    ParseStatus::Error(_) => {
+                        let _ = respond_error(&mut stream, Status::BadRequest, false);
+                        return;
+                    }
+                }
             }
         };
         let keep = req.keep_alive();

@@ -1,21 +1,34 @@
-//! The real AMPED web server: one event-loop thread multiplexing all
-//! connections with `poll(2)`, plus helper threads for disk I/O.
+//! The real AMPED web server, sharded across cores: N independent
+//! `poll(2)` event loops (one per core by default, capped at 8), each
+//! a faithful copy of the paper's single-process architecture
+//! (§3.4, §5), plus a shared helper pool for disk I/O.
 //!
-//! Faithful to the paper's structure (§3.4, §5):
+//! Layout:
 //!
-//! * the event loop never touches the filesystem — every open/read goes
-//!   to a **helper** (threads here rather than forked processes; the
-//!   paper's §3.4 allows either, and threads are the natural choice on a
-//!   modern OS);
-//! * helpers return only a *notification* (one byte on a socketpair, the
-//!   moral equivalent of the paper's IPC pipe); the content itself goes
-//!   into the shared content cache;
-//! * responses are served from an LRU content cache with pre-rendered,
-//!   §5.5 alignment-padded headers;
-//! * concurrent requests for the same missing file coalesce onto one
-//!   helper job.
+//! * a **lightweight acceptor thread** owns the listening socket and
+//!   deals accepted connections round-robin to the shards over
+//!   per-shard channels, waking the target shard through its wake
+//!   socketpair;
+//! * each **shard** is the paper's event loop verbatim: it multiplexes
+//!   its connections with `poll(2)`, never touches the filesystem, and
+//!   owns a private [`ContentCache`] — no cross-shard locking anywhere
+//!   on the request path;
+//! * the **helper pool** is shared (disk parallelism is a global
+//!   resource): a miss enqueues a job tagged with its shard, and the
+//!   finishing helper routes the completion back to that shard's done
+//!   queue, coalescing wake-up bytes so a burst of completions costs
+//!   one pipe write, not one per job;
+//! * the hot send path is **zero-copy**: a response is queued as its
+//!   cached header and body segments and transmitted with a single
+//!   gathered `writev(2)` (see [`crate::writev`]), with partial-write
+//!   resumption tracked across segment boundaries.
+//!
+//! With `event_loops = 1` the behavior is byte-identical to the
+//! original single-loop server; with N shards the same architecture
+//! simply runs N times, the way per-core executor designs scale a
+//! uniprocessor event loop.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
@@ -33,16 +46,22 @@ use flash_http::Method;
 
 use crate::cache::{ContentCache, Entry};
 use crate::poll::{poll_fds, PollFd, POLL_IN, POLL_OUT};
+use crate::writev::{writev_fd, MAX_IOV};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Directory served as the document root.
     pub docroot: PathBuf,
-    /// Number of helper threads (the AMPED helper pool).
+    /// Number of helper threads (the AMPED helper pool, shared by all
+    /// shards).
     pub helpers: usize,
-    /// Content-cache capacity in bytes.
+    /// Total content-cache capacity in bytes, divided evenly among the
+    /// shards.
     pub cache_bytes: u64,
+    /// Number of independent event-loop shards. Default:
+    /// `min(available cores, 8)`.
+    pub event_loops: usize,
 }
 
 impl NetConfig {
@@ -52,19 +71,86 @@ impl NetConfig {
             docroot: docroot.into(),
             helpers: 4,
             cache_bytes: 64 * 1024 * 1024,
+            event_loops: default_event_loops(),
         }
+    }
+
+    /// Same config pinned to `n` event-loop shards.
+    pub fn with_event_loops(mut self, n: usize) -> Self {
+        self.event_loops = n.max(1);
+        self
     }
 }
 
-/// Live counters exposed by a running server.
+/// `min(available cores, 8)` — beyond 8 loops the acceptor itself
+/// becomes the bottleneck before the loops do.
+pub fn default_event_loops() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Live counters for one event-loop shard.
 #[derive(Debug, Default)]
-pub struct ServerStats {
+pub struct ShardStats {
     /// Completed responses (any status).
     pub requests: AtomicU64,
-    /// Jobs executed by helper threads (content-cache misses).
+    /// Connections dealt to this shard by the acceptor.
+    pub accepted: AtomicU64,
+    /// Jobs this shard dispatched to the helper pool (content-cache
+    /// misses, after coalescing).
     pub helper_jobs: AtomicU64,
-    /// Responses served from the content cache.
+    /// Responses served from this shard's content cache.
     pub cache_hits: AtomicU64,
+    /// Gathered `writev(2)` calls issued on the send path.
+    pub writev_calls: AtomicU64,
+}
+
+/// Counters for a running server: per-shard atomics, aggregated on
+/// read so the hot path never contends on a shared cacheline.
+#[derive(Debug)]
+pub struct ServerStats {
+    shards: Vec<Arc<ShardStats>>,
+}
+
+impl ServerStats {
+    fn sum(&self, f: impl Fn(&ShardStats) -> &AtomicU64) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| f(s).load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Completed responses across all shards.
+    pub fn requests(&self) -> u64 {
+        self.sum(|s| &s.requests)
+    }
+
+    /// Connections accepted across all shards.
+    pub fn accepted(&self) -> u64 {
+        self.sum(|s| &s.accepted)
+    }
+
+    /// Helper jobs dispatched across all shards.
+    pub fn helper_jobs(&self) -> u64 {
+        self.sum(|s| &s.helper_jobs)
+    }
+
+    /// Content-cache hits across all shards.
+    pub fn cache_hits(&self) -> u64 {
+        self.sum(|s| &s.cache_hits)
+    }
+
+    /// Gathered writes issued across all shards.
+    pub fn writev_calls(&self) -> u64 {
+        self.sum(|s| &s.writev_calls)
+    }
+
+    /// The per-shard counters (index = shard id).
+    pub fn per_shard(&self) -> &[Arc<ShardStats>] {
+        &self.shards
+    }
 }
 
 /// Handle to a running server; dropping it does **not** stop the server —
@@ -73,14 +159,49 @@ pub struct Server {
     addr: SocketAddr,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
-    wake_tx: UnixStream,
-    event_thread: Option<JoinHandle<()>>,
+    shard_wakes: Vec<WakeHandle>,
+    acceptor_thread: Option<JoinHandle<()>>,
+    shard_threads: Vec<JoinHandle<()>>,
     helper_threads: Vec<JoinHandle<()>>,
+}
+
+/// The write side of a shard's wake socketpair, with a coalescing
+/// flag: a producer writes the wake byte only when it is the first to
+/// make the shard's work queues non-empty since the shard last
+/// drained, so a burst of completions floods neither the pipe nor the
+/// shard's poll loop.
+#[derive(Clone)]
+struct WakeHandle {
+    tx: Arc<UnixStream>,
+    pending: Arc<AtomicBool>,
+}
+
+impl WakeHandle {
+    fn new(tx: UnixStream) -> Self {
+        WakeHandle {
+            tx: Arc::new(tx),
+            pending: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Wakes the shard unless a wake is already pending.
+    fn wake(&self) {
+        if !self.pending.swap(true, Ordering::AcqRel) {
+            let _ = (&*self.tx).write_all(b".");
+        }
+    }
+
+    /// Unconditional wake (shutdown path — must never be elided).
+    fn wake_force(&self) {
+        let _ = (&*self.tx).write_all(b"q");
+    }
 }
 
 struct Job {
     path: String,
     fs_path: PathBuf,
+    /// Which shard's done queue the completion routes back to.
+    shard: usize,
 }
 
 struct Done {
@@ -98,53 +219,105 @@ struct Conn {
     stream: TcpStream,
     parser: flash_http::RequestParser,
     state: ConnState,
-    out: std::collections::VecDeque<Bytes>,
+    /// Response segments pending transmission (header, body, ...) —
+    /// drained with gathered writes, never copied into one buffer.
+    out: VecDeque<Bytes>,
+    /// Bytes of `out.front()` already transmitted.
     out_off: usize,
     keep_alive: bool,
     head_only: bool,
 }
 
 impl Server {
-    /// Binds `addr` and starts the event loop plus helper threads.
+    /// Binds `addr` and starts the acceptor, the event-loop shards and
+    /// the shared helper pool.
     pub fn start(addr: impl ToSocketAddrs, cfg: NetConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let stats = Arc::new(ServerStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let n_shards = cfg.event_loops.max(1);
+
+        let shard_stats: Vec<Arc<ShardStats>> = (0..n_shards)
+            .map(|_| Arc::new(ShardStats::default()))
+            .collect();
+        let stats = Arc::new(ServerStats {
+            shards: shard_stats.clone(),
+        });
+
+        // One shared job queue feeding the helper pool; per-shard done
+        // queues and wake pipes routing completions back.
         let (job_tx, job_rx) = unbounded::<Job>();
-        let (done_tx, done_rx) = unbounded::<Done>();
-        let (wake_tx, notify_rx) = UnixStream::pair()?;
-        notify_rx.set_nonblocking(true)?;
+        let mut conn_txs = Vec::with_capacity(n_shards);
+        let mut done_txs = Vec::with_capacity(n_shards);
+        let mut shard_wakes = Vec::with_capacity(n_shards);
+        let mut shard_threads = Vec::with_capacity(n_shards);
+        let mut shard_setups = Vec::with_capacity(n_shards);
+        for shard_id in 0..n_shards {
+            let (conn_tx, conn_rx) = unbounded::<TcpStream>();
+            let (done_tx, done_rx) = unbounded::<Done>();
+            let (wake_tx, wake_rx) = UnixStream::pair()?;
+            wake_rx.set_nonblocking(true)?;
+            let wake = WakeHandle::new(wake_tx);
+            conn_txs.push(conn_tx);
+            done_txs.push(done_tx);
+            shard_wakes.push(wake.clone());
+            shard_setups.push((shard_id, conn_rx, done_rx, wake_rx, wake));
+        }
 
         let mut helper_threads = Vec::new();
         for i in 0..cfg.helpers.max(1) {
             let rx = job_rx.clone();
-            let tx = done_tx.clone();
-            let notify = wake_tx.try_clone()?;
-            let stats2 = Arc::clone(&stats);
+            let txs = done_txs.clone();
+            let wakes = shard_wakes.clone();
             helper_threads.push(
                 std::thread::Builder::new()
                     .name(format!("flash-helper-{i}"))
-                    .spawn(move || helper_main(rx, tx, notify, stats2))?,
+                    .spawn(move || helper_main(rx, txs, wakes))?,
             );
         }
-        drop(done_tx);
+        drop(done_txs);
+        drop(job_rx);
+
+        // Each shard gets an equal slice of the cache budget: private
+        // caches mean zero lock traffic at the cost of N-way
+        // duplication of the hottest entries.
+        let shard_cache_bytes = (cfg.cache_bytes / n_shards as u64).max(1);
+        for (shard_id, conn_rx, done_rx, wake_rx, wake) in shard_setups {
+            let ctx = ShardCtx {
+                shard: shard_id,
+                cache: ContentCache::new(shard_cache_bytes),
+                waiters: HashMap::new(),
+                pending_jobs: HashSet::new(),
+                job_tx: job_tx.clone(),
+                cfg: cfg.clone(),
+                stats: Arc::clone(&shard_stats[shard_id]),
+            };
+            let shutdown2 = Arc::clone(&shutdown);
+            shard_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("flash-shard-{shard_id}"))
+                    .spawn(move || shard_loop(ctx, conn_rx, done_rx, wake_rx, wake, shutdown2))?,
+            );
+        }
+        drop(job_tx);
 
         let shutdown2 = Arc::clone(&shutdown);
-        let stats2 = Arc::clone(&stats);
-        let event_thread = std::thread::Builder::new()
-            .name("flash-event-loop".into())
+        let accept_stats = shard_stats.clone();
+        let acceptor_wakes = shard_wakes.clone();
+        let acceptor_thread = std::thread::Builder::new()
+            .name("flash-acceptor".into())
             .spawn(move || {
-                event_loop(listener, notify_rx, job_tx, done_rx, cfg, shutdown2, stats2)
+                acceptor_loop(listener, conn_txs, acceptor_wakes, accept_stats, shutdown2)
             })?;
 
         Ok(Server {
             addr,
             stats,
             shutdown,
-            wake_tx,
-            event_thread: Some(event_thread),
+            shard_wakes,
+            acceptor_thread: Some(acceptor_thread),
+            shard_threads,
             helper_threads,
         })
     }
@@ -154,7 +327,7 @@ impl Server {
         self.addr
     }
 
-    /// Live counters.
+    /// Live counters, aggregated over shards on read.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
     }
@@ -162,9 +335,13 @@ impl Server {
     /// Stops the server and joins all threads.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the poll loop; dropping the job channel stops helpers.
-        let _ = (&self.wake_tx).write_all(b"q");
-        if let Some(t) = self.event_thread.take() {
+        for wake in &self.shard_wakes {
+            wake.wake_force();
+        }
+        if let Some(t) = self.acceptor_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.shard_threads.drain(..) {
             let _ = t.join();
         }
         for t in self.helper_threads.drain(..) {
@@ -173,26 +350,72 @@ impl Server {
     }
 }
 
-fn helper_main(
-    rx: Receiver<Job>,
-    tx: Sender<Done>,
-    mut notify: UnixStream,
-    stats: Arc<ServerStats>,
+/// Accepts connections and deals them round-robin to the shards.
+fn acceptor_loop(
+    listener: TcpListener,
+    conn_txs: Vec<Sender<TcpStream>>,
+    wakes: Vec<WakeHandle>,
+    stats: Vec<Arc<ShardStats>>,
+    shutdown: Arc<AtomicBool>,
 ) {
-    // The channel closes when the event loop drops `job_tx` on shutdown.
+    let mut next = 0usize;
+    let mut fds = [PollFd::new(listener.as_raw_fd(), POLL_IN)];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Finite timeout so shutdown is honoured even when fully idle.
+        fds[0].revents = 0;
+        if poll_fds(&mut fds, 100).is_err() || !fds[0].readable() {
+            continue;
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // One gathered write per response makes Nagle
+                    // pointless; disabling it removes the delayed-ACK
+                    // interaction on keep-alive connections.
+                    let _ = stream.set_nodelay(true);
+                    if conn_txs[next].send(stream).is_ok() {
+                        stats[next].accepted.fetch_add(1, Ordering::Relaxed);
+                        wakes[next].wake();
+                    }
+                    next = (next + 1) % conn_txs.len();
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    // Persistent failures (EMFILE/ENFILE under fd
+                    // exhaustion) leave the listener readable, so
+                    // without a pause this dedicated thread would spin
+                    // a full core retrying a doomed accept.
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Shared helper pool: executes disk reads and routes each completion
+/// back to the shard that requested it.
+fn helper_main(rx: Receiver<Job>, done_txs: Vec<Sender<Done>>, wakes: Vec<WakeHandle>) {
+    // The channel closes when every shard has dropped its job sender.
     while let Ok(job) = rx.recv() {
-        stats.helper_jobs.fetch_add(1, Ordering::Relaxed);
         let result = read_file_checked(&job.fs_path);
-        if tx
+        let shard = job.shard;
+        if done_txs[shard]
             .send(Done {
                 path: job.path,
                 result,
             })
             .is_err()
         {
-            break;
+            continue;
         }
-        let _ = notify.write_all(b".");
+        wakes[shard].wake();
     }
 }
 
@@ -208,30 +431,42 @@ fn read_file_checked(p: &Path) -> io::Result<Vec<u8>> {
     std::fs::read(p)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn event_loop(
-    listener: TcpListener,
-    mut notify_rx: UnixStream,
+/// Everything one shard owns: its cache, its miss-coalescing state,
+/// its statistics, and its link to the helper pool.
+struct ShardCtx {
+    shard: usize,
+    cache: ContentCache,
+    waiters: HashMap<String, Vec<usize>>,
+    pending_jobs: HashSet<String>,
     job_tx: Sender<Job>,
-    done_rx: Receiver<Done>,
     cfg: NetConfig,
+    stats: Arc<ShardStats>,
+}
+
+/// One event-loop shard: the paper's AMPED loop, verbatim, over this
+/// shard's private connection set.
+fn shard_loop(
+    mut ctx: ShardCtx,
+    conn_rx: Receiver<TcpStream>,
+    done_rx: Receiver<Done>,
+    mut wake_rx: UnixStream,
+    wake: WakeHandle,
     shutdown: Arc<AtomicBool>,
-    stats: Arc<ServerStats>,
 ) {
-    let mut cache = ContentCache::new(cfg.cache_bytes);
     let mut conns: Vec<Option<Conn>> = Vec::new();
-    let mut waiters: HashMap<String, Vec<usize>> = HashMap::new();
-    let mut pending_jobs: HashMap<String, ()> = HashMap::new();
+    // Persistent poll-set buffers, reused every iteration (cleared,
+    // never reallocated once grown).
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut fd_conn: Vec<usize> = Vec::new();
 
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        // Poll set: [listener, notify, conns...].
-        let mut fds = Vec::with_capacity(conns.len() + 2);
-        fds.push(PollFd::new(listener.as_raw_fd(), POLL_IN));
-        fds.push(PollFd::new(notify_rx.as_raw_fd(), POLL_IN));
-        let mut fd_conn: Vec<usize> = Vec::with_capacity(conns.len());
+        // Poll set: [wake pipe, conns...].
+        fds.clear();
+        fd_conn.clear();
+        fds.push(PollFd::new(wake_rx.as_raw_fd(), POLL_IN));
         for (i, c) in conns.iter().enumerate() {
             let Some(c) = c else { continue };
             let events = match c.state {
@@ -242,83 +477,63 @@ fn event_loop(
             fds.push(PollFd::new(c.stream.as_raw_fd(), events));
             fd_conn.push(i);
         }
-        // Finite timeout so shutdown is honoured even when fully idle.
-        if poll_fds(&mut fds, 100).is_err() {
+        // Block indefinitely: every producer (acceptor, helpers,
+        // stop()) wakes this shard through the pipe, so idle shards
+        // burn zero CPU. The 1s cap is a belt-and-braces bound.
+        if poll_fds(&mut fds, 1000).is_err() {
             continue;
         }
         if fds[0].readable() {
-            accept_all(&listener, &mut conns);
-        }
-        if fds[1].readable() {
             let mut sink = [0u8; 256];
-            while matches!(notify_rx.read(&mut sink), Ok(n) if n > 0) {}
-            while let Ok(done) = done_rx.try_recv() {
-                complete_job(
-                    done,
-                    &mut cache,
-                    &mut conns,
-                    &mut waiters,
-                    &mut pending_jobs,
-                );
-            }
-        }
-        for (slot, fd) in fds[2..].iter().enumerate() {
-            let idx = fd_conn[slot];
-            if fd.readable() || fd.writable() {
-                drive_conn(
-                    idx,
-                    &mut conns,
-                    &mut cache,
-                    &mut waiters,
-                    &mut pending_jobs,
-                    &job_tx,
-                    &cfg,
-                    &stats,
-                );
-            }
-        }
-    }
-}
-
-fn accept_all(listener: &TcpListener, conns: &mut Vec<Option<Conn>>) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if stream.set_nonblocking(true).is_err() {
-                    continue;
-                }
+            while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+            // Clear the coalescing flag *before* draining the queues:
+            // anything enqueued after this point writes a fresh wake
+            // byte, so completions cannot be lost.
+            wake.pending.store(false, Ordering::Release);
+            while let Ok(stream) = conn_rx.try_recv() {
                 let conn = Conn {
                     stream,
                     parser: flash_http::RequestParser::new(),
                     state: ConnState::Reading,
-                    out: std::collections::VecDeque::new(),
+                    out: VecDeque::new(),
                     out_off: 0,
                     keep_alive: false,
                     head_only: false,
                 };
-                match conns.iter_mut().position(|c| c.is_none()) {
-                    Some(i) => conns[i] = Some(conn),
-                    None => conns.push(Some(conn)),
-                }
+                let idx = match conns.iter_mut().position(|c| c.is_none()) {
+                    Some(i) => {
+                        conns[i] = Some(conn);
+                        i
+                    }
+                    None => {
+                        conns.push(Some(conn));
+                        conns.len() - 1
+                    }
+                };
+                // A freshly dealt connection usually has its request
+                // bytes in flight already; drive it immediately rather
+                // than waiting for the next poll round.
+                drive_conn(idx, &mut conns, &mut ctx);
             }
-            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return,
-            Err(_) => return,
+            while let Ok(done) = done_rx.try_recv() {
+                complete_job(done, &mut conns, &mut ctx);
+            }
+        }
+        for (slot, fd) in fds[1..].iter().enumerate() {
+            let idx = fd_conn[slot];
+            if fd.readable() || fd.writable() {
+                drive_conn(idx, &mut conns, &mut ctx);
+            }
         }
     }
 }
 
-fn complete_job(
-    done: Done,
-    cache: &mut ContentCache,
-    conns: &mut [Option<Conn>],
-    waiters: &mut HashMap<String, Vec<usize>>,
-    pending_jobs: &mut HashMap<String, ()>,
-) {
-    pending_jobs.remove(&done.path);
+fn complete_job(done: Done, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) {
+    ctx.pending_jobs.remove(&done.path);
     let response: Result<Arc<Entry>, (Status, Bytes)> = match done.result {
         Ok(body) => {
             let entry = Entry::build(&done.path, body);
-            cache.insert(done.path.clone(), Arc::clone(&entry));
+            ctx.cache.insert(done.path.clone(), Arc::clone(&entry));
             Ok(entry)
         }
         Err(e) => {
@@ -330,7 +545,7 @@ fn complete_job(
             Err((status, Bytes::from(error_body(status))))
         }
     };
-    for idx in waiters.remove(&done.path).unwrap_or_default() {
+    for idx in ctx.waiters.remove(&done.path).unwrap_or_default() {
         let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
             continue;
         };
@@ -363,23 +578,112 @@ fn queue_error(conn: &mut Conn, status: Status, body: Bytes) {
     conn.keep_alive = false;
 }
 
-#[allow(clippy::too_many_arguments)]
-fn drive_conn(
-    idx: usize,
-    conns: &mut [Option<Conn>],
-    cache: &mut ContentCache,
-    waiters: &mut HashMap<String, Vec<usize>>,
-    pending_jobs: &mut HashMap<String, ()>,
-    job_tx: &Sender<Job>,
-    cfg: &NetConfig,
-    stats: &ServerStats,
-) {
-    let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
-        return;
-    };
+/// Collects up to [`MAX_IOV`] non-empty segment views starting at
+/// `out_off` into `bufs`; returns the number collected.
+fn gather_out<'a>(
+    out: &'a VecDeque<Bytes>,
+    out_off: usize,
+    bufs: &mut [&'a [u8]; MAX_IOV],
+) -> usize {
+    let mut cnt = 0;
+    for (i, seg) in out.iter().enumerate() {
+        if cnt == MAX_IOV {
+            break;
+        }
+        let view = if i == 0 { &seg[out_off..] } else { &seg[..] };
+        if !view.is_empty() {
+            bufs[cnt] = view;
+            cnt += 1;
+        }
+    }
+    cnt
+}
+
+/// Consumes `n` transmitted bytes from the front of the queue,
+/// tracking resumption across segment boundaries and discarding
+/// zero-length segments.
+fn advance_out(out: &mut VecDeque<Bytes>, out_off: &mut usize, mut n: usize) {
+    while let Some(front) = out.front() {
+        let remaining = front.len() - *out_off;
+        if n >= remaining {
+            n -= remaining;
+            out.pop_front();
+            *out_off = 0;
+            // Keep popping: this also clears zero-length segments so
+            // the queue can never stall on an empty front.
+            if n == 0 && out.front().is_some_and(|f| !f.is_empty()) {
+                break;
+            }
+        } else {
+            *out_off += n;
+            break;
+        }
+    }
+    debug_assert!(out.front().is_none() || out.front().is_some_and(|f| *out_off < f.len()));
+}
+
+/// Outcome of one attempt to flush a connection's output queue.
+enum FlushResult {
+    /// Everything queued was transmitted.
+    Flushed,
+    /// The socket backpressured; retry when writable.
+    WouldBlock,
+    /// The connection is dead.
+    Error,
+}
+
+/// Drains `conn.out` with gathered writes: the happy path (cached
+/// header + body fitting the socket buffer) is exactly one `writev`.
+fn flush_out(conn: &mut Conn, stats: &ShardStats) -> FlushResult {
+    while !conn.out.is_empty() {
+        let mut bufs: [&[u8]; MAX_IOV] = [&[]; MAX_IOV];
+        let cnt = gather_out(&conn.out, conn.out_off, &mut bufs);
+        if cnt == 0 {
+            // Only zero-length segments remain (e.g. an empty file's
+            // body): discard them without a syscall.
+            conn.out.clear();
+            conn.out_off = 0;
+            break;
+        }
+        match writev_fd(conn.stream.as_raw_fd(), &bufs[..cnt]) {
+            Ok(n) => {
+                stats.writev_calls.fetch_add(1, Ordering::Relaxed);
+                advance_out(&mut conn.out, &mut conn.out_off, n);
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return FlushResult::WouldBlock,
+            Err(_) => return FlushResult::Error,
+        }
+    }
+    FlushResult::Flushed
+}
+
+/// Runs one connection's state machine as far as it will go without
+/// blocking.
+fn drive_conn(idx: usize, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) {
     loop {
+        let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+            return;
+        };
         match conn.state {
             ConnState::Reading => {
+                // Serve any request already buffered (keep-alive
+                // pipelining) before asking the socket for more.
+                match conn.parser.feed(&[]) {
+                    ParseStatus::Done(req) => {
+                        handle_request(idx, conn, req, ctx);
+                        if matches!(conn.state, ConnState::Waiting) {
+                            return;
+                        }
+                        continue;
+                    }
+                    ParseStatus::Error(_) => {
+                        let body = Bytes::from(error_body(Status::BadRequest));
+                        queue_error(conn, Status::BadRequest, body);
+                        conn.state = ConnState::Writing;
+                        continue;
+                    }
+                    ParseStatus::Incomplete => {}
+                }
                 let mut buf = [0u8; 4096];
                 match conn.stream.read(&mut buf) {
                     Ok(0) => {
@@ -388,17 +692,7 @@ fn drive_conn(
                     }
                     Ok(n) => match conn.parser.feed(&buf[..n]) {
                         ParseStatus::Done(req) => {
-                            handle_request(
-                                idx,
-                                conn,
-                                req,
-                                cache,
-                                waiters,
-                                pending_jobs,
-                                job_tx,
-                                cfg,
-                                stats,
-                            );
+                            handle_request(idx, conn, req, ctx);
                             if matches!(conn.state, ConnState::Waiting) {
                                 return;
                             }
@@ -417,49 +711,28 @@ fn drive_conn(
                     }
                 }
             }
-            ConnState::Writing => {
-                while let Some(front) = conn.out.front() {
-                    match conn.stream.write(&front[conn.out_off..]) {
-                        Ok(n) => {
-                            conn.out_off += n;
-                            if conn.out_off == front.len() {
-                                conn.out.pop_front();
-                                conn.out_off = 0;
-                            }
-                        }
-                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                        Err(_) => {
-                            conns[idx] = None;
-                            return;
-                        }
+            ConnState::Writing => match flush_out(conn, &ctx.stats) {
+                FlushResult::Flushed => {
+                    ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    if conn.keep_alive {
+                        conn.state = ConnState::Reading;
+                    } else {
+                        conns[idx] = None;
+                        return;
                     }
                 }
-                // Response fully flushed.
-                stats.requests.fetch_add(1, Ordering::Relaxed);
-                if conn.keep_alive {
-                    conn.state = ConnState::Reading;
-                } else {
+                FlushResult::WouldBlock => return,
+                FlushResult::Error => {
                     conns[idx] = None;
                     return;
                 }
-            }
+            },
             ConnState::Waiting => return,
         }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn handle_request(
-    idx: usize,
-    conn: &mut Conn,
-    req: Request,
-    cache: &mut ContentCache,
-    waiters: &mut HashMap<String, Vec<usize>>,
-    pending_jobs: &mut HashMap<String, ()>,
-    job_tx: &Sender<Job>,
-    cfg: &NetConfig,
-    stats: &ServerStats,
-) {
+fn handle_request(idx: usize, conn: &mut Conn, req: Request, ctx: &mut ShardCtx) {
     conn.keep_alive = req.keep_alive();
     conn.head_only = req.method == Method::Head;
     if req.method == Method::Post {
@@ -472,8 +745,8 @@ fn handle_request(
     if path.ends_with('/') {
         path.push_str("index.html");
     }
-    if let Some(entry) = cache.get(&path) {
-        stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+    if let Some(entry) = ctx.cache.get(&path) {
+        ctx.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
         queue_entry(conn, &entry);
         conn.state = ConnState::Writing;
         return;
@@ -481,10 +754,106 @@ fn handle_request(
     // Miss: hand the disk work to a helper; coalesce concurrent misses.
     // The request parser has already normalized away any `..`, so joining
     // the relative remainder cannot escape the docroot.
-    let fs_path = cfg.docroot.join(path.trim_start_matches('/'));
-    waiters.entry(path.clone()).or_default().push(idx);
-    if pending_jobs.insert(path.clone(), ()).is_none() {
-        let _ = job_tx.send(Job { path, fs_path });
+    let fs_path = ctx.cfg.docroot.join(path.trim_start_matches('/'));
+    ctx.waiters.entry(path.clone()).or_default().push(idx);
+    if ctx.pending_jobs.insert(path.clone()) {
+        ctx.stats.helper_jobs.fetch_add(1, Ordering::Relaxed);
+        let _ = ctx.job_tx.send(Job {
+            path,
+            fs_path,
+            shard: ctx.shard,
+        });
     }
     conn.state = ConnState::Waiting;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes_of(s: &str) -> Bytes {
+        Bytes::from(s.as_bytes().to_vec())
+    }
+
+    /// Simulates a sink that accepts `k` bytes per call against the
+    /// gather/advance pair, verifying the reassembled stream is exact
+    /// no matter where partial writes land — including mid-iovec.
+    fn drain_with_chunk_size(segments: &[&str], k: usize) -> Vec<u8> {
+        let mut out: VecDeque<Bytes> = segments.iter().map(|s| bytes_of(s)).collect();
+        let mut out_off = 0usize;
+        let mut sink = Vec::new();
+        let mut guard = 0;
+        while !out.is_empty() {
+            let mut bufs: [&[u8]; MAX_IOV] = [&[]; MAX_IOV];
+            let cnt = gather_out(&out, out_off, &mut bufs);
+            if cnt == 0 {
+                out.clear();
+                break;
+            }
+            let total: usize = bufs[..cnt].iter().map(|b| b.len()).sum();
+            let n = k.min(total);
+            let mut left = n;
+            for b in &bufs[..cnt] {
+                let take = left.min(b.len());
+                sink.extend_from_slice(&b[..take]);
+                left -= take;
+                if left == 0 {
+                    break;
+                }
+            }
+            advance_out(&mut out, &mut out_off, n);
+            guard += 1;
+            assert!(guard < 10_000, "drain must terminate");
+        }
+        sink
+    }
+
+    #[test]
+    fn partial_write_resumption_is_byte_exact_for_every_split() {
+        let segments = [
+            "HEADER-32-bytes-of-padding-data!",
+            "body: hello world",
+            "",
+            "tail",
+        ];
+        let expect: Vec<u8> = segments.concat().into_bytes();
+        // Every chunk size from 1 byte (worst case: every write lands
+        // mid-iovec) to larger than the whole queue.
+        for k in 1..expect.len() + 4 {
+            let got = drain_with_chunk_size(&segments, k);
+            assert_eq!(got, expect, "chunk size {k}");
+        }
+    }
+
+    #[test]
+    fn advance_out_discards_empty_segments() {
+        let mut out: VecDeque<Bytes> = [bytes_of(""), bytes_of(""), bytes_of("x")]
+            .into_iter()
+            .collect();
+        let mut off = 0;
+        advance_out(&mut out, &mut off, 0);
+        assert_eq!(out.len(), 1, "empty fronts must be popped");
+        assert_eq!(&out[0][..], b"x");
+        advance_out(&mut out, &mut off, 1);
+        assert!(out.is_empty());
+        assert_eq!(off, 0);
+    }
+
+    #[test]
+    fn gather_out_skips_empties_and_respects_offset() {
+        let out: VecDeque<Bytes> = [bytes_of("abcdef"), bytes_of(""), bytes_of("gh")]
+            .into_iter()
+            .collect();
+        let mut bufs: [&[u8]; MAX_IOV] = [&[]; MAX_IOV];
+        let cnt = gather_out(&out, 4, &mut bufs);
+        assert_eq!(cnt, 2);
+        assert_eq!(bufs[0], b"ef");
+        assert_eq!(bufs[1], b"gh");
+    }
+
+    #[test]
+    fn default_event_loops_bounded() {
+        let n = default_event_loops();
+        assert!((1..=8).contains(&n));
+    }
 }

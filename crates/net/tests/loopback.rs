@@ -3,7 +3,6 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use flash_net::{MtServer, NetConfig, Server};
@@ -66,19 +65,17 @@ fn amped_serves_files_and_404s() {
 #[test]
 fn amped_second_request_hits_cache() {
     let root = docroot("cache");
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    // One shard: all three connections share one content cache, so
+    // exactly one disk read happens (shards have private caches).
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(1)).unwrap();
     let addr = server.addr();
     let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
     let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
     let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
     let stats = server.stats();
-    assert_eq!(
-        stats.helper_jobs.load(Ordering::Relaxed),
-        1,
-        "one disk read"
-    );
-    assert!(stats.cache_hits.load(Ordering::Relaxed) >= 2);
-    assert_eq!(stats.requests.load(Ordering::Relaxed), 3);
+    assert_eq!(stats.helper_jobs(), 1, "one disk read");
+    assert!(stats.cache_hits() >= 2);
+    assert_eq!(stats.requests(), 3);
     server.stop();
     let _ = std::fs::remove_dir_all(root);
 }
@@ -153,7 +150,96 @@ fn amped_handles_concurrent_clients() {
     for t in threads {
         t.join().unwrap();
     }
-    assert_eq!(server.stats().requests.load(Ordering::Relaxed), 320);
+    assert_eq!(server.stats().requests(), 320);
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn amped_pipelined_keep_alive_requests_on_one_connection() {
+    let root = docroot("pipeline");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // Three keep-alive requests in a single write: the server must
+    // serve all three back-to-back without waiting for more bytes.
+    let burst = "GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n\
+                 GET /sub/page.html HTTP/1.1\r\nHost: t\r\n\r\n\
+                 GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n";
+    s.write_all(burst.as_bytes()).unwrap();
+    let expected_bodies: [&[u8]; 3] = [
+        b"<html>hello flash</html>\n",
+        b"subdir page",
+        b"<html>hello flash</html>\n",
+    ];
+    for (i, expected) in expected_bodies.iter().enumerate() {
+        let mut hdr = Vec::new();
+        let mut byte = [0u8; 1];
+        while !hdr.ends_with(b"\r\n\r\n") {
+            s.read_exact(&mut byte)
+                .unwrap_or_else(|e| panic!("response {i}: {e}"));
+            hdr.push(byte[0]);
+        }
+        let text = String::from_utf8_lossy(&hdr);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "response {i}: {text}");
+        let len: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; len];
+        s.read_exact(&mut body).unwrap();
+        assert_eq!(&body[..], *expected, "response {i}");
+    }
+    assert_eq!(server.stats().requests(), 3);
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn amped_shards_spread_connections_round_robin() {
+    let root = docroot("shards");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(4)).unwrap();
+    let addr = server.addr();
+    assert_eq!(server.stats().per_shard().len(), 4);
+    for _ in 0..32 {
+        let resp = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+        assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 200"));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.requests(), 32);
+    // Round-robin dealing: every shard saw exactly a quarter of the
+    // connections, and each shard's private cache missed exactly once.
+    for (i, shard) in stats.per_shard().iter().enumerate() {
+        use std::sync::atomic::Ordering;
+        assert_eq!(shard.accepted.load(Ordering::Relaxed), 8, "shard {i}");
+        assert!(shard.cache_hits.load(Ordering::Relaxed) >= 7, "shard {i}");
+    }
+    assert_eq!(stats.helper_jobs(), 4, "one disk read per shard cache");
+    assert_eq!(stats.cache_hits(), 28);
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn amped_cache_hit_is_one_writev_call() {
+    let root = docroot("writev");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(1)).unwrap();
+    let addr = server.addr();
+    // Warm the cache, then measure the syscall count of a hit.
+    let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    let before = server.stats().writev_calls();
+    let resp = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 200"));
+    let after = server.stats().writev_calls();
+    assert_eq!(
+        after - before,
+        1,
+        "header + body of a cache hit must go out in a single gathered write"
+    );
+    assert_eq!(server.stats().cache_hits(), 1);
     server.stop();
     let _ = std::fs::remove_dir_all(root);
 }

@@ -1,0 +1,262 @@
+//! Minimal std-only shim for the `criterion` benchmark harness.
+//!
+//! Mirrors criterion's execution model for the API subset the bench
+//! targets use: under `cargo bench` (cargo passes `--bench`) each
+//! benchmark is warmed up and measured, reporting mean time per
+//! iteration and optional throughput; under `cargo test` (no
+//! `--bench` argument) each benchmark runs exactly once as a smoke
+//! test, exactly like real criterion's test mode.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How samples are collected (accepted, ignored by the shim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Criterion picks.
+    Auto,
+    /// Linearly increasing iteration counts.
+    Linear,
+    /// Equal iteration counts.
+    Flat,
+}
+
+/// Per-iteration work declared for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Full measurement (cargo bench) vs. single-pass smoke (cargo test).
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Registers a free-standing benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(
+            self.measure,
+            id,
+            None,
+            Duration::from_millis(500),
+            Duration::from_secs(2),
+            f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the sampling mode (accepted for API compatibility).
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(
+            self.criterion.measure,
+            &full,
+            self.throughput,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the requested number of iterations, timing them.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(
+    measure: bool,
+    id: &str,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    window: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if !measure {
+        // Test mode: one iteration proves the benchmark runs.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {id}: ok (test mode, 1 iteration)");
+        return;
+    }
+    // Warm up while estimating per-iteration cost, doubling counts.
+    let mut iters = 1u64;
+    let mut per_iter;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+        iters = iters.saturating_mul(2).min(1 << 30);
+    }
+    // One measured batch sized to fill the measurement window.
+    let target = (window.as_secs_f64() / per_iter.max(1e-9)) as u64;
+    let iters = target.clamp(1, 1 << 32);
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!(", {:.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) => format!(", {:.0} elem/s", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!(
+        "bench {id}: {:.3} us/iter ({} iters{rate})",
+        per_iter * 1e6,
+        iters
+    );
+}
+
+/// Groups benchmark functions under one registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_compiles_and_runs_in_test_mode() {
+        let mut c = Criterion { measure: false };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(100))
+                .sample_size(10)
+                .sampling_mode(SamplingMode::Flat)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(1));
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert_eq!(ran, 1, "test mode runs exactly one iteration");
+    }
+
+    #[test]
+    fn measured_mode_reports() {
+        let mut c = Criterion { measure: true };
+        let mut g = c.benchmark_group("m");
+        g.warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut count = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        g.finish();
+        assert!(count > 1, "measurement runs many iterations");
+    }
+}

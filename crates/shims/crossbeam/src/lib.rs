@@ -1,0 +1,233 @@
+//! Minimal std-only shim for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel` with cloneable senders *and*
+//! receivers (the part `std::sync::mpsc` lacks), implemented as a
+//! mutex-protected queue with a condvar. Disconnection semantics
+//! match the real crate: `recv` fails once the queue is empty and all
+//! senders are gone; `send` fails once all receivers are gone.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// The sending half; clone freely.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clone freely (each message goes to exactly
+    /// one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(value);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            // Decrement and notify under the queue mutex: `recv` checks
+            // the sender count while holding it, so doing this lock-free
+            // could slot the notify between a receiver's check (sees 1)
+            // and its wait — a lost wakeup that parks it forever.
+            let _q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake all blocked receivers so they can
+                // observe disconnection.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match q.pop_front() {
+                Some(v) => Ok(v),
+                None if self.shared.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Number of queued messages (racy; for diagnostics).
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+
+        /// True when no messages are queued (racy; for diagnostics).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_unblocks_on_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        let t = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(t.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_never_misses_the_disconnect_wakeup() {
+        // Regression: the last sender's drop used to decrement and
+        // notify without the queue lock, so a receiver could check the
+        // count, miss the notify, and park forever. Race the two with
+        // no sleep; a lost wakeup hangs this test.
+        for _ in 0..1000 {
+            let (tx, rx) = unbounded::<u32>();
+            let t = std::thread::spawn(move || rx.recv());
+            drop(tx);
+            assert_eq!(t.join().unwrap(), Err(RecvError));
+        }
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn cloned_receivers_share_work() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let a = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let b = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx2.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let mut all = a.join().unwrap();
+        all.extend(b.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}

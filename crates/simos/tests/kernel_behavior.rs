@@ -9,9 +9,7 @@ use flash_simcore::SimTime;
 use flash_simos::kernel::SendSrc;
 use flash_simos::proc::ProcKind;
 use flash_simos::sim::FnLogic;
-use flash_simos::{
-    AgentEvent, Agent, Blocking, Completion, Fd, Kernel, MachineConfig, Simulation,
-};
+use flash_simos::{Agent, AgentEvent, Blocking, Completion, Fd, Kernel, MachineConfig, Simulation};
 
 /// A client that connects once and sends one request; counts data bytes.
 struct OneShot {
@@ -129,9 +127,13 @@ fn writev_is_bounded_by_sendbuf_space() {
         "server",
         Box::new(FnLogic::new(move |_, k: &mut Kernel, c| match c {
             Completion::Start => k.sys_accept(listen, Blocking::Yes),
-            Completion::Accepted(conn) => {
-                k.sys_send(conn, 0, SendSrc::Mem { len: 1_000_000 }, true, Blocking::Yes)
-            }
+            Completion::Accepted(conn) => k.sys_send(
+                conn,
+                0,
+                SendSrc::Mem { len: 1_000_000 },
+                true,
+                Blocking::Yes,
+            ),
             Completion::Written { body_bytes, .. } => {
                 accepted2.set(body_bytes);
                 k.sys_exit();

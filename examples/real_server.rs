@@ -6,7 +6,6 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 
 use flash_repro::net::{NetConfig, Server};
 
@@ -44,10 +43,20 @@ fn main() -> std::io::Result<()> {
 
     let stats = server.stats();
     println!(
-        "requests: {}, cache hits: {}, helper jobs (disk reads): {}",
-        stats.requests.load(Ordering::Relaxed),
-        stats.cache_hits.load(Ordering::Relaxed),
-        stats.helper_jobs.load(Ordering::Relaxed),
+        "requests: {}, cache hits: {}, helper jobs (disk reads): {}, writev calls: {}",
+        stats.requests(),
+        stats.cache_hits(),
+        stats.helper_jobs(),
+        stats.writev_calls(),
+    );
+    println!(
+        "event-loop shards: {} (per-shard accepted: {:?})",
+        stats.per_shard().len(),
+        stats
+            .per_shard()
+            .iter()
+            .map(|s| s.accepted.load(std::sync::atomic::Ordering::Relaxed))
+            .collect::<Vec<_>>(),
     );
     println!("note: the repeated fetch was a cache hit — no helper involved");
 
