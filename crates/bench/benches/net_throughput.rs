@@ -1,6 +1,8 @@
 //! Concurrent-client throughput of the real servers over loopback:
 //! sharded AMPED (1 shard vs. N shards) against MT, so the multicore
-//! speedup is measured rather than asserted.
+//! speedup is measured rather than asserted — plus a large-file
+//! scenario pitting the `sendfile(2)` tier against forcing the same
+//! body through the in-memory cache + `writev` tier.
 //!
 //! Run with `cargo bench -p flash-bench --bench net_throughput`; under
 //! `cargo test` each configuration runs once as a smoke test.
@@ -122,5 +124,101 @@ fn bench_net_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(net_throughput, bench_net_throughput);
+const LARGE_FILE_BYTES: usize = 1024 * 1024;
+const LARGE_CLIENTS: usize = 4;
+const LARGE_REQS: usize = 8;
+
+/// Builds a docroot holding one large (1 MiB) file.
+fn docroot_large(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("flash-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("large.bin"), vec![0x5A; LARGE_FILE_BYTES]).unwrap();
+    dir
+}
+
+/// One keep-alive client fetching the large file repeatedly.
+fn client_large(addr: SocketAddr, requests: usize) {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.set_nodelay(true).ok();
+    let mut writer = s.try_clone().expect("clone");
+    let mut reader = std::io::BufReader::with_capacity(64 * 1024, s);
+    let mut body = vec![0u8; LARGE_FILE_BYTES];
+    for _ in 0..requests {
+        writer
+            .write_all(b"GET /large.bin HTTP/1.1\r\nHost: b\r\n\r\n")
+            .expect("send");
+        let mut len: usize = 0;
+        let mut line = String::new();
+        let mut first = true;
+        loop {
+            line.clear();
+            std::io::BufRead::read_line(&mut reader, &mut line).expect("read header line");
+            if first {
+                assert!(line.starts_with("HTTP/1.1 200 OK"), "{line}");
+                first = false;
+            }
+            if let Some(v) = line.strip_prefix("Content-Length: ") {
+                len = v.trim().parse().unwrap();
+            }
+            if line == "\r\n" || line == "\n" {
+                break;
+            }
+        }
+        assert_eq!(len, LARGE_FILE_BYTES);
+        reader.read_exact(&mut body).expect("read body");
+    }
+}
+
+fn storm_large(addr: SocketAddr) {
+    let threads: Vec<_> = (0..LARGE_CLIENTS)
+        .map(|_| std::thread::spawn(move || client_large(addr, LARGE_REQS)))
+        .collect();
+    for t in threads {
+        t.join().expect("client");
+    }
+}
+
+/// The same 1 MiB body through both tiers: `sendfile(2)` from the page
+/// cache (default threshold) versus forced through the content cache
+/// and `writev` (threshold raised above the file size).
+fn bench_large_file(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_large_file");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    g.throughput(Throughput::Bytes(
+        (LARGE_CLIENTS * LARGE_REQS * LARGE_FILE_BYTES) as u64,
+    ));
+
+    let root = docroot_large("sendfile");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(1)).unwrap();
+    let addr = server.addr();
+    g.bench_function("amped_1mib_sendfile", |b| b.iter(|| storm_large(addr)));
+    assert!(
+        server.stats().sendfile_calls() > 0,
+        "large bodies must take the sendfile tier"
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+
+    let root = docroot_large("cached");
+    let server = Server::start(
+        "127.0.0.1:0",
+        NetConfig::new(&root)
+            .with_event_loops(1)
+            .with_sendfile_threshold(16 * 1024 * 1024),
+    )
+    .unwrap();
+    let addr = server.addr();
+    g.bench_function("amped_1mib_cached_writev", |b| b.iter(|| storm_large(addr)));
+    assert_eq!(server.stats().sendfile_calls(), 0);
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+
+    g.finish();
+}
+
+criterion_group!(net_throughput, bench_net_throughput, bench_large_file);
 criterion_main!(net_throughput);

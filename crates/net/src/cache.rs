@@ -26,22 +26,29 @@ pub struct Entry {
     pub body: Bytes,
 }
 
+/// Renders the pre-padded 200 header pair (keep-alive form, close
+/// form) for a body of `len` bytes at `path` — the one place header
+/// rendering happens, shared by the cached-entry tier and the
+/// large-body `sendfile` tier so the two can never drift apart.
+pub fn header_pair(path: &str, len: u64) -> (Bytes, Bytes) {
+    let ctype = mime::content_type(path);
+    let build = |keep| {
+        Bytes::from(
+            ResponseHeader::build(Status::Ok, ctype, len, keep, true)
+                .as_bytes()
+                .to_vec(),
+        )
+    };
+    (build(true), build(false))
+}
+
 impl Entry {
     /// Builds an entry for `path` with `body` contents.
     pub fn build(path: &str, body: Vec<u8>) -> Arc<Entry> {
-        let ctype = mime::content_type(path);
-        let len = body.len() as u64;
+        let (header_keep, header_close) = header_pair(path, body.len() as u64);
         Arc::new(Entry {
-            header_keep: Bytes::from(
-                ResponseHeader::build(Status::Ok, ctype, len, true, true)
-                    .as_bytes()
-                    .to_vec(),
-            ),
-            header_close: Bytes::from(
-                ResponseHeader::build(Status::Ok, ctype, len, false, true)
-                    .as_bytes()
-                    .to_vec(),
-            ),
+            header_keep,
+            header_close,
             body: Bytes::from(body),
         })
     }
@@ -52,6 +59,15 @@ impl Entry {
     }
 }
 
+/// Largest admissible entry, as a divisor of capacity: entries costing
+/// more than `capacity / MAX_ENTRY_DIVISOR` are refused outright.
+/// Without this bound, inserting one entry bigger than the whole cache
+/// evicts every resident entry *and then itself*, so each request for
+/// that file wipes the cache and still misses — pure churn. Oversized
+/// bodies belong on the sendfile path (the kernel page cache), not in
+/// here.
+pub const MAX_ENTRY_DIVISOR: u64 = 4;
+
 /// A byte-bounded LRU cache of rendered responses, keyed by URL path.
 pub struct ContentCache {
     lru: LruCache<String, Arc<Entry>>,
@@ -59,6 +75,7 @@ pub struct ContentCache {
     used_bytes: u64,
     hits: u64,
     misses: u64,
+    rejected_oversized: u64,
 }
 
 impl ContentCache {
@@ -72,7 +89,13 @@ impl ContentCache {
             used_bytes: 0,
             hits: 0,
             misses: 0,
+            rejected_oversized: 0,
         }
+    }
+
+    /// Largest entry cost this cache will admit.
+    pub fn max_entry_bytes(&self) -> u64 {
+        self.capacity_bytes / MAX_ENTRY_DIVISOR
     }
 
     /// Looks up a path, promoting on hit. Borrowed-key lookup: no
@@ -91,7 +114,17 @@ impl ContentCache {
     }
 
     /// Inserts an entry, evicting LRU entries past the byte bound.
-    pub fn insert(&mut self, path: String, entry: Arc<Entry>) {
+    ///
+    /// Entries costing more than [`Self::max_entry_bytes`] are refused
+    /// (returning `false`, touching nothing): admitting them would
+    /// evict a disproportionate share of the working set — or, past
+    /// capacity, the entire cache plus the entry itself — for a body
+    /// the page cache serves better.
+    pub fn insert(&mut self, path: String, entry: Arc<Entry>) -> bool {
+        if entry.cost() > self.max_entry_bytes() {
+            self.rejected_oversized += 1;
+            return false;
+        }
         self.used_bytes += entry.cost();
         if let Some((_, old)) = self.lru.insert(path, entry) {
             self.used_bytes -= old.cost();
@@ -102,6 +135,7 @@ impl ContentCache {
                 None => break,
             }
         }
+        true
     }
 
     /// Bytes currently cached.
@@ -112,6 +146,11 @@ impl ContentCache {
     /// (hits, misses) counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Inserts refused by the oversized-entry admission check.
+    pub fn rejected_oversized(&self) -> u64 {
+        self.rejected_oversized
     }
 }
 
@@ -140,13 +179,36 @@ mod tests {
 
     #[test]
     fn byte_bound_evicts_lru() {
-        let mut c = ContentCache::new(3000);
+        let mut c = ContentCache::new(8000);
         for i in 0..10 {
-            c.insert(format!("/f{i}"), Entry::build("/f", vec![0u8; 700]));
-            assert!(c.used_bytes() <= 3000, "used {}", c.used_bytes());
+            assert!(c.insert(format!("/f{i}"), Entry::build("/f", vec![0u8; 700])));
+            assert!(c.used_bytes() <= 8000, "used {}", c.used_bytes());
         }
         assert!(c.get("/f9").is_some());
         assert!(c.get("/f0").is_none());
+    }
+
+    #[test]
+    fn oversized_entry_is_refused_without_churn() {
+        let mut c = ContentCache::new(8000);
+        for i in 0..4 {
+            assert!(c.insert(format!("/f{i}"), Entry::build("/f", vec![0u8; 700])));
+        }
+        let resident = c.used_bytes();
+        assert!(resident > 0);
+        // Bigger than max_entry_bytes (capacity/4 = 2000): must be
+        // refused, evicting nothing — before this check, the insert
+        // emptied the whole cache and then evicted itself, leaving the
+        // cache cold on every request for the oversized file.
+        let big = Entry::build("/big", vec![0u8; 4000]);
+        assert!(big.cost() > c.max_entry_bytes());
+        assert!(!c.insert("/big".into(), big));
+        assert_eq!(c.used_bytes(), resident, "resident set must be untouched");
+        assert!(c.get("/big").is_none());
+        assert_eq!(c.rejected_oversized(), 1);
+        for i in 0..4 {
+            assert!(c.get(&format!("/f{i}")).is_some(), "/f{i} must survive");
+        }
     }
 
     #[test]

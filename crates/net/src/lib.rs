@@ -13,10 +13,18 @@
 //!   work; completions route back to the owning shard over per-shard
 //!   queues with coalesced socketpair wake-ups (one wake byte per
 //!   burst, not per job — the modern analogue of the paper's IPC
-//!   pipes). The send path is zero-copy: cached header and body
-//!   segments go out in a single gathered `writev(2)` (see
-//!   [`writev`]), with partial-write resumption tracked across
-//!   segment boundaries.
+//!   pipes). The body path is **two-tier**: small files are cached
+//!   pre-rendered and go out in a single gathered `writev(2)` (see
+//!   [`writev`]) with partial-write resumption tracked across segment
+//!   boundaries, while bodies above
+//!   [`server::NetConfig::sendfile_threshold_bytes`] (default
+//!   256 KiB) bypass the content cache entirely and stream from the
+//!   kernel page cache with `sendfile(2)` (see [`sendfile`]) — so the
+//!   in-memory cache budget holds only the small-file hot set, and a
+//!   multi-gigabyte response costs no userspace memory at all.
+//!   Oversized entries are likewise refused at cache admission
+//!   ([`cache::MAX_ENTRY_DIVISOR`]), so one huge body can never churn
+//!   a shard's working set.
 //! * [`mt::MtServer`] — **MT**: thread-per-connection with blocking
 //!   I/O and a shared, locked content cache, for comparison (the §3.2
 //!   trade-off discussion, measurable with `cargo bench -p
@@ -45,6 +53,7 @@
 pub mod cache;
 pub mod mt;
 pub mod poll;
+pub mod sendfile;
 pub mod server;
 pub mod writev;
 

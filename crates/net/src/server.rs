@@ -18,10 +18,16 @@
 //!   finishing helper routes the completion back to that shard's done
 //!   queue, coalescing wake-up bytes so a burst of completions costs
 //!   one pipe write, not one per job;
-//! * the hot send path is **zero-copy**: a response is queued as its
-//!   cached header and body segments and transmitted with a single
-//!   gathered `writev(2)` (see [`crate::writev`]), with partial-write
-//!   resumption tracked across segment boundaries.
+//! * the send path is **two-tier and zero-copy at both tiers**: small
+//!   bodies are queued as their cached header and body segments and
+//!   transmitted with a single gathered `writev(2)` (see
+//!   [`crate::writev`]), with partial-write resumption tracked across
+//!   segment boundaries; bodies above
+//!   [`NetConfig::sendfile_threshold_bytes`] never enter the content
+//!   cache at all — the helper hands the shard an open fd, the shard
+//!   sends the header with `writev` and the body with `sendfile(2)`
+//!   (see [`crate::sendfile`]) straight from the kernel page cache,
+//!   resuming partial sends from the same per-connection state.
 //!
 //! With `event_loops = 1` the behavior is byte-identical to the
 //! original single-loop server; with N shards the same architecture
@@ -29,6 +35,7 @@
 //! uniprocessor event loop.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::fs::File;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
@@ -46,6 +53,7 @@ use flash_http::Method;
 
 use crate::cache::{ContentCache, Entry};
 use crate::poll::{poll_fds, PollFd, POLL_IN, POLL_OUT};
+use crate::sendfile::send_file;
 use crate::writev::{writev_fd, MAX_IOV};
 
 /// Server configuration.
@@ -62,6 +70,12 @@ pub struct NetConfig {
     /// Number of independent event-loop shards. Default:
     /// `min(available cores, 8)`.
     pub event_loops: usize,
+    /// Bodies strictly larger than this bypass the content cache and
+    /// are served from the kernel page cache with `sendfile(2)` (see
+    /// [`crate::sendfile`]). Default 256 KiB — roughly where the cost
+    /// of one more copy through userspace overtakes the cost of the
+    /// extra syscall, and past the sweet spot of cache residency.
+    pub sendfile_threshold_bytes: u64,
 }
 
 impl NetConfig {
@@ -72,12 +86,19 @@ impl NetConfig {
             helpers: 4,
             cache_bytes: 64 * 1024 * 1024,
             event_loops: default_event_loops(),
+            sendfile_threshold_bytes: 256 * 1024,
         }
     }
 
     /// Same config pinned to `n` event-loop shards.
     pub fn with_event_loops(mut self, n: usize) -> Self {
         self.event_loops = n.max(1);
+        self
+    }
+
+    /// Same config with the large-body cutover at `bytes`.
+    pub fn with_sendfile_threshold(mut self, bytes: u64) -> Self {
+        self.sendfile_threshold_bytes = bytes;
         self
     }
 }
@@ -105,6 +126,14 @@ pub struct ShardStats {
     pub cache_hits: AtomicU64,
     /// Gathered `writev(2)` calls issued on the send path.
     pub writev_calls: AtomicU64,
+    /// `sendfile(2)` calls issued on the large-body path.
+    pub sendfile_calls: AtomicU64,
+    /// Body bytes transmitted via `sendfile(2)` (page cache → socket,
+    /// never through userspace).
+    pub bytes_sendfile: AtomicU64,
+    /// Gauge: bytes currently resident in this shard's content cache
+    /// (refreshed after every insert).
+    pub cache_used_bytes: AtomicU64,
 }
 
 /// Counters for a running server: per-shard atomics, aggregated on
@@ -145,6 +174,22 @@ impl ServerStats {
     /// Gathered writes issued across all shards.
     pub fn writev_calls(&self) -> u64 {
         self.sum(|s| &s.writev_calls)
+    }
+
+    /// `sendfile(2)` calls issued across all shards.
+    pub fn sendfile_calls(&self) -> u64 {
+        self.sum(|s| &s.sendfile_calls)
+    }
+
+    /// Body bytes served via `sendfile(2)` across all shards.
+    pub fn bytes_sendfile(&self) -> u64 {
+        self.sum(|s| &s.bytes_sendfile)
+    }
+
+    /// Bytes currently resident in the content caches, summed over
+    /// shards. Large-body responses must leave this untouched.
+    pub fn cache_used_bytes(&self) -> u64 {
+        self.sum(|s| &s.cache_used_bytes)
     }
 
     /// The per-shard counters (index = shard id).
@@ -204,15 +249,35 @@ struct Job {
     shard: usize,
 }
 
+/// What a helper hands back for a readable file: either the bytes
+/// themselves (small file, destined for the content cache) or an open
+/// descriptor plus its stat'ed length (large file, destined for the
+/// `sendfile` path — the shard never sees the body at all).
+enum FileData {
+    Bytes(Vec<u8>),
+    Fd { file: Arc<File>, len: u64 },
+}
+
 struct Done {
     path: String,
-    result: io::Result<Vec<u8>>,
+    result: io::Result<FileData>,
 }
 
 enum ConnState {
     Reading,
     Waiting,
     Writing,
+}
+
+/// Large-body transmission state: everything `sendfile(2)` needs to
+/// resume after a partial send, tracked per connection alongside
+/// `out`/`out_off`. The `File` is shared (`Arc`) among every
+/// connection currently streaming the same body — explicit offsets
+/// mean the kernel never touches the shared cursor.
+struct SendFileState {
+    file: Arc<File>,
+    offset: u64,
+    remaining: u64,
 }
 
 struct Conn {
@@ -224,6 +289,9 @@ struct Conn {
     out: VecDeque<Bytes>,
     /// Bytes of `out.front()` already transmitted.
     out_off: usize,
+    /// Large body pending transmission via `sendfile(2)`, sent after
+    /// `out` drains (the header always precedes the file bytes).
+    sendfile: Option<SendFileState>,
     keep_alive: bool,
     head_only: bool,
 }
@@ -270,10 +338,11 @@ impl Server {
             let rx = job_rx.clone();
             let txs = done_txs.clone();
             let wakes = shard_wakes.clone();
+            let threshold = cfg.sendfile_threshold_bytes;
             helper_threads.push(
                 std::thread::Builder::new()
                     .name(format!("flash-helper-{i}"))
-                    .spawn(move || helper_main(rx, txs, wakes))?,
+                    .spawn(move || helper_main(rx, txs, wakes, threshold))?,
             );
         }
         drop(done_txs);
@@ -399,12 +468,20 @@ fn acceptor_loop(
     }
 }
 
-/// Shared helper pool: executes disk reads and routes each completion
-/// back to the shard that requested it.
-fn helper_main(rx: Receiver<Job>, done_txs: Vec<Sender<Done>>, wakes: Vec<WakeHandle>) {
+/// Shared helper pool: executes disk opens/reads and routes each
+/// completion back to the shard that requested it. Bodies above
+/// `sendfile_threshold` come back as an owned fd + length instead of
+/// bytes, so a multi-gigabyte file never materializes in helper
+/// memory.
+fn helper_main(
+    rx: Receiver<Job>,
+    done_txs: Vec<Sender<Done>>,
+    wakes: Vec<WakeHandle>,
+    sendfile_threshold: u64,
+) {
     // The channel closes when every shard has dropped its job sender.
     while let Ok(job) = rx.recv() {
-        let result = read_file_checked(&job.fs_path);
+        let result = load_file_checked(&job.fs_path, sendfile_threshold);
         let shard = job.shard;
         if done_txs[shard]
             .send(Done {
@@ -419,16 +496,33 @@ fn helper_main(rx: Receiver<Job>, done_txs: Vec<Sender<Done>>, wakes: Vec<WakeHa
     }
 }
 
-/// Reads a regular file, refusing directories and anything unreadable.
-fn read_file_checked(p: &Path) -> io::Result<Vec<u8>> {
-    let meta = std::fs::metadata(p)?;
+/// Opens a regular file and decides its serving tier, refusing
+/// directories and anything unreadable.
+///
+/// The file is opened *first* and everything after that — the
+/// regular-file check, the length, the bytes read or the fd handed
+/// out — comes from the open descriptor (`fstat` semantics). The old
+/// `fs::metadata` + `fs::read` pair raced with path swaps: the
+/// metadata could describe one inode and the read return another.
+fn load_file_checked(p: &Path, sendfile_threshold: u64) -> io::Result<FileData> {
+    let file = File::open(p)?;
+    let meta = file.metadata()?; // fstat on the open fd — no second path lookup
     if !meta.is_file() {
         return Err(io::Error::new(
             io::ErrorKind::NotFound,
             "not a regular file",
         ));
     }
-    std::fs::read(p)
+    let len = meta.len();
+    if len > sendfile_threshold {
+        return Ok(FileData::Fd {
+            file: Arc::new(file),
+            len,
+        });
+    }
+    let mut body = Vec::with_capacity(len as usize);
+    (&file).read_to_end(&mut body)?;
+    Ok(FileData::Bytes(body))
 }
 
 /// Everything one shard owns: its cache, its miss-coalescing state,
@@ -477,9 +571,11 @@ fn shard_loop(
             fds.push(PollFd::new(c.stream.as_raw_fd(), events));
             fd_conn.push(i);
         }
-        // Block indefinitely: every producer (acceptor, helpers,
-        // stop()) wakes this shard through the pipe, so idle shards
-        // burn zero CPU. The 1s cap is a belt-and-braces bound.
+        // Poll with a 1 s cap: every producer (acceptor, helpers,
+        // stop()) wakes this shard through the pipe, so the cap is
+        // never the steady-state latency — it only bounds how long a
+        // lost wake could stall the loop. Idle shards cost one wakeup
+        // per second, not a spinning core.
         if poll_fds(&mut fds, 1000).is_err() {
             continue;
         }
@@ -497,6 +593,7 @@ fn shard_loop(
                     state: ConnState::Reading,
                     out: VecDeque::new(),
                     out_off: 0,
+                    sendfile: None,
                     keep_alive: false,
                     head_only: false,
                 };
@@ -521,20 +618,64 @@ fn shard_loop(
         }
         for (slot, fd) in fds[1..].iter().enumerate() {
             let idx = fd_conn[slot];
-            if fd.readable() || fd.writable() {
+            if !(fd.readable() || fd.writable()) {
+                continue;
+            }
+            // The wake-pipe drain above ran `drive_conn` for fresh
+            // connections and completions, which can close a
+            // connection and let its `conns` slot be reused by a new
+            // stream — with a recycled kernel fd number, even. The
+            // poll result in hand describes the *old* stream, so only
+            // drive the slot if it still holds the exact fd we polled.
+            let live = conns
+                .get(idx)
+                .and_then(|c| c.as_ref())
+                .is_some_and(|c| c.stream.as_raw_fd() == fd.fd);
+            if live {
                 drive_conn(idx, &mut conns, &mut ctx);
             }
         }
     }
 }
 
+/// A finished helper job, rendered into whatever each waiting
+/// connection needs queued.
+enum Completion {
+    /// Small body: a cached (or at least cacheable) in-memory entry.
+    Small(Arc<Entry>),
+    /// Large body: a shared fd for `sendfile`, with both header forms
+    /// pre-rendered once for the whole waiter list.
+    Large {
+        file: Arc<File>,
+        len: u64,
+        header_keep: Bytes,
+        header_close: Bytes,
+    },
+    Fail(Status, Bytes),
+}
+
 fn complete_job(done: Done, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) {
     ctx.pending_jobs.remove(&done.path);
-    let response: Result<Arc<Entry>, (Status, Bytes)> = match done.result {
-        Ok(body) => {
+    let completion = match done.result {
+        Ok(FileData::Bytes(body)) => {
             let entry = Entry::build(&done.path, body);
+            // Oversized-for-this-cache entries are refused by the
+            // admission check; the waiters below are still served from
+            // the entry directly.
             ctx.cache.insert(done.path.clone(), Arc::clone(&entry));
-            Ok(entry)
+            ctx.stats
+                .cache_used_bytes
+                .store(ctx.cache.used_bytes(), Ordering::Relaxed);
+            Completion::Small(entry)
+        }
+        Ok(FileData::Fd { file, len }) => {
+            let (header_keep, header_close) = crate::cache::header_pair(&done.path, len);
+            Completion::Large {
+                file,
+                len,
+                header_keep,
+                header_close,
+            }
         }
         Err(e) => {
             let status = match e.kind() {
@@ -542,16 +683,22 @@ fn complete_job(done: Done, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) {
                 io::ErrorKind::PermissionDenied => Status::Forbidden,
                 _ => Status::InternalError,
             };
-            Err((status, Bytes::from(error_body(status))))
+            Completion::Fail(status, Bytes::from(error_body(status)))
         }
     };
     for idx in ctx.waiters.remove(&done.path).unwrap_or_default() {
         let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
             continue;
         };
-        match &response {
-            Ok(entry) => queue_entry(conn, entry),
-            Err((status, body)) => queue_error(conn, *status, body.clone()),
+        match &completion {
+            Completion::Small(entry) => queue_entry(conn, entry),
+            Completion::Large {
+                file,
+                len,
+                header_keep,
+                header_close,
+            } => queue_sendfile(conn, file, *len, header_keep, header_close),
+            Completion::Fail(status, body) => queue_error(conn, *status, body.clone()),
         }
         conn.state = ConnState::Writing;
     }
@@ -566,6 +713,22 @@ fn queue_entry(conn: &mut Conn, entry: &Arc<Entry>) {
     conn.out.push_back(hdr);
     if !conn.head_only {
         conn.out.push_back(entry.body.clone());
+    }
+}
+
+/// Queues a large-body response: the pre-rendered header goes through
+/// the ordinary `writev` queue; the body rides as a [`SendFileState`]
+/// transmitted after the queue drains. HEAD gets the header (with the
+/// true `Content-Length`) and no file state at all.
+fn queue_sendfile(conn: &mut Conn, file: &Arc<File>, len: u64, keep: &Bytes, close: &Bytes) {
+    let hdr = if conn.keep_alive { keep } else { close };
+    conn.out.push_back(hdr.clone());
+    if !conn.head_only {
+        conn.sendfile = Some(SendFileState {
+            file: Arc::clone(file),
+            offset: 0,
+            remaining: len,
+        });
     }
 }
 
@@ -632,8 +795,9 @@ enum FlushResult {
     Error,
 }
 
-/// Drains `conn.out` with gathered writes: the happy path (cached
-/// header + body fitting the socket buffer) is exactly one `writev`.
+/// Drains `conn.out` with gathered writes — the happy path (cached
+/// header + body fitting the socket buffer) is exactly one `writev` —
+/// then streams any pending large body with `sendfile(2)`.
 fn flush_out(conn: &mut Conn, stats: &ShardStats) -> FlushResult {
     while !conn.out.is_empty() {
         let mut bufs: [&[u8]; MAX_IOV] = [&[]; MAX_IOV];
@@ -652,6 +816,44 @@ fn flush_out(conn: &mut Conn, stats: &ShardStats) -> FlushResult {
             }
             Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return FlushResult::WouldBlock,
             Err(_) => return FlushResult::Error,
+        }
+    }
+    // Header out; now the body, page cache → socket. On backpressure
+    // the state (offset/remaining) goes back on the connection and the
+    // poll loop retries when the socket is writable again.
+    //
+    // Fairness: a fast consumer of a huge file could keep `send_file`
+    // succeeding for seconds, monopolizing the shard's event loop. A
+    // per-visit byte budget bounds each connection's turn; an
+    // exhausted budget reports WouldBlock, so the connection rejoins
+    // the poll set (its socket is writable, so it is re-driven next
+    // iteration) and every other connection gets serviced in between.
+    const SENDFILE_VISIT_BUDGET: u64 = 1024 * 1024;
+    if let Some(mut sf) = conn.sendfile.take() {
+        let fd = conn.stream.as_raw_fd();
+        let mut budget = SENDFILE_VISIT_BUDGET;
+        while sf.remaining > 0 {
+            if budget == 0 {
+                conn.sendfile = Some(sf);
+                return FlushResult::WouldBlock;
+            }
+            match send_file(fd, &sf.file, &mut sf.offset, sf.remaining.min(budget)) {
+                // The file shrank after fstat: the promised
+                // Content-Length can no longer be honoured, so the
+                // only correct HTTP/1.x signal is a dropped connection.
+                Ok(0) => return FlushResult::Error,
+                Ok(n) => {
+                    stats.sendfile_calls.fetch_add(1, Ordering::Relaxed);
+                    stats.bytes_sendfile.fetch_add(n as u64, Ordering::Relaxed);
+                    sf.remaining -= n as u64;
+                    budget -= n as u64;
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    conn.sendfile = Some(sf);
+                    return FlushResult::WouldBlock;
+                }
+                Err(_) => return FlushResult::Error,
+            }
         }
     }
     FlushResult::Flushed

@@ -77,7 +77,11 @@ proptest! {
                     let entry = Entry::build(&path, vec![0xA5; size as usize]);
                     let cost = entry.cost();
                     prop_assert!(cost > 256, "entry-count bound must stay unreachable");
-                    cache.insert(path.clone(), entry);
+                    prop_assert!(
+                        cost <= cache.max_entry_bytes(),
+                        "bodies in this script stay below the admission bound"
+                    );
+                    prop_assert!(cache.insert(path.clone(), entry), "must be admitted");
                     model.insert(&path, cost);
                 }
                 Op::Get(k) => {

@@ -123,6 +123,147 @@ fn amped_streams_large_files_intact() {
     let body = body_of(&resp);
     assert_eq!(body.len(), 2_000_000);
     assert!(body.iter().all(|&b| b == 0xAB));
+    // 2 MB is far above the default 256 KiB threshold: this body went
+    // out via sendfile, not from the content cache.
+    assert!(server.stats().sendfile_calls() >= 1);
+    assert_eq!(server.stats().bytes_sendfile(), 2_000_000);
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// Reads one keep-alive response off `s`: returns (header text, body).
+fn read_response(s: &mut TcpStream) -> (String, Vec<u8>) {
+    let mut hdr = Vec::new();
+    let mut byte = [0u8; 1];
+    while !hdr.ends_with(b"\r\n\r\n") {
+        s.read_exact(&mut byte).unwrap();
+        hdr.push(byte[0]);
+    }
+    let text = String::from_utf8_lossy(&hdr).into_owned();
+    let len: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; len];
+    s.read_exact(&mut body).unwrap();
+    (text, body)
+}
+
+#[test]
+fn amped_sendfile_threshold_straddle_is_byte_exact() {
+    const T: u64 = 8 * 1024;
+    let root = docroot("straddle");
+    let mk = |n: usize| -> Vec<u8> { (0..n).map(|i| (i * 31 + 7) as u8).collect() };
+    // One byte below, exactly at, and one byte above the threshold:
+    // the first two stay on the cached/writev tier, the third crosses
+    // to sendfile ("strictly larger than" is the contract).
+    std::fs::write(root.join("below.bin"), mk(T as usize - 1)).unwrap();
+    std::fs::write(root.join("at.bin"), mk(T as usize)).unwrap();
+    std::fs::write(root.join("above.bin"), mk(T as usize + 1)).unwrap();
+    let server = Server::start(
+        "127.0.0.1:0",
+        NetConfig::new(&root)
+            .with_event_loops(1)
+            .with_sendfile_threshold(T),
+    )
+    .unwrap();
+    let addr = server.addr();
+    for (name, len) in [
+        ("below.bin", T as usize - 1),
+        ("at.bin", T as usize),
+        ("above.bin", T as usize + 1),
+    ] {
+        let resp = get(addr, &format!("GET /{name} HTTP/1.0\r\n\r\n"));
+        assert_eq!(body_of(&resp), &mk(len)[..], "{name} must be byte-exact");
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.bytes_sendfile(),
+        T + 1,
+        "only the strictly-larger body takes the sendfile tier"
+    );
+    assert!(stats.sendfile_calls() >= 1);
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn amped_sendfile_preserves_keep_alive() {
+    let root = docroot("sf-keepalive");
+    let body: Vec<u8> = (0..500_000usize).map(|i| (i * 13) as u8).collect();
+    std::fs::write(root.join("video.bin"), &body).unwrap();
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // Large (sendfile) request, then a small (cached) one on the SAME
+    // connection: the large response must neither close the stream nor
+    // leave stray bytes that would corrupt the next response.
+    s.write_all(b"GET /video.bin HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (hdr, got) = read_response(&mut s);
+    assert!(hdr.starts_with("HTTP/1.1 200 OK"), "{hdr}");
+    assert!(hdr.contains("Connection: keep-alive"));
+    assert_eq!(got, body);
+    s.write_all(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (hdr, got) = read_response(&mut s);
+    assert!(hdr.starts_with("HTTP/1.1 200 OK"), "{hdr}");
+    assert_eq!(got, b"<html>hello flash</html>\n");
+    assert!(server.stats().sendfile_calls() >= 1);
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn amped_head_on_large_file_sends_no_body() {
+    let root = docroot("sf-head");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    let resp = get(server.addr(), "HEAD /big.bin HTTP/1.0\r\n\r\n");
+    let text = String::from_utf8_lossy(&resp);
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    assert!(
+        text.contains("Content-Length: 2000000"),
+        "HEAD must advertise the true file length: {text}"
+    );
+    assert!(body_of(&resp).is_empty(), "HEAD must carry no body");
+    assert_eq!(
+        server.stats().sendfile_calls(),
+        0,
+        "no file bytes may move for a HEAD"
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn amped_large_bodies_never_enter_the_content_cache() {
+    let root = docroot("sf-cache");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(1)).unwrap();
+    let addr = server.addr();
+    // Warm the small-file hot set, then snapshot cache residency.
+    let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    let _ = get(addr, "GET /sub/page.html HTTP/1.0\r\n\r\n");
+    let resident = server.stats().cache_used_bytes();
+    assert!(resident > 0, "small files must be cached");
+    for _ in 0..3 {
+        let resp = get(addr, "GET /big.bin HTTP/1.0\r\n\r\n");
+        assert_eq!(body_of(&resp).len(), 2_000_000);
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.cache_used_bytes(),
+        resident,
+        "large bodies must not displace a single cached byte"
+    );
+    assert!(stats.sendfile_calls() >= 3);
+    assert_eq!(stats.bytes_sendfile(), 3 * 2_000_000);
+    // And the small entries are still hits, not re-reads.
+    let before = stats.helper_jobs();
+    let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    assert_eq!(server.stats().helper_jobs(), before, "hot set survived");
     server.stop();
     let _ = std::fs::remove_dir_all(root);
 }
