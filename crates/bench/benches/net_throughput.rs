@@ -2,16 +2,20 @@
 //! sharded AMPED (1 shard vs. N shards) against MT, so the multicore
 //! speedup is measured rather than asserted — plus a large-file
 //! scenario pitting the `sendfile(2)` tier against forcing the same
-//! body through the in-memory cache + `writev` tier.
+//! body through the in-memory cache + `writev` tier, and a many-idle-
+//! connections scenario (64 active among 1024 registered) pitting the
+//! edge-triggered `epoll` backend's O(ready fds) waits against the
+//! `poll` backend's O(watched fds) scans.
 //!
 //! Run with `cargo bench -p flash-bench --bench net_throughput`; under
 //! `cargo test` each configuration runs once as a smoke test.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+use flash_net::event::{ensure_fd_limit, resolve, BackendChoice, BackendKind};
 use flash_net::{MtServer, NetConfig, Server};
 
 const CLIENTS: usize = 8;
@@ -32,6 +36,32 @@ fn docroot(tag: &str) -> std::path::PathBuf {
     dir
 }
 
+/// Reads one keep-alive response off `reader` — status asserted 200,
+/// headers scanned for `Content-Length`, body read into `body` — and
+/// returns the body length. The one place bench clients parse HTTP.
+fn read_keepalive_response(reader: &mut impl std::io::BufRead, body: &mut Vec<u8>) -> usize {
+    let mut len: usize = 0;
+    let mut line = String::new();
+    let mut first = true;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("read header line");
+        if first {
+            assert!(line.starts_with("HTTP/1.1 200 OK"), "{line}");
+            first = false;
+        }
+        if let Some(v) = line.strip_prefix("Content-Length: ") {
+            len = v.trim().parse().unwrap();
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    body.resize(len, 0);
+    reader.read_exact(body).expect("read body");
+    len
+}
+
 /// One client: a persistent keep-alive connection issuing sequential
 /// requests and fully reading each response through a buffered reader
 /// (so the *server*, not client syscalls, is what gets measured).
@@ -47,25 +77,7 @@ fn client_run(addr: SocketAddr, id: usize, requests: usize) {
         writer
             .write_all(format!("GET {path} HTTP/1.1\r\nHost: b\r\n\r\n").as_bytes())
             .expect("send");
-        let mut len: usize = 0;
-        let mut line = String::new();
-        let mut first = true;
-        loop {
-            line.clear();
-            std::io::BufRead::read_line(&mut reader, &mut line).expect("read header line");
-            if first {
-                assert!(line.starts_with("HTTP/1.1 200 OK"), "{line}");
-                first = false;
-            }
-            if let Some(v) = line.strip_prefix("Content-Length: ") {
-                len = v.trim().parse().unwrap();
-            }
-            if line == "\r\n" || line == "\n" {
-                break;
-            }
-        }
-        body.resize(len, 0);
-        reader.read_exact(&mut body).expect("read body");
+        read_keepalive_response(&mut reader, &mut body);
     }
 }
 
@@ -149,25 +161,8 @@ fn client_large(addr: SocketAddr, requests: usize) {
         writer
             .write_all(b"GET /large.bin HTTP/1.1\r\nHost: b\r\n\r\n")
             .expect("send");
-        let mut len: usize = 0;
-        let mut line = String::new();
-        let mut first = true;
-        loop {
-            line.clear();
-            std::io::BufRead::read_line(&mut reader, &mut line).expect("read header line");
-            if first {
-                assert!(line.starts_with("HTTP/1.1 200 OK"), "{line}");
-                first = false;
-            }
-            if let Some(v) = line.strip_prefix("Content-Length: ") {
-                len = v.trim().parse().unwrap();
-            }
-            if line == "\r\n" || line == "\n" {
-                break;
-            }
-        }
+        let len = read_keepalive_response(&mut reader, &mut body);
         assert_eq!(len, LARGE_FILE_BYTES);
-        reader.read_exact(&mut body).expect("read body");
     }
 }
 
@@ -220,5 +215,100 @@ fn bench_large_file(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(net_throughput, bench_net_throughput, bench_large_file);
+const IDLE_CONNS: usize = 960;
+const IDLE_ACTIVE_CLIENTS: usize = 64;
+const IDLE_REQS: usize = 25;
+
+/// The workload the epoll backend exists for: a shard whose watch set
+/// is dominated by idle keep-alive connections (64 active among 1024
+/// registered). The poll backend hands all ~1k descriptors to the
+/// kernel on every wait; the epoll backend pays only for the ready
+/// ones, so its per-request cost stays flat as the idle population
+/// grows.
+fn bench_many_idle_connections(c: &mut Criterion) {
+    // Server + client ends live in this one process: ~2x descriptors.
+    if !ensure_fd_limit(((IDLE_CONNS + IDLE_ACTIVE_CLIENTS) * 2 + 256) as u64) {
+        eprintln!("skipping net_many_idle: cannot raise RLIMIT_NOFILE");
+        return;
+    }
+    let mut g = c.benchmark_group("net_many_idle");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    g.throughput(Throughput::Elements(
+        (IDLE_ACTIVE_CLIENTS * IDLE_REQS) as u64,
+    ));
+
+    let backends: &[BackendChoice] = if resolve(BackendChoice::Epoll) == BackendKind::Epoll {
+        &[BackendChoice::Epoll, BackendChoice::Poll]
+    } else {
+        &[BackendChoice::Poll]
+    };
+    for &choice in backends {
+        let root = docroot("many-idle");
+        let server = Server::start(
+            "127.0.0.1:0",
+            NetConfig::new(&root)
+                .with_event_loops(1)
+                .with_backend(choice)
+                // The idle population must survive the whole
+                // measurement; reaping is its own benchmark-distorting
+                // event, so it is off here.
+                .with_idle_timeout(None),
+        )
+        .unwrap();
+        let addr = server.addr();
+        let kind = server.backend();
+
+        // Park the idle population: each completes one request (so it
+        // is fully registered, in Reading state) and then goes silent.
+        let idle: Vec<TcpStream> = (0..IDLE_CONNS)
+            .map(|_| {
+                let mut s = TcpStream::connect(addr).expect("idle connect");
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                s.write_all(b"GET /f0.html HTTP/1.1\r\nHost: b\r\n\r\n")
+                    .expect("idle send");
+                let mut reader = std::io::BufReader::new(s.try_clone().unwrap());
+                let mut body = Vec::new();
+                read_keepalive_response(&mut reader, &mut body);
+                s
+            })
+            .collect();
+
+        g.bench_function(
+            &format!(
+                "{}_active_{IDLE_ACTIVE_CLIENTS}_among_{}",
+                kind.name(),
+                IDLE_CONNS + IDLE_ACTIVE_CLIENTS
+            ),
+            |b| {
+                b.iter(|| {
+                    let threads: Vec<_> = (0..IDLE_ACTIVE_CLIENTS)
+                        .map(|id| std::thread::spawn(move || client_run(addr, id, IDLE_REQS)))
+                        .collect();
+                    for t in threads {
+                        t.join().expect("active client");
+                    }
+                })
+            },
+        );
+        println!(
+            "{} backend: {} conns registered idle, events/wait gauge {:.2}",
+            kind.name(),
+            idle.len(),
+            server.stats().events_per_wait(),
+        );
+        drop(idle);
+        server.stop();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    g.finish();
+}
+
+criterion_group!(
+    net_throughput,
+    bench_net_throughput,
+    bench_large_file,
+    bench_many_idle_connections
+);
 criterion_main!(net_throughput);

@@ -6,11 +6,26 @@
 //! * [`server::Server`] — **sharded AMPED**: a lightweight acceptor
 //!   deals connections round-robin to `NetConfig::event_loops`
 //!   independent event-loop shards (default `min(cores, 8)`). Each
-//!   shard is the paper's server verbatim — a poll(2) loop (one small
-//!   FFI shim in [`poll`], no external I/O crates) that never blocks
-//!   on disk, with a **private** [`ContentCache`] so the request path
-//!   takes no locks. A **shared helper pool** performs all filesystem
-//!   work; completions route back to the owning shard over per-shard
+//!   shard multiplexes its connections through the pluggable
+//!   **readiness subsystem** in [`event`]: an [`EventBackend`] trait
+//!   with an edge-triggered `epoll(7)` implementation (Linux; raw FFI,
+//!   `EPOLLIN|EPOLLOUT|EPOLLET`, incremental `epoll_ctl` interest
+//!   updates — O(ready fds) per iteration) and a portable `poll(2)`
+//!   fallback (one small FFI shim in [`poll`], no external I/O crates;
+//!   O(watched fds) per iteration), selected by
+//!   [`server::NetConfig::backend`] (`Auto` = epoll on Linux,
+//!   overridable with `FLASH_EVENT_BACKEND=poll|epoll`). The loop is
+//!   written to the **edge-triggered contract** (see [`event`]): reads
+//!   drain to `EWOULDBLOCK`, write interest is armed only while a send
+//!   is in flight, and a voluntary mid-`sendfile` yield re-arms the
+//!   consumed edge. Keep-alive connections idle past
+//!   [`server::NetConfig::idle_timeout`] (default 30 s) are **reaped**
+//!   on the backend's wait cadence so dead clients stop pinning
+//!   descriptors. Shards never block on disk and own a **private**
+//!   [`ContentCache`] so the request path takes no locks. A **shared
+//!   helper pool** performs all filesystem work, popping its per-shard
+//!   job lanes round-robin so one cold-cache shard cannot starve the
+//!   others; completions route back to the owning shard over per-shard
 //!   queues with coalesced socketpair wake-ups (one wake byte per
 //!   burst, not per job — the modern analogue of the paper's IPC
 //!   pipes). The body path is **two-tier**: small files are cached
@@ -51,6 +66,7 @@
 //! ```
 
 pub mod cache;
+pub mod event;
 pub mod mt;
 pub mod poll;
 pub mod sendfile;
@@ -58,5 +74,6 @@ pub mod server;
 pub mod writev;
 
 pub use cache::{ContentCache, Entry};
+pub use event::{BackendChoice, BackendKind, EventBackend};
 pub use mt::MtServer;
 pub use server::{NetConfig, Server, ServerStats, ShardStats};

@@ -9,7 +9,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -22,13 +22,13 @@ use flash_http::Method;
 use parking_lot::Mutex;
 
 use crate::cache::{ContentCache, Entry};
-use crate::poll::{poll_fds, PollFd, POLL_IN};
-use crate::server::NetConfig;
+use crate::server::{prepare_accept_backend, run_accept_loop, AcceptSink, NetConfig};
 
 /// Handle to a running MT server.
 pub struct MtServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    stop_tx: UnixStream,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -37,49 +37,38 @@ impl MtServer {
     pub fn start(addr: impl ToSocketAddrs, cfg: NetConfig) -> io::Result<MtServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        // A short accept timeout lets the loop observe shutdown.
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let shutdown2 = Arc::clone(&shutdown);
+        // Shutdown wakes the accept loop through this pipe, so the
+        // loop blocks in its readiness backend with no timeout instead
+        // of polling on an arbitrary interval.
+        let (stop_tx, stop_rx) = UnixStream::pair()?;
         let cache = Arc::new(Mutex::new(ContentCache::new(cfg.cache_bytes)));
+        // Listener + stop pipe registered before the thread exists, so
+        // a backend that cannot watch them is a start error, not a
+        // silently deaf accept thread (same machinery as the AMPED
+        // acceptor — the loop itself is shared).
+        let backend = prepare_accept_backend(cfg.backend, &listener, &stop_rx)?;
         let accept_thread = std::thread::Builder::new()
             .name("flash-mt-accept".into())
             .spawn(move || {
-                let mut workers: Vec<JoinHandle<()>> = Vec::new();
-                let mut fds = [PollFd::new(listener.as_raw_fd(), POLL_IN)];
-                while !shutdown2.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let _ = stream.set_nodelay(true);
-                            let cache = Arc::clone(&cache);
-                            let cfg = cfg.clone();
-                            let flag = Arc::clone(&shutdown2);
-                            if let Ok(h) = std::thread::Builder::new()
-                                .name("flash-mt-conn".into())
-                                .spawn(move || serve_conn(stream, cache, cfg, flag))
-                            {
-                                workers.push(h);
-                            }
-                        }
-                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            // Block on the listener until a connection
-                            // actually arrives (bounded so shutdown is
-                            // honoured) instead of sleep-polling, which
-                            // quantized accept latency to the sleep.
-                            fds[0].revents = 0;
-                            let _ = poll_fds(&mut fds, 100);
-                        }
-                        Err(_) => break,
-                    }
-                    workers.retain(|h| !h.is_finished());
-                }
-                for h in workers {
+                let mut spawner = WorkerSpawner {
+                    workers: Vec::new(),
+                    cache,
+                    cfg,
+                    shutdown: Arc::clone(&shutdown2),
+                };
+                run_accept_loop(&listener, backend, &shutdown2, &mut spawner);
+                drop(stop_rx); // keep the read side alive until exit
+                for h in spawner.workers {
                     let _ = h.join();
                 }
             })?;
         Ok(MtServer {
             addr,
             shutdown,
+            stop_tx,
             accept_thread: Some(accept_thread),
         })
     }
@@ -92,9 +81,38 @@ impl MtServer {
     /// Stops the server and joins the accept loop.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        let _ = (&self.stop_tx).write_all(b"q");
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+    }
+}
+
+/// The MT accept sink: one blocking worker thread per connection,
+/// finished workers reaped between drains.
+struct WorkerSpawner {
+    workers: Vec<JoinHandle<()>>,
+    cache: Arc<Mutex<ContentCache>>,
+    cfg: NetConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl AcceptSink for WorkerSpawner {
+    fn on_conn(&mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let cache = Arc::clone(&self.cache);
+        let cfg = self.cfg.clone();
+        let flag = Arc::clone(&self.shutdown);
+        if let Ok(h) = std::thread::Builder::new()
+            .name("flash-mt-conn".into())
+            .spawn(move || serve_conn(stream, cache, cfg, flag))
+        {
+            self.workers.push(h);
+        }
+    }
+
+    fn after_drain(&mut self) {
+        self.workers.retain(|h| !h.is_finished());
     }
 }
 

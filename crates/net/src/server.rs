@@ -1,23 +1,38 @@
 //! The real AMPED web server, sharded across cores: N independent
-//! `poll(2)` event loops (one per core by default, capped at 8), each
-//! a faithful copy of the paper's single-process architecture
-//! (§3.4, §5), plus a shared helper pool for disk I/O.
+//! event loops (one per core by default, capped at 8), each a faithful
+//! copy of the paper's single-process architecture (§3.4, §5), plus a
+//! shared helper pool for disk I/O.
 //!
 //! Layout:
 //!
 //! * a **lightweight acceptor thread** owns the listening socket and
 //!   deals accepted connections round-robin to the shards over
 //!   per-shard channels, waking the target shard through its wake
-//!   socketpair;
-//! * each **shard** is the paper's event loop verbatim: it multiplexes
-//!   its connections with `poll(2)`, never touches the filesystem, and
-//!   owns a private [`ContentCache`] — no cross-shard locking anywhere
-//!   on the request path;
+//!   socketpair; it blocks in its own readiness backend with no
+//!   polling timeout — shutdown arrives as a byte on a dedicated stop
+//!   pipe;
+//! * each **shard** is the paper's event loop on the pluggable
+//!   readiness subsystem ([`crate::event`]): connections are
+//!   registered once with an [`EventBackend`] (edge-triggered `epoll`
+//!   on Linux, `poll(2)` elsewhere — [`NetConfig::backend`]) and their
+//!   interest is adjusted incrementally as the [`Conn`] state machine
+//!   moves (read interest while parsing, write interest only while a
+//!   send is in flight, none while a helper works). The loop is
+//!   written to the edge-triggered contract — drain reads to
+//!   `EWOULDBLOCK`, re-arm after a voluntary yield — which is also
+//!   correct under the level-triggered fallback. Each shard never
+//!   touches the filesystem and owns a private [`ContentCache`] — no
+//!   cross-shard locking anywhere on the request path. Keep-alive
+//!   connections idle past [`NetConfig::idle_timeout`] are reaped on
+//!   the backend's wait cadence, so dead clients stop pinning
+//!   descriptors and cache slots;
 //! * the **helper pool** is shared (disk parallelism is a global
-//!   resource): a miss enqueues a job tagged with its shard, and the
-//!   finishing helper routes the completion back to that shard's done
-//!   queue, coalescing wake-up bytes so a burst of completions costs
-//!   one pipe write, not one per job;
+//!   resource): a miss enqueues a job in its shard's lane of the
+//!   [`JobQueue`], and helpers pop the lanes **round-robin by shard**
+//!   — a cold-cache shard flooding its lane cannot starve the other
+//!   shards' disk latency. The finishing helper routes the completion
+//!   back to that shard's done queue, coalescing wake-up bytes so a
+//!   burst of completions costs one pipe write, not one per job;
 //! * the send path is **two-tier and zero-copy at both tiers**: small
 //!   bodies are queued as their cached header and body segments and
 //!   transmitted with a single gathered `writev(2)` (see
@@ -38,12 +53,13 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::os::unix::io::AsRawFd;
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -52,7 +68,7 @@ use flash_http::response::{error_body, ResponseHeader, Status};
 use flash_http::Method;
 
 use crate::cache::{ContentCache, Entry};
-use crate::poll::{poll_fds, PollFd, POLL_IN, POLL_OUT};
+use crate::event::{new_backend, BackendChoice, BackendKind, Event, EventBackend, Interest};
 use crate::sendfile::send_file;
 use crate::writev::{writev_fd, MAX_IOV};
 
@@ -76,6 +92,16 @@ pub struct NetConfig {
     /// of one more copy through userspace overtakes the cost of the
     /// extra syscall, and past the sweet spot of cache residency.
     pub sendfile_threshold_bytes: u64,
+    /// Readiness backend (see [`crate::event`]): `Auto` (default)
+    /// resolves to edge-triggered `epoll` on Linux and `poll` elsewhere,
+    /// overridable with `FLASH_EVENT_BACKEND=poll|epoll`; `Epoll`/`Poll`
+    /// pin a backend and ignore the environment.
+    pub backend: BackendChoice,
+    /// Keep-alive connections with no request in flight and no bytes
+    /// received for this long are closed by their shard, so dead
+    /// clients stop pinning descriptors and connection slots. `None`
+    /// disables reaping. Default 30 s.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl NetConfig {
@@ -87,6 +113,8 @@ impl NetConfig {
             cache_bytes: 64 * 1024 * 1024,
             event_loops: default_event_loops(),
             sendfile_threshold_bytes: 256 * 1024,
+            backend: BackendChoice::Auto,
+            idle_timeout: Some(Duration::from_secs(30)),
         }
     }
 
@@ -99,6 +127,19 @@ impl NetConfig {
     /// Same config with the large-body cutover at `bytes`.
     pub fn with_sendfile_threshold(mut self, bytes: u64) -> Self {
         self.sendfile_threshold_bytes = bytes;
+        self
+    }
+
+    /// Same config pinned to a readiness backend.
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Same config with the idle keep-alive reap threshold (`None`
+    /// disables reaping).
+    pub fn with_idle_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.idle_timeout = timeout;
         self
     }
 }
@@ -134,6 +175,14 @@ pub struct ShardStats {
     /// Gauge: bytes currently resident in this shard's content cache
     /// (refreshed after every insert).
     pub cache_used_bytes: AtomicU64,
+    /// Readiness `wait` calls this shard has issued.
+    pub wait_calls: AtomicU64,
+    /// Readiness events those waits returned (the ratio
+    /// `wait_events / wait_calls` is the batching gauge exposed as
+    /// [`ServerStats::events_per_wait`]).
+    pub wait_events: AtomicU64,
+    /// Keep-alive connections closed by the idle reaper.
+    pub idle_reaped: AtomicU64,
 }
 
 /// Counters for a running server: per-shard atomics, aggregated on
@@ -192,6 +241,33 @@ impl ServerStats {
         self.sum(|s| &s.cache_used_bytes)
     }
 
+    /// Readiness `wait` calls across all shards.
+    pub fn wait_calls(&self) -> u64 {
+        self.sum(|s| &s.wait_calls)
+    }
+
+    /// Readiness events delivered across all shards.
+    pub fn wait_events(&self) -> u64 {
+        self.sum(|s| &s.wait_events)
+    }
+
+    /// Gauge: mean readiness events per `wait` call — how much work
+    /// each kernel crossing amortizes. Rises with load (and with the
+    /// epoll backend under many-connection workloads, where a wait
+    /// returns only the ready descriptors instead of scanning all).
+    pub fn events_per_wait(&self) -> f64 {
+        let calls = self.wait_calls();
+        if calls == 0 {
+            return 0.0;
+        }
+        self.wait_events() as f64 / calls as f64
+    }
+
+    /// Keep-alive connections closed by the idle reaper, across shards.
+    pub fn idle_reaped(&self) -> u64 {
+        self.sum(|s| &s.idle_reaped)
+    }
+
     /// The per-shard counters (index = shard id).
     pub fn per_shard(&self) -> &[Arc<ShardStats>] {
         &self.shards
@@ -203,8 +279,11 @@ impl ServerStats {
 pub struct Server {
     addr: SocketAddr,
     stats: Arc<ServerStats>,
+    backend: BackendKind,
     shutdown: Arc<AtomicBool>,
     shard_wakes: Vec<WakeHandle>,
+    acceptor_stop: UnixStream,
+    jobs: Arc<JobQueue>,
     acceptor_thread: Option<JoinHandle<()>>,
     shard_threads: Vec<JoinHandle<()>>,
     helper_threads: Vec<JoinHandle<()>>,
@@ -214,7 +293,7 @@ pub struct Server {
 /// flag: a producer writes the wake byte only when it is the first to
 /// make the shard's work queues non-empty since the shard last
 /// drained, so a burst of completions floods neither the pipe nor the
-/// shard's poll loop.
+/// shard's event loop.
 #[derive(Clone)]
 struct WakeHandle {
     tx: Arc<UnixStream>,
@@ -247,6 +326,90 @@ struct Job {
     fs_path: PathBuf,
     /// Which shard's done queue the completion routes back to.
     shard: usize,
+}
+
+/// The shared helper-pool queue: one FIFO lane per shard, popped
+/// **round-robin by shard**. A single global FIFO let one cold-cache
+/// shard fill the queue and make every other shard's misses wait
+/// behind its backlog; rotating over lanes bounds any shard's
+/// head-of-line damage to one job per rotation while preserving FIFO
+/// order within a shard.
+struct JobQueue {
+    lanes: Mutex<JobLanes>,
+    ready: Condvar,
+}
+
+struct JobLanes {
+    queues: Vec<VecDeque<Job>>,
+    /// Next lane to serve; advances past each lane that yields a job.
+    cursor: usize,
+    queued: usize,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(n_shards: usize) -> Arc<JobQueue> {
+        Arc::new(JobQueue {
+            lanes: Mutex::new(JobLanes {
+                queues: (0..n_shards).map(|_| VecDeque::new()).collect(),
+                cursor: 0,
+                queued: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn push(&self, job: Job) {
+        let mut lanes = self.lanes.lock().unwrap_or_else(|e| e.into_inner());
+        if lanes.closed {
+            return;
+        }
+        let lane = job.shard;
+        lanes.queues[lane].push_back(job);
+        lanes.queued += 1;
+        drop(lanes);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next job in shard-rotation order; `None` once
+    /// the queue is closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut lanes = self.lanes.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = pop_round_robin(&mut lanes) {
+                return Some(job);
+            }
+            if lanes.closed {
+                return None;
+            }
+            lanes = self.ready.wait(lanes).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Wakes every blocked helper; subsequent pops drain then end.
+    fn close(&self) {
+        self.lanes.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Takes the next job starting at the rotation cursor, advancing the
+/// cursor past the lane served so consecutive pops visit lanes fairly.
+fn pop_round_robin(lanes: &mut JobLanes) -> Option<Job> {
+    if lanes.queued == 0 {
+        return None;
+    }
+    let n = lanes.queues.len();
+    for k in 0..n {
+        let lane = (lanes.cursor + k) % n;
+        if let Some(job) = lanes.queues[lane].pop_front() {
+            lanes.cursor = (lane + 1) % n;
+            lanes.queued -= 1;
+            return Some(job);
+        }
+    }
+    None
 }
 
 /// What a helper hands back for a readable file: either the bytes
@@ -294,6 +457,33 @@ struct Conn {
     sendfile: Option<SendFileState>,
     keep_alive: bool,
     head_only: bool,
+    /// Interest currently armed in the shard's event backend; the loop
+    /// reconciles this against the state machine after every drive.
+    interest: Interest,
+    /// Last time this connection was driven by readiness or a helper
+    /// completion — the idle reaper's clock.
+    last_activity: Instant,
+}
+
+/// Token for the shard's wake pipe (never a valid connection token:
+/// connection tokens carry a slot in the high half, and slot 2^32-1
+/// with fd 2^32-1 cannot occur).
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Packs a connection's identity into an event token: slot index in
+/// the high 32 bits, descriptor number in the low 32. The fd half lets
+/// the loop reject stale events after a slot is recycled — the same
+/// guard the old poll loop kept via its parallel fd array.
+fn conn_token(slot: usize, fd: RawFd) -> u64 {
+    ((slot as u64) << 32) | (fd as u32 as u64)
+}
+
+fn token_slot(token: u64) -> usize {
+    (token >> 32) as usize
+}
+
+fn token_fd(token: u64) -> RawFd {
+    token as u32 as RawFd
 }
 
 impl Server {
@@ -305,6 +495,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let n_shards = cfg.event_loops.max(1);
+        let backend = crate::event::resolve(cfg.backend);
 
         let shard_stats: Vec<Arc<ShardStats>> = (0..n_shards)
             .map(|_| Arc::new(ShardStats::default()))
@@ -313,9 +504,9 @@ impl Server {
             shards: shard_stats.clone(),
         });
 
-        // One shared job queue feeding the helper pool; per-shard done
+        // One shared helper queue with per-shard lanes; per-shard done
         // queues and wake pipes routing completions back.
-        let (job_tx, job_rx) = unbounded::<Job>();
+        let jobs = JobQueue::new(n_shards);
         let mut conn_txs = Vec::with_capacity(n_shards);
         let mut done_txs = Vec::with_capacity(n_shards);
         let mut shard_wakes = Vec::with_capacity(n_shards);
@@ -335,30 +526,35 @@ impl Server {
 
         let mut helper_threads = Vec::new();
         for i in 0..cfg.helpers.max(1) {
-            let rx = job_rx.clone();
+            let queue = Arc::clone(&jobs);
             let txs = done_txs.clone();
             let wakes = shard_wakes.clone();
             let threshold = cfg.sendfile_threshold_bytes;
             helper_threads.push(
                 std::thread::Builder::new()
                     .name(format!("flash-helper-{i}"))
-                    .spawn(move || helper_main(rx, txs, wakes, threshold))?,
+                    .spawn(move || helper_main(queue, txs, wakes, threshold))?,
             );
         }
         drop(done_txs);
-        drop(job_rx);
 
         // Each shard gets an equal slice of the cache budget: private
         // caches mean zero lock traffic at the cost of N-way
         // duplication of the hottest entries.
         let shard_cache_bytes = (cfg.cache_bytes / n_shards as u64).max(1);
         for (shard_id, conn_rx, done_rx, wake_rx, wake) in shard_setups {
+            // The backend is created and the wake pipe registered HERE
+            // so a failure (epoll watch limits, fd exhaustion) aborts
+            // start() with an error instead of leaving a silently dead
+            // shard the acceptor keeps dealing connections to.
+            let mut shard_backend = new_backend(cfg.backend);
+            shard_backend.register(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READ)?;
             let ctx = ShardCtx {
                 shard: shard_id,
                 cache: ContentCache::new(shard_cache_bytes),
                 waiters: HashMap::new(),
                 pending_jobs: HashSet::new(),
-                job_tx: job_tx.clone(),
+                jobs: Arc::clone(&jobs),
                 cfg: cfg.clone(),
                 stats: Arc::clone(&shard_stats[shard_id]),
             };
@@ -366,25 +562,48 @@ impl Server {
             shard_threads.push(
                 std::thread::Builder::new()
                     .name(format!("flash-shard-{shard_id}"))
-                    .spawn(move || shard_loop(ctx, conn_rx, done_rx, wake_rx, wake, shutdown2))?,
+                    .spawn(move || {
+                        shard_loop(
+                            ctx,
+                            conn_rx,
+                            done_rx,
+                            wake_rx,
+                            wake,
+                            shard_backend,
+                            shutdown2,
+                        )
+                    })?,
             );
         }
-        drop(job_tx);
 
+        let (acceptor_stop, stop_rx) = UnixStream::pair()?;
+        // Same principle: listener + stop pipe registered before the
+        // thread exists, so a deaf acceptor is a start() error.
+        let accept_backend = prepare_accept_backend(cfg.backend, &listener, &stop_rx)?;
         let shutdown2 = Arc::clone(&shutdown);
         let accept_stats = shard_stats.clone();
         let acceptor_wakes = shard_wakes.clone();
         let acceptor_thread = std::thread::Builder::new()
             .name("flash-acceptor".into())
             .spawn(move || {
-                acceptor_loop(listener, conn_txs, acceptor_wakes, accept_stats, shutdown2)
+                let mut dealer = ShardDealer {
+                    conn_txs,
+                    wakes: acceptor_wakes,
+                    stats: accept_stats,
+                    next: 0,
+                };
+                run_accept_loop(&listener, accept_backend, &shutdown2, &mut dealer);
+                drop(stop_rx); // keep the read side alive until exit
             })?;
 
         Ok(Server {
             addr,
             stats,
+            backend,
             shutdown,
             shard_wakes,
+            acceptor_stop,
+            jobs,
             acceptor_thread: Some(acceptor_thread),
             shard_threads,
             helper_threads,
@@ -401,9 +620,17 @@ impl Server {
         &self.stats
     }
 
+    /// The readiness backend this server resolved to at start.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
     /// Stops the server and joins all threads.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // The acceptor blocks with no timeout; its stop pipe is the
+        // only thing that can wake it.
+        let _ = (&self.acceptor_stop).write_all(b"q");
         for wake in &self.shard_wakes {
             wake.wake_force();
         }
@@ -413,58 +640,115 @@ impl Server {
         for t in self.shard_threads.drain(..) {
             let _ = t.join();
         }
+        // Shards are gone — no producer remains; release the helpers.
+        self.jobs.close();
         for t in self.helper_threads.drain(..) {
             let _ = t.join();
         }
     }
 }
 
-/// Accepts connections and deals them round-robin to the shards.
-fn acceptor_loop(
-    listener: TcpListener,
-    conn_txs: Vec<Sender<TcpStream>>,
-    wakes: Vec<WakeHandle>,
-    stats: Vec<Arc<ShardStats>>,
-    shutdown: Arc<AtomicBool>,
+/// Token for an accept loop's listener registration.
+const ACCEPT_LISTENER_TOKEN: u64 = 0;
+/// Token for an accept loop's stop pipe.
+const ACCEPT_STOP_TOKEN: u64 = 1;
+
+/// Creates an accept loop's readiness backend with the listener and
+/// stop pipe already registered — called on the *starting* thread so a
+/// registration failure surfaces as a start error rather than a
+/// silently deaf accept thread.
+pub(crate) fn prepare_accept_backend(
+    choice: BackendChoice,
+    listener: &TcpListener,
+    stop_rx: &UnixStream,
+) -> io::Result<Box<dyn EventBackend>> {
+    let mut backend = new_backend(choice);
+    stop_rx.set_nonblocking(true)?;
+    backend.register(listener.as_raw_fd(), ACCEPT_LISTENER_TOKEN, Interest::READ)?;
+    backend.register(stop_rx.as_raw_fd(), ACCEPT_STOP_TOKEN, Interest::READ)?;
+    Ok(backend)
+}
+
+/// What an accept loop does with each connection (and between drains);
+/// the loop mechanics — wait, drain, retry — are shared between the
+/// AMPED acceptor (deal to shards) and the MT server (spawn a worker).
+pub(crate) trait AcceptSink {
+    /// Called once per accepted connection.
+    fn on_conn(&mut self, stream: TcpStream);
+    /// Called once per wait/drain cycle (worker reaping and the like).
+    fn after_drain(&mut self) {}
+}
+
+/// The accept loop over a prepared backend (see
+/// [`prepare_accept_backend`]): blocks with an infinite timeout — the
+/// stop pipe is the shutdown signal, so no polling interval is burned
+/// while idle and shutdown latency is one pipe write, not a timeout
+/// expiry — and drains accepts to `EWOULDBLOCK` per readiness cycle.
+/// An accept failure other than `EWOULDBLOCK` (EMFILE/ENFILE under fd
+/// exhaustion) bounds the next wait to a short retry instead: the
+/// readiness edge is consumed but connections may still be queued, and
+/// an edge-triggered backend reports each arrival only once.
+pub(crate) fn run_accept_loop(
+    listener: &TcpListener,
+    mut backend: Box<dyn EventBackend>,
+    shutdown: &AtomicBool,
+    sink: &mut dyn AcceptSink,
 ) {
-    let mut next = 0usize;
-    let mut fds = [PollFd::new(listener.as_raw_fd(), POLL_IN)];
+    let mut events: Vec<Event> = Vec::new();
+    let mut retry_accept = false;
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        // Finite timeout so shutdown is honoured even when fully idle.
-        fds[0].revents = 0;
-        if poll_fds(&mut fds, 100).is_err() || !fds[0].readable() {
+        let timeout = if retry_accept { 10 } else { -1 };
+        if backend.wait(&mut events, timeout).is_err() {
             continue;
         }
-        loop {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if events.iter().any(|e| e.token == ACCEPT_LISTENER_TOKEN) || retry_accept {
+            retry_accept = false;
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => sink.on_conn(stream),
+                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        retry_accept = true;
+                        break;
                     }
-                    // One gathered write per response makes Nagle
-                    // pointless; disabling it removes the delayed-ACK
-                    // interaction on keep-alive connections.
-                    let _ = stream.set_nodelay(true);
-                    if conn_txs[next].send(stream).is_ok() {
-                        stats[next].accepted.fetch_add(1, Ordering::Relaxed);
-                        wakes[next].wake();
-                    }
-                    next = (next + 1) % conn_txs.len();
-                }
-                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(_) => {
-                    // Persistent failures (EMFILE/ENFILE under fd
-                    // exhaustion) leave the listener readable, so
-                    // without a pause this dedicated thread would spin
-                    // a full core retrying a doomed accept.
-                    std::thread::sleep(std::time::Duration::from_millis(10));
-                    break;
                 }
             }
         }
+        sink.after_drain();
+    }
+}
+
+/// The AMPED acceptor's sink: deals accepted connections round-robin
+/// to the shards, waking each target through its wake pipe.
+struct ShardDealer {
+    conn_txs: Vec<Sender<TcpStream>>,
+    wakes: Vec<WakeHandle>,
+    stats: Vec<Arc<ShardStats>>,
+    next: usize,
+}
+
+impl AcceptSink for ShardDealer {
+    fn on_conn(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // One gathered write per response makes Nagle pointless;
+        // disabling it removes the delayed-ACK interaction on
+        // keep-alive connections.
+        let _ = stream.set_nodelay(true);
+        if self.conn_txs[self.next].send(stream).is_ok() {
+            self.stats[self.next]
+                .accepted
+                .fetch_add(1, Ordering::Relaxed);
+            self.wakes[self.next].wake();
+        }
+        self.next = (self.next + 1) % self.conn_txs.len();
     }
 }
 
@@ -474,13 +758,14 @@ fn acceptor_loop(
 /// bytes, so a multi-gigabyte file never materializes in helper
 /// memory.
 fn helper_main(
-    rx: Receiver<Job>,
+    jobs: Arc<JobQueue>,
     done_txs: Vec<Sender<Done>>,
     wakes: Vec<WakeHandle>,
     sendfile_threshold: u64,
 ) {
-    // The channel closes when every shard has dropped its job sender.
-    while let Ok(job) = rx.recv() {
+    // `pop` rotates over the per-shard lanes; `None` means the server
+    // closed the queue at shutdown.
+    while let Some(job) = jobs.pop() {
         let result = load_file_checked(&job.fs_path, sendfile_threshold);
         let shard = job.shard;
         if done_txs[shard]
@@ -532,54 +817,70 @@ struct ShardCtx {
     cache: ContentCache,
     waiters: HashMap<String, Vec<usize>>,
     pending_jobs: HashSet<String>,
-    job_tx: Sender<Job>,
+    jobs: Arc<JobQueue>,
     cfg: NetConfig,
     stats: Arc<ShardStats>,
 }
 
-/// One event-loop shard: the paper's AMPED loop, verbatim, over this
-/// shard's private connection set.
+/// The interest the backend should have armed for a connection in this
+/// state: read while parsing, write only while a send is in flight,
+/// nothing while a helper owns the request (completions arrive on the
+/// wake pipe, not the socket).
+fn desired_interest(state: &ConnState) -> Interest {
+    match state {
+        ConnState::Reading => Interest::READ,
+        ConnState::Writing => Interest::WRITE,
+        ConnState::Waiting => Interest::NONE,
+    }
+}
+
+/// One event-loop shard: the paper's AMPED loop on the pluggable
+/// readiness backend, over this shard's private connection set.
+///
+/// Written to the edge-triggered contract (see [`crate::event`]):
+/// every drive runs the connection until `EWOULDBLOCK`, interest is
+/// reconciled with the state machine after each drive, and a voluntary
+/// yield (the `sendfile` fairness budget) re-arms the descriptor so
+/// the consumed writability edge is redelivered.
 fn shard_loop(
     mut ctx: ShardCtx,
     conn_rx: Receiver<TcpStream>,
     done_rx: Receiver<Done>,
     mut wake_rx: UnixStream,
     wake: WakeHandle,
+    // Created by Server::start with the wake pipe already registered,
+    // so backend failures abort startup instead of killing one shard.
+    mut backend: Box<dyn EventBackend>,
     shutdown: Arc<AtomicBool>,
 ) {
     let mut conns: Vec<Option<Conn>> = Vec::new();
-    // Persistent poll-set buffers, reused every iteration (cleared,
-    // never reallocated once grown).
-    let mut fds: Vec<PollFd> = Vec::new();
-    let mut fd_conn: Vec<usize> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut completed: Vec<usize> = Vec::new();
+    // The wait cap bounds how long a lost wake could stall the loop
+    // AND sets the idle-sweep cadence: a quarter of the reap threshold
+    // keeps reap latency within ~1.25x the configured timeout without
+    // costing idle shards more than one wakeup per second.
+    let idle_timeout = ctx.cfg.idle_timeout;
+    let wait_ms = match idle_timeout {
+        Some(t) => ((t.as_millis() / 4) as i64).clamp(10, 1000) as i32,
+        None => 1000,
+    };
+    let mut last_sweep = Instant::now();
 
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        // Poll set: [wake pipe, conns...].
-        fds.clear();
-        fd_conn.clear();
-        fds.push(PollFd::new(wake_rx.as_raw_fd(), POLL_IN));
-        for (i, c) in conns.iter().enumerate() {
-            let Some(c) = c else { continue };
-            let events = match c.state {
-                ConnState::Reading => POLL_IN,
-                ConnState::Writing => POLL_OUT,
-                ConnState::Waiting => continue,
-            };
-            fds.push(PollFd::new(c.stream.as_raw_fd(), events));
-            fd_conn.push(i);
-        }
-        // Poll with a 1 s cap: every producer (acceptor, helpers,
-        // stop()) wakes this shard through the pipe, so the cap is
-        // never the steady-state latency — it only bounds how long a
-        // lost wake could stall the loop. Idle shards cost one wakeup
-        // per second, not a spinning core.
-        if poll_fds(&mut fds, 1000).is_err() {
+        if backend.wait(&mut events, wait_ms).is_err() {
             continue;
         }
-        if fds[0].readable() {
+        ctx.stats.wait_calls.fetch_add(1, Ordering::Relaxed);
+        ctx.stats
+            .wait_events
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+        if events.iter().any(|e| e.token == WAKE_TOKEN) {
+            // Drain the pipe completely (edge-triggered: this event
+            // may be the only notification for any number of bytes).
             let mut sink = [0u8; 256];
             while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
             // Clear the coalescing flag *before* draining the queues:
@@ -587,55 +888,192 @@ fn shard_loop(
             // byte, so completions cannot be lost.
             wake.pending.store(false, Ordering::Release);
             while let Ok(stream) = conn_rx.try_recv() {
-                let conn = Conn {
-                    stream,
-                    parser: flash_http::RequestParser::new(),
-                    state: ConnState::Reading,
-                    out: VecDeque::new(),
-                    out_off: 0,
-                    sendfile: None,
-                    keep_alive: false,
-                    head_only: false,
-                };
-                let idx = match conns.iter_mut().position(|c| c.is_none()) {
-                    Some(i) => {
-                        conns[i] = Some(conn);
-                        i
-                    }
-                    None => {
-                        conns.push(Some(conn));
-                        conns.len() - 1
-                    }
-                };
-                // A freshly dealt connection usually has its request
-                // bytes in flight already; drive it immediately rather
-                // than waiting for the next poll round.
-                drive_conn(idx, &mut conns, &mut ctx);
+                admit_conn(stream, &mut conns, &mut ctx, &mut *backend);
             }
+            completed.clear();
             while let Ok(done) = done_rx.try_recv() {
-                complete_job(done, &mut conns, &mut ctx);
+                complete_job(done, &mut conns, &mut ctx, &mut completed);
+            }
+            // Completions flipped their waiters to Writing with the
+            // socket unarmed; drive them now — the socket is almost
+            // always writable, so the common case finishes here
+            // without ever arming write interest.
+            for idx in completed.drain(..) {
+                drive_and_sync(idx, &mut conns, &mut ctx, &mut *backend);
             }
         }
-        for (slot, fd) in fds[1..].iter().enumerate() {
-            let idx = fd_conn[slot];
-            if !(fd.readable() || fd.writable()) {
+        for ev in &events {
+            if ev.token == WAKE_TOKEN {
                 continue;
             }
-            // The wake-pipe drain above ran `drive_conn` for fresh
-            // connections and completions, which can close a
-            // connection and let its `conns` slot be reused by a new
-            // stream — with a recycled kernel fd number, even. The
-            // poll result in hand describes the *old* stream, so only
-            // drive the slot if it still holds the exact fd we polled.
+            let idx = token_slot(ev.token);
+            let fd = token_fd(ev.token);
+            // The wake-pipe drain above can close a connection and let
+            // its slot be reused by a new stream — with a recycled
+            // kernel fd number, even. The event in hand describes the
+            // *old* registration, so only drive the slot if it still
+            // holds the exact fd the token was minted with.
             let live = conns
                 .get(idx)
                 .and_then(|c| c.as_ref())
-                .is_some_and(|c| c.stream.as_raw_fd() == fd.fd);
+                .is_some_and(|c| c.stream.as_raw_fd() == fd);
             if live {
-                drive_conn(idx, &mut conns, &mut ctx);
+                drive_and_sync(idx, &mut conns, &mut ctx, &mut *backend);
+            }
+        }
+        if let Some(timeout) = idle_timeout {
+            if last_sweep.elapsed().as_millis() as i64 >= wait_ms as i64 {
+                reap_idle(timeout, &mut conns, &ctx, &mut *backend);
+                last_sweep = Instant::now();
             }
         }
     }
+}
+
+/// Places a freshly dealt connection in a slot, registers it with the
+/// backend, and drives it immediately — its request bytes are usually
+/// in flight already, so waiting for the first readiness event would
+/// add a wait's latency for nothing.
+fn admit_conn(
+    stream: TcpStream,
+    conns: &mut Vec<Option<Conn>>,
+    ctx: &mut ShardCtx,
+    backend: &mut dyn EventBackend,
+) {
+    let fd = stream.as_raw_fd();
+    let conn = Conn {
+        stream,
+        parser: flash_http::RequestParser::new(),
+        state: ConnState::Reading,
+        out: VecDeque::new(),
+        out_off: 0,
+        sendfile: None,
+        keep_alive: false,
+        head_only: false,
+        interest: Interest::READ,
+        last_activity: Instant::now(),
+    };
+    let idx = match conns.iter_mut().position(|c| c.is_none()) {
+        Some(i) => {
+            conns[i] = Some(conn);
+            i
+        }
+        None => {
+            conns.push(Some(conn));
+            conns.len() - 1
+        }
+    };
+    if backend
+        .register(fd, conn_token(idx, fd), Interest::READ)
+        .is_err()
+    {
+        // A connection the backend cannot watch can never progress.
+        conns[idx] = None;
+        return;
+    }
+    drive_and_sync(idx, conns, ctx, backend);
+}
+
+/// Closes connections whose keep-alive has sat idle past `timeout`.
+/// Only `Reading` connections qualify: a `Waiting` connection has a
+/// helper completion inbound (its waiter index must stay valid), and a
+/// `Writing` one is backpressured mid-response, not idle.
+fn reap_idle(
+    timeout: Duration,
+    conns: &mut [Option<Conn>],
+    ctx: &ShardCtx,
+    backend: &mut dyn EventBackend,
+) {
+    for slot in conns.iter_mut() {
+        let Some(conn) = slot else { continue };
+        if matches!(conn.state, ConnState::Reading) && conn.last_activity.elapsed() >= timeout {
+            let fd = conn.stream.as_raw_fd();
+            let _ = backend.deregister(fd);
+            *slot = None;
+            ctx.stats.idle_reaped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// How far one call to [`drive_conn`] got.
+enum Drive {
+    /// The slot is now empty (connection finished or died).
+    Closed,
+    /// Progress stopped on genuine backpressure or pending work; the
+    /// next readiness event or completion resumes it.
+    Blocked,
+    /// The connection *chose* to stop mid-send (fairness budget) while
+    /// its socket may still be writable — the consumed edge must be
+    /// re-armed or an edge-triggered backend never speaks again.
+    Yielded,
+}
+
+/// Drives one connection, then reconciles the backend with the result:
+/// deregisters a closed connection's descriptor, re-arms interest when
+/// the state machine moved, and forces an edge re-check after a
+/// voluntary yield.
+fn drive_and_sync(
+    idx: usize,
+    conns: &mut [Option<Conn>],
+    ctx: &mut ShardCtx,
+    backend: &mut dyn EventBackend,
+) {
+    let Some(fd) = conns
+        .get(idx)
+        .and_then(|c| c.as_ref())
+        .map(|c| c.stream.as_raw_fd())
+    else {
+        return;
+    };
+    if let Some(conn) = conns[idx].as_mut() {
+        conn.last_activity = Instant::now();
+    }
+    let outcome = drive_conn(idx, conns, ctx);
+    let token = conn_token(idx, fd);
+    match conns.get(idx).and_then(|c| c.as_ref()) {
+        None => {
+            // Deregister even though close() would eventually unhook
+            // it: the poll backend keeps a userspace table that would
+            // otherwise hand a recycled fd number to the kernel.
+            let _ = backend.deregister(fd);
+        }
+        Some(conn) => {
+            let want = desired_interest(&conn.state);
+            if want != conn.interest {
+                if backend.modify(fd, token, want).is_ok() {
+                    if let Some(c) = conns[idx].as_mut() {
+                        c.interest = want;
+                    }
+                } else {
+                    // Unwatchable means unreachable: drop it. If it
+                    // just went Waiting, its waiter index must go too —
+                    // the inbound helper completion would otherwise be
+                    // served to whatever connection reuses the slot.
+                    conns[idx] = None;
+                    let _ = backend.deregister(fd);
+                    if want == Interest::NONE {
+                        purge_waiter(ctx, idx);
+                    }
+                }
+            } else if matches!(outcome, Drive::Yielded) && backend.rearm(fd, token, want).is_err() {
+                // A consumed edge that cannot be re-armed is a
+                // permanent stall under ET (Writing conns are not even
+                // reaped): the connection can never progress, so close
+                // it rather than pin its fd and slot forever.
+                conns[idx] = None;
+                let _ = backend.deregister(fd);
+            }
+        }
+    }
+}
+
+/// Removes a dropped connection's index from every waiter list, so a
+/// helper completion can never be delivered to a recycled slot.
+fn purge_waiter(ctx: &mut ShardCtx, idx: usize) {
+    ctx.waiters.retain(|_, list| {
+        list.retain(|&w| w != idx);
+        !list.is_empty()
+    });
 }
 
 /// A finished helper job, rendered into whatever each waiting
@@ -654,7 +1092,15 @@ enum Completion {
     Fail(Status, Bytes),
 }
 
-fn complete_job(done: Done, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) {
+/// Renders a helper completion into every waiter's output queue,
+/// flipping them to `Writing` and appending their indices to
+/// `completed` for the caller to drive.
+fn complete_job(
+    done: Done,
+    conns: &mut [Option<Conn>],
+    ctx: &mut ShardCtx,
+    completed: &mut Vec<usize>,
+) {
     ctx.pending_jobs.remove(&done.path);
     let completion = match done.result {
         Ok(FileData::Bytes(body)) => {
@@ -701,6 +1147,7 @@ fn complete_job(done: Done, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) {
             Completion::Fail(status, body) => queue_error(conn, *status, body.clone()),
         }
         conn.state = ConnState::Writing;
+        completed.push(idx);
     }
 }
 
@@ -791,6 +1238,9 @@ enum FlushResult {
     Flushed,
     /// The socket backpressured; retry when writable.
     WouldBlock,
+    /// The fairness budget ran out with the socket still accepting —
+    /// the caller must re-arm the (consumed) writability edge.
+    Yielded,
     /// The connection is dead.
     Error,
 }
@@ -820,14 +1270,16 @@ fn flush_out(conn: &mut Conn, stats: &ShardStats) -> FlushResult {
     }
     // Header out; now the body, page cache → socket. On backpressure
     // the state (offset/remaining) goes back on the connection and the
-    // poll loop retries when the socket is writable again.
+    // event loop retries when the socket is writable again.
     //
     // Fairness: a fast consumer of a huge file could keep `send_file`
     // succeeding for seconds, monopolizing the shard's event loop. A
     // per-visit byte budget bounds each connection's turn; an
-    // exhausted budget reports WouldBlock, so the connection rejoins
-    // the poll set (its socket is writable, so it is re-driven next
-    // iteration) and every other connection gets serviced in between.
+    // exhausted budget reports Yielded — distinct from WouldBlock,
+    // because the socket is typically STILL writable, so under an
+    // edge-triggered backend no fresh edge would ever arrive: the
+    // caller re-arms the registration to get the event redelivered,
+    // and every other connection gets serviced in between.
     const SENDFILE_VISIT_BUDGET: u64 = 1024 * 1024;
     if let Some(mut sf) = conn.sendfile.take() {
         let fd = conn.stream.as_raw_fd();
@@ -835,7 +1287,7 @@ fn flush_out(conn: &mut Conn, stats: &ShardStats) -> FlushResult {
         while sf.remaining > 0 {
             if budget == 0 {
                 conn.sendfile = Some(sf);
-                return FlushResult::WouldBlock;
+                return FlushResult::Yielded;
             }
             match send_file(fd, &sf.file, &mut sf.offset, sf.remaining.min(budget)) {
                 // The file shrank after fstat: the promised
@@ -860,11 +1312,12 @@ fn flush_out(conn: &mut Conn, stats: &ShardStats) -> FlushResult {
 }
 
 /// Runs one connection's state machine as far as it will go without
-/// blocking.
-fn drive_conn(idx: usize, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) {
+/// blocking — reads drained to `EWOULDBLOCK`, writes until
+/// backpressure — and reports why it stopped.
+fn drive_conn(idx: usize, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) -> Drive {
     loop {
         let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
-            return;
+            return Drive::Closed;
         };
         match conn.state {
             ConnState::Reading => {
@@ -874,7 +1327,7 @@ fn drive_conn(idx: usize, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) {
                     ParseStatus::Done(req) => {
                         handle_request(idx, conn, req, ctx);
                         if matches!(conn.state, ConnState::Waiting) {
-                            return;
+                            return Drive::Blocked;
                         }
                         continue;
                     }
@@ -890,13 +1343,13 @@ fn drive_conn(idx: usize, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) {
                 match conn.stream.read(&mut buf) {
                     Ok(0) => {
                         conns[idx] = None;
-                        return;
+                        return Drive::Closed;
                     }
                     Ok(n) => match conn.parser.feed(&buf[..n]) {
                         ParseStatus::Done(req) => {
                             handle_request(idx, conn, req, ctx);
                             if matches!(conn.state, ConnState::Waiting) {
-                                return;
+                                return Drive::Blocked;
                             }
                         }
                         ParseStatus::Incomplete => {}
@@ -906,10 +1359,10 @@ fn drive_conn(idx: usize, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) {
                             conn.state = ConnState::Writing;
                         }
                     },
-                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return Drive::Blocked,
                     Err(_) => {
                         conns[idx] = None;
-                        return;
+                        return Drive::Closed;
                     }
                 }
             }
@@ -920,16 +1373,17 @@ fn drive_conn(idx: usize, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) {
                         conn.state = ConnState::Reading;
                     } else {
                         conns[idx] = None;
-                        return;
+                        return Drive::Closed;
                     }
                 }
-                FlushResult::WouldBlock => return,
+                FlushResult::WouldBlock => return Drive::Blocked,
+                FlushResult::Yielded => return Drive::Yielded,
                 FlushResult::Error => {
                     conns[idx] = None;
-                    return;
+                    return Drive::Closed;
                 }
             },
-            ConnState::Waiting => return,
+            ConnState::Waiting => return Drive::Blocked,
         }
     }
 }
@@ -960,7 +1414,7 @@ fn handle_request(idx: usize, conn: &mut Conn, req: Request, ctx: &mut ShardCtx)
     ctx.waiters.entry(path.clone()).or_default().push(idx);
     if ctx.pending_jobs.insert(path.clone()) {
         ctx.stats.helper_jobs.fetch_add(1, Ordering::Relaxed);
-        let _ = ctx.job_tx.send(Job {
+        ctx.jobs.push(Job {
             path,
             fs_path,
             shard: ctx.shard,
@@ -1057,5 +1511,83 @@ mod tests {
     fn default_event_loops_bounded() {
         let n = default_event_loops();
         assert!((1..=8).contains(&n));
+    }
+
+    #[test]
+    fn conn_token_roundtrips_slot_and_fd() {
+        for (slot, fd) in [(0usize, 0), (3, 17), (100_000, 1023), (1, i32::MAX)] {
+            let t = conn_token(slot, fd);
+            assert_eq!(token_slot(t), slot);
+            assert_eq!(token_fd(t), fd);
+            assert_ne!(t, WAKE_TOKEN);
+        }
+    }
+
+    fn job_for(shard: usize) -> Job {
+        Job {
+            path: format!("/{shard}"),
+            fs_path: PathBuf::new(),
+            shard,
+        }
+    }
+
+    #[test]
+    fn job_queue_rotates_across_shards() {
+        let q = JobQueue::new(3);
+        // Shard 0 floods its lane; shard 2 queues two jobs.
+        for _ in 0..4 {
+            q.push(job_for(0));
+        }
+        q.push(job_for(2));
+        q.push(job_for(2));
+        let mut order = Vec::new();
+        {
+            let mut lanes = q.lanes.lock().unwrap();
+            while let Some(job) = pop_round_robin(&mut lanes) {
+                order.push(job.shard);
+            }
+        }
+        // Rotation bounds shard 0's head-of-line damage to one job per
+        // visit: the starved shard is served every other pop, not
+        // after the whole backlog.
+        assert_eq!(order, vec![0, 2, 0, 2, 0, 0]);
+    }
+
+    #[test]
+    fn job_queue_preserves_fifo_within_a_shard() {
+        let q = JobQueue::new(2);
+        for i in 0..3 {
+            q.push(Job {
+                path: format!("/a{i}"),
+                fs_path: PathBuf::new(),
+                shard: 0,
+            });
+        }
+        let mut lanes = q.lanes.lock().unwrap();
+        let paths: Vec<String> = std::iter::from_fn(|| pop_round_robin(&mut lanes))
+            .map(|j| j.path)
+            .collect();
+        assert_eq!(paths, vec!["/a0", "/a1", "/a2"]);
+    }
+
+    #[test]
+    fn job_queue_close_releases_poppers() {
+        let q = JobQueue::new(1);
+        q.push(job_for(0));
+        q.close();
+        // Closed but not drained: the queued job still comes out...
+        assert!(q.pop().is_some());
+        // ...then pops end instead of blocking forever.
+        assert!(q.pop().is_none());
+        // And pushes after close are refused.
+        q.push(job_for(0));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn desired_interest_tracks_state_machine() {
+        assert_eq!(desired_interest(&ConnState::Reading), Interest::READ);
+        assert_eq!(desired_interest(&ConnState::Writing), Interest::WRITE);
+        assert_eq!(desired_interest(&ConnState::Waiting), Interest::NONE);
     }
 }

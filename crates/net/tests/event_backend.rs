@@ -1,0 +1,261 @@
+//! Direct tests of the readiness subsystem (`flash_net::event`):
+//! conformance shared by both backends, scale (≈1k registered
+//! sockets with a sparse active set — the workload the epoll backend
+//! exists for), and the edge-triggered re-arm contract across partial
+//! writes that the server's `sendfile` fairness yield depends on.
+
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+
+use flash_net::event::{ensure_fd_limit, new_backend, BackendChoice, BackendKind, Interest};
+
+/// ~1k registered sockets, 64 of them readable: every active token is
+/// reported (across however many wait batches it takes), no idle token
+/// ever is.
+fn sparse_ready_among_1k(choice: BackendChoice) {
+    const TOTAL: usize = 1024;
+    const ACTIVE: usize = 64;
+    // Each pair costs two descriptors; leave headroom for the harness.
+    assert!(
+        ensure_fd_limit((TOTAL * 2 + 128) as u64),
+        "cannot raise RLIMIT_NOFILE for the 1k-socket test"
+    );
+    let mut be = new_backend(choice);
+    let pairs: Vec<(UnixStream, UnixStream)> =
+        (0..TOTAL).map(|_| UnixStream::pair().unwrap()).collect();
+    for (i, (a, _b)) in pairs.iter().enumerate() {
+        a.set_nonblocking(true).unwrap();
+        be.register(a.as_raw_fd(), i as u64, Interest::READ)
+            .unwrap();
+    }
+    assert_eq!(be.registered(), TOTAL);
+
+    // Spread the active set across the registration order.
+    let active: BTreeSet<u64> = (0..ACTIVE).map(|k| (k * 16 + 3) as u64).collect();
+    for &i in &active {
+        (&pairs[i as usize].1).write_all(b"x").unwrap();
+    }
+
+    let mut got: BTreeSet<u64> = BTreeSet::new();
+    let mut evs = Vec::new();
+    // The epoll backend batches 256 events per wait; loop until the
+    // full active set has been reported.
+    for _ in 0..32 {
+        if got.len() == active.len() {
+            break;
+        }
+        let n = be.wait(&mut evs, 1000).unwrap();
+        assert!(n > 0, "active sockets pending but wait returned none");
+        for e in &evs {
+            assert!(e.readable, "token {} not readable", e.token);
+            assert!(
+                active.contains(&e.token),
+                "idle socket {} reported ready",
+                e.token
+            );
+            got.insert(e.token);
+        }
+    }
+    assert_eq!(got, active, "every active socket must be reported");
+
+    // Deregister the whole set; the backend must end empty.
+    for (a, _b) in &pairs {
+        be.deregister(a.as_raw_fd()).unwrap();
+    }
+    assert_eq!(be.registered(), 0);
+}
+
+#[test]
+fn poll_sparse_ready_among_1k() {
+    sparse_ready_among_1k(BackendChoice::Poll);
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+#[test]
+fn epoll_sparse_ready_among_1k() {
+    sparse_ready_among_1k(BackendChoice::Epoll);
+}
+
+/// Fills `w`'s send buffer until `EWOULDBLOCK`, returning bytes accepted.
+fn fill_until_blocked(w: &UnixStream) -> usize {
+    let chunk = [0x5Au8; 64 * 1024];
+    let mut sent = 0;
+    loop {
+        match (&*w).write(&chunk) {
+            Ok(n) => sent += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return sent,
+            Err(e) => panic!("unexpected write error: {e}"),
+        }
+    }
+}
+
+/// Drains everything currently buffered on `r`.
+fn drain(r: &UnixStream) -> usize {
+    let mut buf = [0u8; 64 * 1024];
+    let mut total = 0;
+    loop {
+        match (&*r).read(&mut buf) {
+            Ok(0) => return total,
+            Ok(n) => total += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return total,
+            Err(e) => panic!("unexpected read error: {e}"),
+        }
+    }
+}
+
+/// The edge-triggered re-arm contract across partial writes, asserted
+/// against the real epoll backend with ~1k other sockets registered —
+/// the exact situation of one `sendfile` stream yielding for fairness
+/// inside a shard full of idle keep-alive connections:
+///
+/// 1. consumed writability edges are NOT re-reported (this is what
+///    makes ET cheap, and what makes a missing re-arm a hang, not a
+///    slowdown);
+/// 2. `rearm` on a still-writable socket redelivers the edge (the
+///    fairness-yield resume path);
+/// 3. `rearm` on a blocked socket invents nothing;
+/// 4. the peer draining a full buffer is a fresh edge.
+#[cfg(any(target_os = "linux", target_os = "android"))]
+#[test]
+fn epoll_rearm_across_partial_writes_among_1k_sockets() {
+    const BACKGROUND: usize = 1000;
+    assert!(
+        ensure_fd_limit((BACKGROUND * 2 + 128) as u64),
+        "cannot raise RLIMIT_NOFILE"
+    );
+    let mut be = new_backend(BackendChoice::Epoll);
+    assert_eq!(be.kind(), BackendKind::Epoll);
+    assert!(be.edge_triggered());
+
+    // A quiet crowd: none of these may ever produce an event.
+    let crowd: Vec<(UnixStream, UnixStream)> = (0..BACKGROUND)
+        .map(|_| UnixStream::pair().unwrap())
+        .collect();
+    for (i, (a, _b)) in crowd.iter().enumerate() {
+        a.set_nonblocking(true).unwrap();
+        be.register(a.as_raw_fd(), 10_000 + i as u64, Interest::READ)
+            .unwrap();
+    }
+
+    const TOKEN: u64 = 42;
+    let (w, r) = UnixStream::pair().unwrap();
+    w.set_nonblocking(true).unwrap();
+    r.set_nonblocking(true).unwrap();
+    be.register(w.as_raw_fd(), TOKEN, Interest::WRITE).unwrap();
+    let mut evs = Vec::new();
+
+    // Fresh socket: the initial writability edge.
+    assert_eq!(be.wait(&mut evs, 1000).unwrap(), 1);
+    assert_eq!(evs[0].token, TOKEN);
+    assert!(evs[0].writable);
+
+    // Edge consumed, socket still writable: ET stays silent. A loop
+    // that "yielded" here without re-arming would hang forever.
+    assert_eq!(be.wait(&mut evs, 50).unwrap(), 0, "ET must not re-report");
+
+    // The fairness-yield path: re-arm with the socket still writable —
+    // the edge must be redelivered.
+    be.rearm(w.as_raw_fd(), TOKEN, Interest::WRITE).unwrap();
+    assert_eq!(be.wait(&mut evs, 1000).unwrap(), 1, "rearm must redeliver");
+    assert_eq!(evs[0].token, TOKEN);
+
+    // Partial write until the buffer is full: now genuinely blocked.
+    let sent = fill_until_blocked(&w);
+    assert!(sent > 0, "some bytes must land before EWOULDBLOCK");
+    assert_eq!(be.wait(&mut evs, 50).unwrap(), 0);
+
+    // Re-arm on a blocked socket must NOT invent readiness.
+    be.rearm(w.as_raw_fd(), TOKEN, Interest::WRITE).unwrap();
+    assert_eq!(
+        be.wait(&mut evs, 50).unwrap(),
+        0,
+        "rearm must not fabricate"
+    );
+
+    // The peer drains: writable again, delivered as a fresh edge.
+    let drained = drain(&r);
+    assert_eq!(drained, sent);
+    assert_eq!(be.wait(&mut evs, 1000).unwrap(), 1, "drain is a new edge");
+    assert_eq!(evs[0].token, TOKEN);
+    assert!(evs[0].writable);
+}
+
+/// Same re-arm sequence against the poll backend: level-triggered
+/// readiness makes rules 1/4 trivially true (readiness is re-reported
+/// every wait), but rule 2 and 3 — rearm redelivers iff actually
+/// writable — must hold identically, since the server runs one loop
+/// over both kernels.
+#[test]
+fn poll_rearm_reports_only_true_readiness() {
+    const TOKEN: u64 = 7;
+    let mut be = new_backend(BackendChoice::Poll);
+    assert!(!be.edge_triggered());
+    let (w, r) = UnixStream::pair().unwrap();
+    w.set_nonblocking(true).unwrap();
+    r.set_nonblocking(true).unwrap();
+    be.register(w.as_raw_fd(), TOKEN, Interest::WRITE).unwrap();
+    let mut evs = Vec::new();
+
+    // Writable, and (LT) re-reported for as long as it stays so.
+    assert_eq!(be.wait(&mut evs, 1000).unwrap(), 1);
+    be.rearm(w.as_raw_fd(), TOKEN, Interest::WRITE).unwrap();
+    assert_eq!(be.wait(&mut evs, 1000).unwrap(), 1);
+    assert!(evs[0].writable);
+
+    // Blocked: silent, rearm or not.
+    let sent = fill_until_blocked(&w);
+    assert_eq!(be.wait(&mut evs, 50).unwrap(), 0);
+    be.rearm(w.as_raw_fd(), TOKEN, Interest::WRITE).unwrap();
+    assert_eq!(be.wait(&mut evs, 50).unwrap(), 0);
+
+    // Drained: writable again.
+    assert_eq!(drain(&r), sent);
+    assert_eq!(be.wait(&mut evs, 1000).unwrap(), 1);
+    assert!(evs[0].writable);
+}
+
+/// Interest transitions mirror the server's state machine:
+/// READ → NONE (waiting on a helper) → WRITE (response queued) →
+/// READ (keep-alive). Both backends must deliver exactly the events
+/// the current interest asks for.
+fn interest_lifecycle(choice: BackendChoice) {
+    const TOKEN: u64 = 3;
+    let mut be = new_backend(choice);
+    let (a, mut b) = UnixStream::pair().unwrap();
+    a.set_nonblocking(true).unwrap();
+    be.register(a.as_raw_fd(), TOKEN, Interest::READ).unwrap();
+    let mut evs = Vec::new();
+
+    b.write_all(b"request").unwrap();
+    assert_eq!(be.wait(&mut evs, 1000).unwrap(), 1);
+    assert!(evs[0].readable);
+
+    // Waiting: interest NONE silences the still-readable socket.
+    be.modify(a.as_raw_fd(), TOKEN, Interest::NONE).unwrap();
+    assert_eq!(be.wait(&mut evs, 50).unwrap(), 0);
+
+    // Writing: the socket is writable, so switching interest delivers
+    // immediately — on epoll this is the MOD-re-arms guarantee that
+    // makes the Waiting→Writing transition race-free.
+    be.modify(a.as_raw_fd(), TOKEN, Interest::WRITE).unwrap();
+    assert_eq!(be.wait(&mut evs, 1000).unwrap(), 1);
+    assert!(evs[0].writable);
+
+    // Back to Reading: the unread request bytes resurface.
+    be.modify(a.as_raw_fd(), TOKEN, Interest::READ).unwrap();
+    assert_eq!(be.wait(&mut evs, 1000).unwrap(), 1);
+    assert!(evs[0].readable);
+}
+
+#[test]
+fn poll_interest_lifecycle() {
+    interest_lifecycle(BackendChoice::Poll);
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+#[test]
+fn epoll_interest_lifecycle() {
+    interest_lifecycle(BackendChoice::Epoll);
+}

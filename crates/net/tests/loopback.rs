@@ -1,11 +1,19 @@
 //! End-to-end tests of the real AMPED and MT servers over loopback,
 //! using plain `std::net::TcpStream` clients.
+//!
+//! The whole suite runs **twice**, parameterized over the readiness
+//! backend: once pinned to the edge-triggered `epoll` backend (which
+//! degrades to poll on platforms without epoll — the suite still
+//! passes, it just re-covers the fallback) and once pinned to the
+//! portable `poll` backend. The event loop is one code path written to
+//! the edge-triggered contract; these tests are what holds both
+//! kernels to identical observable behavior.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use flash_net::{MtServer, NetConfig, Server};
+use flash_net::{BackendChoice, BackendKind, MtServer, NetConfig, Server};
 
 /// Creates a docroot with known content; returns its path guard.
 fn docroot(tag: &str) -> std::path::PathBuf {
@@ -16,6 +24,12 @@ fn docroot(tag: &str) -> std::path::PathBuf {
     std::fs::write(dir.join("sub/page.html"), b"subdir page").unwrap();
     std::fs::write(dir.join("big.bin"), vec![0xABu8; 2_000_000]).unwrap();
     dir
+}
+
+/// Base config for a suite run: everything default except the pinned
+/// readiness backend.
+fn cfg(root: &std::path::Path, backend: BackendChoice) -> NetConfig {
+    NetConfig::new(root).with_backend(backend)
 }
 
 /// Sends one request and reads until EOF; returns the raw response.
@@ -34,101 +48,6 @@ fn body_of(response: &[u8]) -> &[u8] {
         .position(|w| w == b"\r\n\r\n")
         .expect("header terminator");
     &response[pos + 4..]
-}
-
-#[test]
-fn amped_serves_files_and_404s() {
-    let root = docroot("amped");
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
-    let addr = server.addr();
-
-    let resp = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
-    let text = String::from_utf8_lossy(&resp);
-    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
-    assert!(text.contains("Content-Type: text/html"));
-    assert_eq!(body_of(&resp), b"<html>hello flash</html>\n");
-
-    let resp = get(addr, "GET /sub/page.html HTTP/1.0\r\n\r\n");
-    assert_eq!(body_of(&resp), b"subdir page");
-
-    let resp = get(addr, "GET /nope.html HTTP/1.0\r\n\r\n");
-    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 404"));
-
-    // Directory request maps to index.html.
-    let resp = get(addr, "GET / HTTP/1.0\r\n\r\n");
-    assert_eq!(body_of(&resp), b"<html>hello flash</html>\n");
-
-    server.stop();
-    let _ = std::fs::remove_dir_all(root);
-}
-
-#[test]
-fn amped_second_request_hits_cache() {
-    let root = docroot("cache");
-    // One shard: all three connections share one content cache, so
-    // exactly one disk read happens (shards have private caches).
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(1)).unwrap();
-    let addr = server.addr();
-    let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
-    let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
-    let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
-    let stats = server.stats();
-    assert_eq!(stats.helper_jobs(), 1, "one disk read");
-    assert!(stats.cache_hits() >= 2);
-    assert_eq!(stats.requests(), 3);
-    server.stop();
-    let _ = std::fs::remove_dir_all(root);
-}
-
-#[test]
-fn amped_persistent_connection_serves_multiple_requests() {
-    let root = docroot("keepalive");
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
-    let mut s = TcpStream::connect(server.addr()).unwrap();
-    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-    for i in 0..5 {
-        s.write_all(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
-            .unwrap();
-        let mut hdr = Vec::new();
-        let mut byte = [0u8; 1];
-        // Read headers byte-by-byte until the blank line, then the body
-        // by Content-Length.
-        while !hdr.ends_with(b"\r\n\r\n") {
-            s.read_exact(&mut byte).unwrap();
-            hdr.push(byte[0]);
-        }
-        let text = String::from_utf8_lossy(&hdr);
-        assert!(text.starts_with("HTTP/1.1 200 OK"), "request {i}: {text}");
-        assert!(text.contains("Connection: keep-alive"));
-        let len: usize = text
-            .lines()
-            .find_map(|l| l.strip_prefix("Content-Length: "))
-            .unwrap()
-            .trim()
-            .parse()
-            .unwrap();
-        let mut body = vec![0u8; len];
-        s.read_exact(&mut body).unwrap();
-        assert_eq!(body, b"<html>hello flash</html>\n");
-    }
-    server.stop();
-    let _ = std::fs::remove_dir_all(root);
-}
-
-#[test]
-fn amped_streams_large_files_intact() {
-    let root = docroot("large");
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
-    let resp = get(server.addr(), "GET /big.bin HTTP/1.0\r\n\r\n");
-    let body = body_of(&resp);
-    assert_eq!(body.len(), 2_000_000);
-    assert!(body.iter().all(|&b| b == 0xAB));
-    // 2 MB is far above the default 256 KiB threshold: this body went
-    // out via sendfile, not from the content cache.
-    assert!(server.stats().sendfile_calls() >= 1);
-    assert_eq!(server.stats().bytes_sendfile(), 2_000_000);
-    server.stop();
-    let _ = std::fs::remove_dir_all(root);
 }
 
 /// Reads one keep-alive response off `s`: returns (header text, body).
@@ -152,10 +71,86 @@ fn read_response(s: &mut TcpStream) -> (String, Vec<u8>) {
     (text, body)
 }
 
-#[test]
-fn amped_sendfile_threshold_straddle_is_byte_exact() {
+fn run_serves_files_and_404s(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
+    let addr = server.addr();
+
+    let resp = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    let text = String::from_utf8_lossy(&resp);
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+    assert!(text.contains("Content-Type: text/html"));
+    assert_eq!(body_of(&resp), b"<html>hello flash</html>\n");
+
+    let resp = get(addr, "GET /sub/page.html HTTP/1.0\r\n\r\n");
+    assert_eq!(body_of(&resp), b"subdir page");
+
+    let resp = get(addr, "GET /nope.html HTTP/1.0\r\n\r\n");
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 404"));
+
+    // Directory request maps to index.html.
+    let resp = get(addr, "GET / HTTP/1.0\r\n\r\n");
+    assert_eq!(body_of(&resp), b"<html>hello flash</html>\n");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+fn run_second_request_hits_cache(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    // One shard: all three connections share one content cache, so
+    // exactly one disk read happens (shards have private caches).
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend).with_event_loops(1)).unwrap();
+    let addr = server.addr();
+    let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    let stats = server.stats();
+    assert_eq!(stats.helper_jobs(), 1, "one disk read");
+    assert!(stats.cache_hits() >= 2);
+    assert_eq!(stats.requests(), 3);
+    assert!(stats.wait_calls() > 0, "stats must count backend waits");
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+fn run_persistent_connection(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    for i in 0..5 {
+        s.write_all(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (text, body) = read_response(&mut s);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "request {i}: {text}");
+        assert!(text.contains("Connection: keep-alive"));
+        assert_eq!(body, b"<html>hello flash</html>\n");
+    }
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+fn run_streams_large_files_intact(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
+    let resp = get(server.addr(), "GET /big.bin HTTP/1.0\r\n\r\n");
+    let body = body_of(&resp);
+    assert_eq!(body.len(), 2_000_000);
+    assert!(body.iter().all(|&b| b == 0xAB));
+    // 2 MB is far above the default 256 KiB threshold: this body went
+    // out via sendfile, not from the content cache. It is also above
+    // the 1 MiB fairness budget, so the transfer crossed at least one
+    // voluntary yield — the re-arm path both backends must get right.
+    assert!(server.stats().sendfile_calls() >= 1);
+    assert_eq!(server.stats().bytes_sendfile(), 2_000_000);
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+fn run_sendfile_threshold_straddle(tag: &str, backend: BackendChoice) {
     const T: u64 = 8 * 1024;
-    let root = docroot("straddle");
+    let root = docroot(tag);
     let mk = |n: usize| -> Vec<u8> { (0..n).map(|i| (i * 31 + 7) as u8).collect() };
     // One byte below, exactly at, and one byte above the threshold:
     // the first two stay on the cached/writev tier, the third crosses
@@ -165,7 +160,7 @@ fn amped_sendfile_threshold_straddle_is_byte_exact() {
     std::fs::write(root.join("above.bin"), mk(T as usize + 1)).unwrap();
     let server = Server::start(
         "127.0.0.1:0",
-        NetConfig::new(&root)
+        cfg(&root, backend)
             .with_event_loops(1)
             .with_sendfile_threshold(T),
     )
@@ -190,12 +185,11 @@ fn amped_sendfile_threshold_straddle_is_byte_exact() {
     let _ = std::fs::remove_dir_all(root);
 }
 
-#[test]
-fn amped_sendfile_preserves_keep_alive() {
-    let root = docroot("sf-keepalive");
+fn run_sendfile_preserves_keep_alive(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
     let body: Vec<u8> = (0..500_000usize).map(|i| (i * 13) as u8).collect();
     std::fs::write(root.join("video.bin"), &body).unwrap();
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
     let mut s = TcpStream::connect(server.addr()).unwrap();
     s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
     // Large (sendfile) request, then a small (cached) one on the SAME
@@ -217,10 +211,9 @@ fn amped_sendfile_preserves_keep_alive() {
     let _ = std::fs::remove_dir_all(root);
 }
 
-#[test]
-fn amped_head_on_large_file_sends_no_body() {
-    let root = docroot("sf-head");
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+fn run_head_on_large_file(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
     let resp = get(server.addr(), "HEAD /big.bin HTTP/1.0\r\n\r\n");
     let text = String::from_utf8_lossy(&resp);
     assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
@@ -238,10 +231,9 @@ fn amped_head_on_large_file_sends_no_body() {
     let _ = std::fs::remove_dir_all(root);
 }
 
-#[test]
-fn amped_large_bodies_never_enter_the_content_cache() {
-    let root = docroot("sf-cache");
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(1)).unwrap();
+fn run_large_bodies_never_enter_cache(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend).with_event_loops(1)).unwrap();
     let addr = server.addr();
     // Warm the small-file hot set, then snapshot cache residency.
     let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
@@ -268,10 +260,9 @@ fn amped_large_bodies_never_enter_the_content_cache() {
     let _ = std::fs::remove_dir_all(root);
 }
 
-#[test]
-fn amped_handles_concurrent_clients() {
-    let root = docroot("concurrent");
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+fn run_concurrent_clients(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
     let addr = server.addr();
     let threads: Vec<_> = (0..16)
         .map(|i| {
@@ -296,14 +287,15 @@ fn amped_handles_concurrent_clients() {
     let _ = std::fs::remove_dir_all(root);
 }
 
-#[test]
-fn amped_pipelined_keep_alive_requests_on_one_connection() {
-    let root = docroot("pipeline");
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+fn run_pipelined_keep_alive(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
     let mut s = TcpStream::connect(server.addr()).unwrap();
     s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
     // Three keep-alive requests in a single write: the server must
-    // serve all three back-to-back without waiting for more bytes.
+    // serve all three back-to-back without waiting for more bytes —
+    // under the edge-triggered backend this only works if the read
+    // path drains the whole burst off one readiness event.
     let burst = "GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n\
                  GET /sub/page.html HTTP/1.1\r\nHost: t\r\n\r\n\
                  GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n";
@@ -314,24 +306,8 @@ fn amped_pipelined_keep_alive_requests_on_one_connection() {
         b"<html>hello flash</html>\n",
     ];
     for (i, expected) in expected_bodies.iter().enumerate() {
-        let mut hdr = Vec::new();
-        let mut byte = [0u8; 1];
-        while !hdr.ends_with(b"\r\n\r\n") {
-            s.read_exact(&mut byte)
-                .unwrap_or_else(|e| panic!("response {i}: {e}"));
-            hdr.push(byte[0]);
-        }
-        let text = String::from_utf8_lossy(&hdr);
+        let (text, body) = read_response(&mut s);
         assert!(text.starts_with("HTTP/1.1 200 OK"), "response {i}: {text}");
-        let len: usize = text
-            .lines()
-            .find_map(|l| l.strip_prefix("Content-Length: "))
-            .unwrap()
-            .trim()
-            .parse()
-            .unwrap();
-        let mut body = vec![0u8; len];
-        s.read_exact(&mut body).unwrap();
         assert_eq!(&body[..], *expected, "response {i}");
     }
     assert_eq!(server.stats().requests(), 3);
@@ -339,10 +315,9 @@ fn amped_pipelined_keep_alive_requests_on_one_connection() {
     let _ = std::fs::remove_dir_all(root);
 }
 
-#[test]
-fn amped_shards_spread_connections_round_robin() {
-    let root = docroot("shards");
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(4)).unwrap();
+fn run_shards_spread_round_robin(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend).with_event_loops(4)).unwrap();
     let addr = server.addr();
     assert_eq!(server.stats().per_shard().len(), 4);
     for _ in 0..32 {
@@ -364,10 +339,9 @@ fn amped_shards_spread_connections_round_robin() {
     let _ = std::fs::remove_dir_all(root);
 }
 
-#[test]
-fn amped_cache_hit_is_one_writev_call() {
-    let root = docroot("writev");
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(1)).unwrap();
+fn run_cache_hit_is_one_writev(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend).with_event_loops(1)).unwrap();
     let addr = server.addr();
     // Warm the cache, then measure the syscall count of a hit.
     let _ = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
@@ -385,10 +359,9 @@ fn amped_cache_hit_is_one_writev_call() {
     let _ = std::fs::remove_dir_all(root);
 }
 
-#[test]
-fn amped_rejects_bad_requests_and_post() {
-    let root = docroot("bad");
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+fn run_rejects_bad_requests_and_post(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
     let addr = server.addr();
     let resp = get(addr, "BOGUS /x HTTP/9.9\r\n\r\n");
     assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 400"));
@@ -401,10 +374,9 @@ fn amped_rejects_bad_requests_and_post() {
     let _ = std::fs::remove_dir_all(root);
 }
 
-#[test]
-fn amped_head_returns_headers_only() {
-    let root = docroot("head");
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+fn run_head_returns_headers_only(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
     let resp = get(server.addr(), "HEAD /index.html HTTP/1.0\r\n\r\n");
     let text = String::from_utf8_lossy(&resp);
     assert!(text.starts_with("HTTP/1.1 200 OK"));
@@ -414,10 +386,9 @@ fn amped_head_returns_headers_only() {
     let _ = std::fs::remove_dir_all(root);
 }
 
-#[test]
-fn amped_headers_are_alignment_padded() {
-    let root = docroot("align");
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+fn run_headers_are_alignment_padded(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
     let resp = get(server.addr(), "GET /index.html HTTP/1.0\r\n\r\n");
     let pos = resp.windows(4).position(|w| w == b"\r\n\r\n").unwrap();
     assert_eq!((pos + 4) % 32, 0, "header must be 32-byte aligned (§5.5)");
@@ -425,10 +396,73 @@ fn amped_headers_are_alignment_padded() {
     let _ = std::fs::remove_dir_all(root);
 }
 
-#[test]
-fn mt_server_serves_and_shares_cache() {
-    let root = docroot("mt");
-    let server = MtServer::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+/// Idle keep-alive reaping: a parked connection is closed once it sits
+/// past `idle_timeout`, while a connection that keeps issuing requests
+/// survives — activity resets its clock.
+fn run_idle_reaper(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    // A generous timeout relative to the active client's 150 ms
+    // request spacing: a CI scheduler stall would need to exceed a
+    // full second before the survivor could be mis-reaped.
+    let server = Server::start(
+        "127.0.0.1:0",
+        cfg(&root, backend)
+            .with_event_loops(1)
+            .with_idle_timeout(Some(Duration::from_millis(1200))),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // The idler completes one request, then goes quiet.
+    let mut idler = TcpStream::connect(addr).unwrap();
+    idler
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    idler
+        .write_all(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (hdr, _) = read_response(&mut idler);
+    assert!(hdr.contains("Connection: keep-alive"), "{hdr}");
+
+    // The active client keeps requesting well inside the timeout.
+    let mut active = TcpStream::connect(addr).unwrap();
+    active
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for _ in 0..10 {
+        active
+            .write_all(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (hdr, _) = read_response(&mut active);
+        assert!(hdr.starts_with("HTTP/1.1 200 OK"), "{hdr}");
+        std::thread::sleep(Duration::from_millis(150));
+    }
+
+    // ~1.5 s have passed: the idler must be gone (EOF, not a hang);
+    // the blocking read returns 0 the moment the reaper closes it.
+    let mut buf = [0u8; 16];
+    let n = idler.read(&mut buf).unwrap();
+    assert_eq!(n, 0, "reaper must close the idle connection");
+    assert!(
+        server.stats().idle_reaped() >= 1,
+        "reap must be counted: {}",
+        server.stats().idle_reaped()
+    );
+
+    // The active connection is still serviceable.
+    active
+        .write_all(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (hdr, _) = read_response(&mut active);
+    assert!(hdr.starts_with("HTTP/1.1 200 OK"), "survivor died: {hdr}");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+fn run_mt_server(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = MtServer::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
     let addr = server.addr();
     let threads: Vec<_> = (0..8)
         .map(|_| {
@@ -448,4 +482,132 @@ fn mt_server_serves_and_shares_cache() {
     assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 404"));
     server.stop();
     let _ = std::fs::remove_dir_all(root);
+}
+
+fn run_backend_resolution(tag: &str, backend: BackendChoice, expect: BackendKind) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
+    assert_eq!(server.backend(), expect);
+    // Sanity: the resolved backend actually serves.
+    let resp = get(server.addr(), "GET /index.html HTTP/1.0\r\n\r\n");
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 200"));
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// Instantiates the full suite for one pinned backend; test names keep
+/// their historical `amped_*`/`mt_*` forms inside a per-backend module.
+macro_rules! backend_suite {
+    ($modname:ident, $backend:expr) => {
+        mod $modname {
+            use super::*;
+
+            fn tag(name: &str) -> String {
+                format!("{}-{name}", stringify!($modname))
+            }
+
+            #[test]
+            fn amped_serves_files_and_404s() {
+                run_serves_files_and_404s(&tag("serves"), $backend);
+            }
+
+            #[test]
+            fn amped_second_request_hits_cache() {
+                run_second_request_hits_cache(&tag("cache"), $backend);
+            }
+
+            #[test]
+            fn amped_persistent_connection_serves_multiple_requests() {
+                run_persistent_connection(&tag("keepalive"), $backend);
+            }
+
+            #[test]
+            fn amped_streams_large_files_intact() {
+                run_streams_large_files_intact(&tag("large"), $backend);
+            }
+
+            #[test]
+            fn amped_sendfile_threshold_straddle_is_byte_exact() {
+                run_sendfile_threshold_straddle(&tag("straddle"), $backend);
+            }
+
+            #[test]
+            fn amped_sendfile_preserves_keep_alive() {
+                run_sendfile_preserves_keep_alive(&tag("sf-keepalive"), $backend);
+            }
+
+            #[test]
+            fn amped_head_on_large_file_sends_no_body() {
+                run_head_on_large_file(&tag("sf-head"), $backend);
+            }
+
+            #[test]
+            fn amped_large_bodies_never_enter_the_content_cache() {
+                run_large_bodies_never_enter_cache(&tag("sf-cache"), $backend);
+            }
+
+            #[test]
+            fn amped_handles_concurrent_clients() {
+                run_concurrent_clients(&tag("concurrent"), $backend);
+            }
+
+            #[test]
+            fn amped_pipelined_keep_alive_requests_on_one_connection() {
+                run_pipelined_keep_alive(&tag("pipeline"), $backend);
+            }
+
+            #[test]
+            fn amped_shards_spread_connections_round_robin() {
+                run_shards_spread_round_robin(&tag("shards"), $backend);
+            }
+
+            #[test]
+            fn amped_cache_hit_is_one_writev_call() {
+                run_cache_hit_is_one_writev(&tag("writev"), $backend);
+            }
+
+            #[test]
+            fn amped_rejects_bad_requests_and_post() {
+                run_rejects_bad_requests_and_post(&tag("bad"), $backend);
+            }
+
+            #[test]
+            fn amped_head_returns_headers_only() {
+                run_head_returns_headers_only(&tag("head"), $backend);
+            }
+
+            #[test]
+            fn amped_headers_are_alignment_padded() {
+                run_headers_are_alignment_padded(&tag("align"), $backend);
+            }
+
+            #[test]
+            fn amped_reaps_idle_keep_alive_connections() {
+                run_idle_reaper(&tag("reaper"), $backend);
+            }
+
+            #[test]
+            fn mt_server_serves_and_shares_cache() {
+                run_mt_server(&tag("mt"), $backend);
+            }
+        }
+    };
+}
+
+backend_suite!(epoll_backend, BackendChoice::Epoll);
+backend_suite!(poll_backend, BackendChoice::Poll);
+
+#[test]
+fn poll_choice_resolves_to_poll_everywhere() {
+    run_backend_resolution("resolve-poll", BackendChoice::Poll, BackendKind::Poll);
+}
+
+#[test]
+fn epoll_choice_resolves_to_platform_best() {
+    let expect = if cfg!(any(target_os = "linux", target_os = "android")) {
+        BackendKind::Epoll
+    } else {
+        BackendKind::Poll
+    };
+    run_backend_resolution("resolve-epoll", BackendChoice::Epoll, expect);
 }
