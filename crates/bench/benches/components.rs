@@ -8,6 +8,7 @@ use flash_core::caches::{LruCache, MappedCache};
 use flash_core::{deploy, ServerConfig, Site};
 use flash_http::request::{ParseStatus, RequestParser};
 use flash_http::response::{ResponseHeader, Status};
+use flash_net::timer::TimerWheel;
 use flash_simcore::{EventQueue, SimRng, SimTime};
 use flash_simos::pagecache::PageCache;
 use flash_simos::{FileId, MachineConfig, Simulation};
@@ -78,6 +79,47 @@ fn bench_caches(c: &mut Criterion) {
         b.iter(|| {
             p = (p + 613) % (16 * 1024);
             black_box(pc.touch((FileId(1), p)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_timer_wheel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timer_wheel");
+    // The shard loop's hot pattern: re-arm a connection's deadline on
+    // forward progress. Must stay O(1) regardless of how many other
+    // timers are parked.
+    g.bench_function("rearm_among_10k_armed", |b| {
+        let mut w = TimerWheel::new(std::time::Duration::from_millis(100));
+        let now = std::time::Instant::now();
+        for k in 0..10_000u64 {
+            w.arm(k, now + std::time::Duration::from_secs(30));
+        }
+        let mut t = 0u32;
+        b.iter(|| {
+            t += 1;
+            w.arm(
+                5,
+                now + std::time::Duration::from_secs(30)
+                    + std::time::Duration::from_millis(u64::from(t % 4096)),
+            );
+            black_box(w.pending())
+        })
+    });
+    // Expiry with nothing due: the per-wait cost of carrying 10k idle
+    // connections' deadlines — the O(conns)-sweep replacement's win.
+    g.bench_function("expire_none_due_10k_armed", |b| {
+        let mut w = TimerWheel::new(std::time::Duration::from_millis(100));
+        let now = std::time::Instant::now();
+        for k in 0..10_000u64 {
+            w.arm(k, now + std::time::Duration::from_secs(30));
+        }
+        let mut out = Vec::new();
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            w.expire(now + std::time::Duration::from_micros(step), &mut out);
+            black_box(out.len())
         })
     });
     g.finish();
@@ -161,6 +203,7 @@ criterion_group!(
     components,
     bench_http,
     bench_caches,
+    bench_timer_wheel,
     bench_simcore,
     bench_workload,
     bench_simulation

@@ -93,10 +93,28 @@ impl Site {
                     FileKind::Cgi { .. } => None,
                 };
                 let ctype = mime::content_type(&spec.path);
-                let hdr_len_aligned =
-                    ResponseHeader::build(Status::Ok, ctype, spec.size, true, true).len() as u64;
-                let hdr_len_raw =
-                    ResponseHeader::build(Status::Ok, ctype, spec.size, true, false).len() as u64;
+                // The real servers stamp Last-Modified on every 200
+                // with a known mtime, so the simulated header length
+                // must include the field too; IMF-fixdate is
+                // fixed-width, so any mtime gives the right length.
+                let hdr_len_aligned = ResponseHeader::build_with_last_modified(
+                    Status::Ok,
+                    ctype,
+                    spec.size,
+                    true,
+                    true,
+                    0,
+                )
+                .len() as u64;
+                let hdr_len_raw = ResponseHeader::build_with_last_modified(
+                    Status::Ok,
+                    ctype,
+                    spec.size,
+                    true,
+                    false,
+                    0,
+                )
+                .len() as u64;
                 SiteFile {
                     path: spec.path.clone(),
                     size: spec.size,

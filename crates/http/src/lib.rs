@@ -2,14 +2,17 @@
 //!
 //! Provides an incremental request parser ([`request`]), a response-header
 //! generator with the paper's §5.5 byte-position alignment padding
-//! ([`response`]), MIME type mapping ([`mime`]), and the NCSA Common Log
-//! Format ([`clf`]) used for trace replay.
+//! ([`response`]), IMF-fixdate formatting/parsing with a per-second
+//! per-thread cache ([`date`] — the `Date`, `Last-Modified` and
+//! `If-Modified-Since` machinery), MIME type mapping ([`mime`]), and the
+//! NCSA Common Log Format ([`clf`]) used for trace replay.
 //!
 //! The same code serves both the simulator (`flash-core` computes header
 //! lengths and alignment from it) and the real-socket server
 //! (`flash-net` parses and emits actual bytes with it).
 
 pub mod clf;
+pub mod date;
 pub mod mime;
 pub mod request;
 pub mod response;

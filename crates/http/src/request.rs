@@ -88,11 +88,21 @@ pub struct Request {
 impl Request {
     /// Whether the connection should persist after this request
     /// (HTTP/1.1 default-on, HTTP/1.0 with `keep-alive`).
+    ///
+    /// `Connection` is a comma-separated **token list** (RFC 9110
+    /// §7.6.1), so `Connection: keep-alive, upgrade` keeps a 1.0
+    /// connection alive and `Connection: close, te` closes a 1.1 one —
+    /// whole-value string comparison got both of those wrong.
     pub fn keep_alive(&self) -> bool {
+        let has_token = |tok: &str| {
+            self.connection
+                .as_deref()
+                .is_some_and(|v| v.split(',').any(|t| t.trim() == tok))
+        };
         match self.version {
             Version::Http09 => false,
-            Version::Http10 => matches!(self.connection.as_deref(), Some("keep-alive")),
-            Version::Http11 => !matches!(self.connection.as_deref(), Some("close")),
+            Version::Http10 => has_token("keep-alive") && !has_token("close"),
+            Version::Http11 => !has_token("close"),
         }
     }
 
@@ -170,13 +180,21 @@ impl RequestParser {
     /// requests parse one at a time.
     pub fn feed(&mut self, bytes: &[u8]) -> ParseStatus {
         self.buf.extend_from_slice(bytes);
-        if self.buf.len() > MAX_HEADER_BYTES {
-            return ParseStatus::Error(ParseError::TooLarge);
-        }
+        // The size bound applies to the *current request's* header, not
+        // the whole buffer: a burst of pipelined requests buffered
+        // together may legitimately exceed MAX_HEADER_BYTES in total
+        // while each request stays small. Only search the first
+        // MAX_HEADER_BYTES for the terminator — if it isn't there, this
+        // request's header really is oversized.
+        let search = &self.buf[..self.buf.len().min(MAX_HEADER_BYTES)];
         // An HTTP/0.9 request is a single CRLF- (or LF-) terminated line;
         // 1.0/1.1 headers end with a blank line.
-        let Some(line_end) = find(&self.buf, b"\n") else {
-            return ParseStatus::Incomplete;
+        let Some(line_end) = find(search, b"\n") else {
+            return if self.buf.len() > MAX_HEADER_BYTES {
+                ParseStatus::Error(ParseError::TooLarge)
+            } else {
+                ParseStatus::Incomplete
+            };
         };
         let first_line = trim_cr(&self.buf[..line_end]);
         let is_09 = !first_line
@@ -186,11 +204,20 @@ impl RequestParser {
         let header_end = if is_09 {
             line_end + 1
         } else {
-            match find(&self.buf, b"\r\n\r\n") {
+            match find(search, b"\r\n\r\n") {
                 Some(i) => i + 4,
-                None => match find(&self.buf, b"\n\n") {
+                None => match find(search, b"\n\n") {
                     Some(i) => i + 2,
-                    None => return ParseStatus::Incomplete,
+                    None => {
+                        // No terminator within the bound: oversized if
+                        // more is already buffered, otherwise just
+                        // incomplete.
+                        return if self.buf.len() > MAX_HEADER_BYTES {
+                            ParseStatus::Error(ParseError::TooLarge)
+                        } else {
+                            ParseStatus::Incomplete
+                        };
+                    }
                 },
             }
         };
@@ -455,6 +482,59 @@ mod tests {
         let mut p = RequestParser::new();
         let big = vec![b'a'; MAX_HEADER_BYTES + 1];
         assert_eq!(p.feed(&big), ParseStatus::Error(ParseError::TooLarge));
+    }
+
+    #[test]
+    fn connection_header_is_a_token_list() {
+        // 1.0: keep-alive among other tokens still keeps alive.
+        assert!(done("GET / HTTP/1.0\r\nConnection: keep-alive, upgrade\r\n\r\n").keep_alive());
+        assert!(done("GET / HTTP/1.0\r\nConnection: upgrade,keep-alive\r\n\r\n").keep_alive());
+        // 1.1: close among other tokens still closes.
+        assert!(!done("GET / HTTP/1.1\r\nConnection: close, te\r\n\r\n").keep_alive());
+        assert!(!done("GET / HTTP/1.1\r\nConnection: te , close\r\n\r\n").keep_alive());
+        // A token that merely *contains* the word is not a match.
+        assert!(done("GET / HTTP/1.1\r\nConnection: not-close\r\n\r\n").keep_alive());
+        assert!(!done("GET / HTTP/1.0\r\nConnection: keep-alive-ish\r\n\r\n").keep_alive());
+        // Contradictory tokens: close wins on both versions.
+        assert!(!done("GET / HTTP/1.0\r\nConnection: keep-alive, close\r\n\r\n").keep_alive());
+    }
+
+    #[test]
+    fn pipelined_burst_larger_than_header_cap_is_accepted() {
+        // Many small requests buffered together exceed MAX_HEADER_BYTES
+        // in aggregate; each individual header is tiny, so every one
+        // must parse — the cap bounds a single request's header, not
+        // the buffer.
+        let one = "GET /tiny HTTP/1.1\r\nHost: h\r\n\r\n";
+        let n = MAX_HEADER_BYTES / one.len() + 2;
+        let burst: String = one.repeat(n);
+        assert!(burst.len() > MAX_HEADER_BYTES);
+        let mut p = RequestParser::new();
+        match p.feed(burst.as_bytes()) {
+            ParseStatus::Done(r) => assert_eq!(r.path, "/tiny"),
+            other => panic!("first of the burst must parse: {other:?}"),
+        }
+        for i in 1..n {
+            match p.feed(b"") {
+                ParseStatus::Done(r) => assert_eq!(r.path, "/tiny", "request {i}"),
+                other => panic!("request {i}: {other:?}"),
+            }
+        }
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn single_oversized_request_still_rejected_even_when_complete() {
+        // One request whose own header exceeds the cap is refused even
+        // though a terminator eventually arrives.
+        let mut p = RequestParser::new();
+        let mut req = String::from("GET /x HTTP/1.1\r\nX-Filler: ");
+        req.push_str(&"a".repeat(MAX_HEADER_BYTES));
+        req.push_str("\r\n\r\n");
+        assert_eq!(
+            p.feed(req.as_bytes()),
+            ParseStatus::Error(ParseError::TooLarge)
+        );
     }
 
     #[test]

@@ -5,7 +5,15 @@
 //! length is not a multiple of the machine word; Flash therefore aligns
 //! response headers on 32-byte boundaries (cache-line size) by padding a
 //! variable-length field. [`ResponseHeader`] implements exactly that.
+//!
+//! The `Date` field is the real current time (IMF-fixdate, cached per
+//! second per thread by [`crate::date`]); because the format is
+//! fixed-width, header lengths stay deterministic for the simulator and
+//! the alignment padding. `Last-Modified` rides along when the caller
+//! knows the file's mtime, and [`ResponseHeader::not_modified`] renders
+//! the bodyless `304` used to answer `If-Modified-Since` hits.
 
+use crate::date;
 use std::fmt::Write as _;
 
 /// Alignment target for response headers (bytes). The paper picks 32 to
@@ -80,11 +88,64 @@ impl ResponseHeader {
         keep_alive: bool,
         pad_align: bool,
     ) -> ResponseHeader {
-        let mut h = String::with_capacity(192);
+        Self::render(
+            status,
+            Some((content_type, content_length)),
+            keep_alive,
+            pad_align,
+            None,
+        )
+    }
+
+    /// [`ResponseHeader::build`] plus a `Last-Modified` field, for
+    /// responses whose file mtime (unix seconds) is known — the
+    /// validator `If-Modified-Since` compares against.
+    pub fn build_with_last_modified(
+        status: Status,
+        content_type: &str,
+        content_length: u64,
+        keep_alive: bool,
+        pad_align: bool,
+        last_modified_unix: i64,
+    ) -> ResponseHeader {
+        Self::render(
+            status,
+            Some((content_type, content_length)),
+            keep_alive,
+            pad_align,
+            Some(last_modified_unix),
+        )
+    }
+
+    /// A bodyless `304 Not Modified` header: no `Content-Type` or
+    /// `Content-Length` (the response carries no payload by
+    /// definition), `Last-Modified` echoed when known so caches can
+    /// refresh their validator.
+    pub fn not_modified(keep_alive: bool, last_modified_unix: Option<i64>) -> ResponseHeader {
+        Self::render(
+            Status::NotModified,
+            None,
+            keep_alive,
+            true,
+            last_modified_unix,
+        )
+    }
+
+    fn render(
+        status: Status,
+        content: Option<(&str, u64)>,
+        keep_alive: bool,
+        pad_align: bool,
+        last_modified_unix: Option<i64>,
+    ) -> ResponseHeader {
+        let mut h = String::with_capacity(224);
         let _ = write!(h, "HTTP/1.1 {} {}\r\n", status.code(), status.reason());
-        // Fixed-format date keeps header length deterministic for the
-        // simulator; a real deployment would render the current time.
-        h.push_str("Date: Thu, 10 Jun 1999 18:46:32 GMT\r\n");
+        // Real current time; IMF-fixdate is fixed-width, so header
+        // lengths stay deterministic. Rendered at most once a second
+        // per thread (see crate::date).
+        date::with_now_imf(|now| {
+            let _ = write!(h, "Date: {now}\r\n");
+        });
         let server_at = h.len() + "Server: ".len();
         h.push_str("Server: Flash/1.0\r\n");
         if keep_alive {
@@ -92,8 +153,13 @@ impl ResponseHeader {
         } else {
             h.push_str("Connection: close\r\n");
         }
-        let _ = write!(h, "Content-Type: {content_type}\r\n");
-        let _ = write!(h, "Content-Length: {content_length}\r\n");
+        if let Some(lm) = last_modified_unix {
+            let _ = write!(h, "Last-Modified: {}\r\n", date::format_imf(lm));
+        }
+        if let Some((content_type, content_length)) = content {
+            let _ = write!(h, "Content-Type: {content_type}\r\n");
+            let _ = write!(h, "Content-Length: {content_length}\r\n");
+        }
         h.push_str("\r\n");
 
         let mut bytes = h.into_bytes();
@@ -208,8 +274,65 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_inputs() {
-        let a = ResponseHeader::build(Status::Ok, "text/html", 100, true, true);
-        let b = ResponseHeader::build(Status::Ok, "text/html", 100, true, true);
-        assert_eq!(a, b);
+        // The Date field moves once a second; two back-to-back builds
+        // land in the same second except across a boundary, absorbed by
+        // retrying.
+        for _ in 0..3 {
+            let a = ResponseHeader::build(Status::Ok, "text/html", 100, true, true);
+            let b = ResponseHeader::build(Status::Ok, "text/html", 100, true, true);
+            if a == b {
+                return;
+            }
+        }
+        panic!("three straight builds disagreed");
+    }
+
+    #[test]
+    fn date_is_current_imf_fixdate() {
+        let before = crate::date::unix_now();
+        let h = ResponseHeader::build(Status::Ok, "text/html", 1, true, true);
+        let after = crate::date::unix_now();
+        let s = String::from_utf8(h.as_bytes().to_vec()).unwrap();
+        let date_line = s
+            .lines()
+            .find_map(|l| l.strip_prefix("Date: "))
+            .expect("Date header present");
+        let t = crate::date::parse_imf(date_line).expect("Date must be IMF-fixdate");
+        assert!(
+            (before..=after).contains(&t),
+            "Date {t} outside [{before}, {after}]"
+        );
+    }
+
+    #[test]
+    fn last_modified_rides_along_and_stays_aligned() {
+        let h = ResponseHeader::build_with_last_modified(
+            Status::Ok,
+            "text/html",
+            42,
+            true,
+            true,
+            784_111_777,
+        );
+        let s = String::from_utf8(h.as_bytes().to_vec()).unwrap();
+        assert!(s.contains("Last-Modified: Sun, 06 Nov 1994 08:49:37 GMT\r\n"));
+        assert_eq!(h.len() % ALIGN, 0);
+    }
+
+    #[test]
+    fn not_modified_is_bodyless_by_construction() {
+        let h = ResponseHeader::not_modified(true, Some(784_111_777));
+        let s = String::from_utf8(h.as_bytes().to_vec()).unwrap();
+        assert!(s.starts_with("HTTP/1.1 304 Not Modified\r\n"), "{s}");
+        assert!(!s.contains("Content-Length"), "304 must not promise a body");
+        assert!(!s.contains("Content-Type"));
+        assert!(s.contains("Connection: keep-alive\r\n"));
+        assert!(s.contains("Last-Modified: Sun, 06 Nov 1994 08:49:37 GMT\r\n"));
+        assert!(s.ends_with("\r\n\r\n"));
+        // And without a known mtime the validator line is simply absent.
+        let h = ResponseHeader::not_modified(false, None);
+        let s = String::from_utf8(h.as_bytes().to_vec()).unwrap();
+        assert!(!s.contains("Last-Modified"));
+        assert!(s.contains("Connection: close\r\n"));
     }
 }

@@ -22,41 +22,123 @@ pub struct Entry {
     pub header_keep: Bytes,
     /// Pre-rendered header, close form.
     pub header_close: Bytes,
+    /// Byte offset of the `Date` *value* (always
+    /// [`flash_http::date::IMF_FIXDATE_LEN`] bytes) within both header
+    /// forms — their prefixes are identical — so the send path can
+    /// splice in the current date with zero-copy slices instead of
+    /// serving the load-time date for the entry's whole cache life.
+    date_at: Option<usize>,
     /// File contents.
     pub body: Bytes,
+    /// File mtime (unix seconds) at load time, when the filesystem
+    /// reported one — the validator `If-Modified-Since` compares
+    /// against, and the `Last-Modified` value baked into the headers.
+    pub mtime: Option<i64>,
 }
 
 /// Renders the pre-padded 200 header pair (keep-alive form, close
 /// form) for a body of `len` bytes at `path` — the one place header
 /// rendering happens, shared by the cached-entry tier and the
-/// large-body `sendfile` tier so the two can never drift apart.
-pub fn header_pair(path: &str, len: u64) -> (Bytes, Bytes) {
+/// large-body `sendfile` tier so the two can never drift apart. A
+/// known `mtime` (unix seconds) adds a `Last-Modified` field.
+pub fn header_pair(path: &str, len: u64, mtime: Option<i64>) -> (Bytes, Bytes) {
     let ctype = mime::content_type(path);
     let build = |keep| {
-        Bytes::from(
-            ResponseHeader::build(Status::Ok, ctype, len, keep, true)
-                .as_bytes()
-                .to_vec(),
-        )
+        let h = match mtime {
+            Some(lm) => {
+                ResponseHeader::build_with_last_modified(Status::Ok, ctype, len, keep, true, lm)
+            }
+            None => ResponseHeader::build(Status::Ok, ctype, len, keep, true),
+        };
+        Bytes::from(h.as_bytes().to_vec())
     };
     (build(true), build(false))
 }
 
 impl Entry {
-    /// Builds an entry for `path` with `body` contents.
+    /// Builds an entry for `path` with `body` contents and no known
+    /// mtime (no `Last-Modified`; conditional requests always miss).
     pub fn build(path: &str, body: Vec<u8>) -> Arc<Entry> {
-        let (header_keep, header_close) = header_pair(path, body.len() as u64);
+        Self::build_with_mtime(path, body, None)
+    }
+
+    /// Builds an entry for `path` with `body` contents and the file's
+    /// mtime in unix seconds.
+    pub fn build_with_mtime(path: &str, body: Vec<u8>, mtime: Option<i64>) -> Arc<Entry> {
+        let (header_keep, header_close) = header_pair(path, body.len() as u64, mtime);
+        // Locate the Date value once; the keep/close forms share their
+        // prefix (status line + Date line), so one offset serves both.
+        let date_at = header_keep
+            .windows(6)
+            .position(|w| w == b"Date: ")
+            .map(|i| i + 6)
+            .filter(|&at| {
+                at + flash_http::date::IMF_FIXDATE_LEN <= header_close.len()
+                    && header_keep[..at] == header_close[..at]
+            });
         Arc::new(Entry {
             header_keep,
             header_close,
+            date_at,
             body: Bytes::from(body),
+            mtime,
         })
+    }
+
+    /// Queues this entry's header with a **current** `Date` onto
+    /// `out`: two zero-copy slices of the pre-rendered header around a
+    /// per-second-cached date segment. Pre-rendering bakes in the
+    /// load-time date, which may be arbitrarily stale by the time a
+    /// cache hit is served; IMF-fixdate is fixed-width, so splicing
+    /// changes no length (alignment included).
+    pub fn push_header(&self, keep: bool, out: &mut impl Extend<Bytes>) {
+        let hdr = if keep {
+            &self.header_keep
+        } else {
+            &self.header_close
+        };
+        match self.date_at {
+            Some(at) => out.extend([
+                hdr.slice(..at),
+                flash_http::date::now_imf_bytes(),
+                hdr.slice(at + flash_http::date::IMF_FIXDATE_LEN..),
+            ]),
+            // No recognizable Date line: serve the header as rendered.
+            None => out.extend([hdr.clone()]),
+        }
+    }
+
+    /// The header with a current `Date` as one contiguous buffer, for
+    /// blocking send paths (the MT server) that write a single slice.
+    pub fn header_with_current_date(&self, keep: bool) -> Vec<u8> {
+        let mut segs: Vec<Bytes> = Vec::with_capacity(3);
+        self.push_header(keep, &mut segs);
+        let mut out = Vec::with_capacity(segs.iter().map(|s| s.len()).sum());
+        for s in &segs {
+            out.extend_from_slice(s);
+        }
+        out
+    }
+
+    /// Whether a conditional request bearing this `If-Modified-Since`
+    /// value (unix seconds, already parsed) can be answered `304`: the
+    /// file has a known mtime no newer than the validator.
+    pub fn not_modified_since(&self, ims: Option<i64>) -> bool {
+        not_modified_since(self.mtime, ims)
     }
 
     /// Total cached bytes (headers + body).
     pub fn cost(&self) -> u64 {
         (self.header_keep.len() + self.header_close.len() + self.body.len()) as u64
     }
+}
+
+/// The `If-Modified-Since` validator rule, shared by both body tiers
+/// (cached entries and the `sendfile` fd path) so their `304` behavior
+/// can never drift apart: not-modified iff the file has a known mtime
+/// no newer than the client's validator (both unix seconds).
+pub fn not_modified_since(mtime: Option<i64>, ims: Option<i64>) -> bool {
+    matches!((mtime, ims), (Some(m), Some(v)) if m <= v)
 }
 
 /// Largest admissible entry, as a divisor of capacity: entries costing
@@ -166,6 +248,68 @@ mod tests {
         assert!(e.header_keep.starts_with(b"HTTP/1.1 200 OK\r\n"));
         assert_eq!(&e.body[..], b"hello");
         assert!(e.cost() > 5);
+    }
+
+    #[test]
+    fn entry_with_mtime_carries_last_modified_and_validates() {
+        let e = Entry::build_with_mtime("/x.html", b"hi".to_vec(), Some(784_111_777));
+        let s = String::from_utf8(e.header_keep.to_vec()).unwrap();
+        assert!(s.contains("Last-Modified: Sun, 06 Nov 1994 08:49:37 GMT\r\n"));
+        assert_eq!(e.header_keep.len() % 32, 0, "padding must still align");
+        // Validator semantics: not-modified iff mtime <= the client's date.
+        assert!(e.not_modified_since(Some(784_111_777)));
+        assert!(e.not_modified_since(Some(784_111_778)));
+        assert!(!e.not_modified_since(Some(784_111_776)));
+        assert!(!e.not_modified_since(None));
+        // No mtime: never claim not-modified.
+        let e = Entry::build("/x.html", b"hi".to_vec());
+        assert!(!e.not_modified_since(Some(i64::MAX)));
+        let s = String::from_utf8(e.header_keep.to_vec()).unwrap();
+        assert!(!s.contains("Last-Modified"));
+    }
+
+    #[test]
+    fn push_header_splices_a_current_date_without_changing_length() {
+        let e = Entry::build_with_mtime("/x.html", b"hi".to_vec(), Some(784_111_777));
+        for keep in [true, false] {
+            let baked = if keep {
+                &e.header_keep
+            } else {
+                &e.header_close
+            };
+            let mut segs: Vec<Bytes> = Vec::new();
+            e.push_header(keep, &mut segs);
+            assert_eq!(segs.len(), 3, "prefix + date + suffix");
+            let joined: Vec<u8> = segs.iter().flat_map(|s| s.iter().copied()).collect();
+            assert_eq!(joined.len(), baked.len(), "splice must preserve length");
+            assert_eq!(joined.len() % 32, 0, "and therefore alignment");
+            let text = String::from_utf8(joined).unwrap();
+            let date = text
+                .lines()
+                .find_map(|l| l.strip_prefix("Date: "))
+                .expect("Date line intact");
+            let t = flash_http::date::parse_imf(date).expect("valid IMF-fixdate");
+            assert!((t - flash_http::date::unix_now()).abs() <= 2, "date is now");
+            // Everything except the date value matches the baked form.
+            assert_eq!(&segs[0][..], &baked[..segs[0].len()]);
+            assert_eq!(
+                &segs[2][..],
+                &baked[segs[0].len() + flash_http::date::IMF_FIXDATE_LEN..]
+            );
+        }
+        // The contiguous form agrees with the segmented one.
+        let flat = e.header_with_current_date(true);
+        assert_eq!(flat.len(), e.header_keep.len());
+    }
+
+    #[test]
+    fn validator_rule_is_shared_and_consistent() {
+        assert!(not_modified_since(Some(5), Some(5)));
+        assert!(not_modified_since(Some(5), Some(9)));
+        assert!(!not_modified_since(Some(5), Some(4)));
+        assert!(!not_modified_since(None, Some(5)));
+        assert!(!not_modified_since(Some(5), None));
+        assert!(!not_modified_since(None, None));
     }
 
     #[test]

@@ -180,6 +180,9 @@ impl EventBackend for EpollBackend {
     }
 
     fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        // `timeout_ms` maps straight onto epoll_wait's timeout:
+        // negative blocks indefinitely (the shard loop passes -1 when
+        // its timing wheel has nothing armed), zero polls.
         events.clear();
         let n = loop {
             // SAFETY: `buf` is a live, exclusively borrowed array of

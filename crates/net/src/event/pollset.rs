@@ -130,7 +130,11 @@ impl EventBackend for PollBackend {
         }
         if self.fds.is_empty() {
             // Nothing pollable: honour the timeout so callers keep
-            // their cadence (shutdown checks, idle sweeps).
+            // their cadence (shutdown checks, timing-wheel ticks). An
+            // infinite timeout degrades to a short sleep-poll — the
+            // server's loops always keep at least a wake pipe
+            // registered, so this path only guards exotic callers
+            // against spinning.
             if timeout_ms != 0 {
                 std::thread::sleep(std::time::Duration::from_millis(if timeout_ms < 0 {
                     50

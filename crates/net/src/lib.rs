@@ -18,10 +18,28 @@
 //!   written to the **edge-triggered contract** (see [`event`]): reads
 //!   drain to `EWOULDBLOCK`, write interest is armed only while a send
 //!   is in flight, and a voluntary mid-`sendfile` yield re-arms the
-//!   consumed edge. Keep-alive connections idle past
-//!   [`server::NetConfig::idle_timeout`] (default 30 s) are **reaped**
-//!   on the backend's wait cadence so dead clients stop pinning
-//!   descriptors. Shards never block on disk and own a **private**
+//!   consumed edge. Every connection carries a **per-state deadline**
+//!   in its shard's hashed **timing wheel** ([`timer`]; the paper's
+//!   §6.4 slow-WAN-client concern): a header-read deadline from the
+//!   first request byte ([`server::NetConfig::header_read_timeout`],
+//!   default 15 s — slowloris senders; deliberately *not* refreshed by
+//!   trickled bytes), a write-progress deadline re-armed on every byte
+//!   of forward progress ([`server::NetConfig::write_stall_timeout`],
+//!   default 30 s — stalled readers, on both the `writev` and
+//!   `sendfile` paths), and the keep-alive idle timeout
+//!   ([`server::NetConfig::idle_timeout`], default 30 s) between
+//!   requests; each knob is `Option` (`None` disables that class). The
+//!   wheel sets the backend's wait timeout ("next wheel tick, or
+//!   block") and expires in **O(expired)** — no connection-table scan
+//!   — with each cause counted separately (`read_timeouts`,
+//!   `write_stall_timeouts`, `idle_reaped` in [`server::ServerStats`]).
+//!   The MT server honours the same knobs through blocking-socket
+//!   timeouts. Conditional requests are answered: 200s carry
+//!   `Last-Modified` (and a real, per-second-cached `Date`), and an
+//!   `If-Modified-Since` validator at least as new as the file's mtime
+//!   gets a bodyless `304 Not Modified` (the `not_modified` counter)
+//!   without moving a single body byte on either tier. Shards never
+//!   block on disk and own a **private**
 //!   [`ContentCache`] so the request path takes no locks. A **shared
 //!   helper pool** performs all filesystem work, popping its per-shard
 //!   job lanes round-robin so one cold-cache shard cannot starve the
@@ -71,6 +89,7 @@ pub mod mt;
 pub mod poll;
 pub mod sendfile;
 pub mod server;
+pub mod timer;
 pub mod writev;
 
 pub use cache::{ContentCache, Entry};

@@ -6,6 +6,16 @@
 //! provides all the overlap. Simpler than the event loop — the exact
 //! trade the paper discusses — at the cost of per-connection threads and
 //! lock traffic.
+//!
+//! The AMPED server's per-state deadlines are honoured here with the
+//! blocking-I/O equivalents: the keep-alive idle and header-read
+//! deadlines ([`NetConfig::idle_timeout`],
+//! [`NetConfig::header_read_timeout`]) are enforced by capping the
+//! socket read timeout and checking a per-phase clock, and the
+//! write-progress deadline ([`NetConfig::write_stall_timeout`]) maps
+//! onto `SO_SNDTIMEO` — a `send` that cannot move a single byte for
+//! that long fails the write, which is exactly the "re-arm on forward
+//! progress" semantics (each partial send restarts the timer).
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -13,7 +23,7 @@ use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use flash_http::request::ParseStatus;
@@ -122,9 +132,21 @@ fn serve_conn(
     cfg: NetConfig,
     shutdown: Arc<AtomicBool>,
 ) {
+    // The blocking read is capped at 200 ms so shutdown and the phase
+    // deadlines below are checked on that cadence even when the peer
+    // is silent.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    // Write-progress deadline: SO_SNDTIMEO makes any single send that
+    // cannot move a byte for this long fail; partial progress restarts
+    // it — the blocking twin of the AMPED write-stall re-arm.
+    let _ = stream.set_write_timeout(cfg.write_stall_timeout);
     let mut parser = flash_http::RequestParser::new();
     let mut buf = [0u8; 4096];
+    // The current read phase started here: reset on every served
+    // response and on the idle→header transition (first byte of a new
+    // request). Idle and header phases carry different deadlines.
+    let mut phase_start = Instant::now();
+    let mut in_header = parser.buffered() > 0;
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return;
@@ -138,6 +160,21 @@ fn serve_conn(
                 return;
             }
             ParseStatus::Incomplete => {
+                let now_in_header = parser.buffered() > 0;
+                if now_in_header != in_header {
+                    in_header = now_in_header;
+                    phase_start = Instant::now();
+                }
+                let deadline = if in_header {
+                    cfg.header_read_timeout
+                } else {
+                    cfg.idle_timeout
+                };
+                if let Some(t) = deadline {
+                    if phase_start.elapsed() >= t {
+                        return; // slow header sender or idle keep-alive
+                    }
+                }
                 let n = match stream.read(&mut buf) {
                     Ok(0) => return,
                     Ok(n) => n,
@@ -174,9 +211,9 @@ fn serve_conn(
         let cached = cache.lock().get(&path);
         let entry = match cached {
             Some(e) => Ok(e),
-            None => match std::fs::read(cfg.docroot.join(path.trim_start_matches('/'))) {
-                Ok(body) => {
-                    let e = Entry::build(&path, body);
+            None => match read_file_with_mtime(&cfg.docroot.join(path.trim_start_matches('/'))) {
+                Ok((body, mtime)) => {
+                    let e = Entry::build_with_mtime(&path, body, mtime);
                     cache.lock().insert(path.clone(), Arc::clone(&e));
                     Ok(e)
                 }
@@ -187,21 +224,46 @@ fn serve_conn(
                 }),
             },
         };
+        let ims = req
+            .if_modified_since
+            .as_deref()
+            .and_then(flash_http::date::parse_imf);
         let ok = match entry {
+            Ok(e) if e.not_modified_since(ims) => {
+                let hdr = ResponseHeader::not_modified(keep, e.mtime);
+                stream.write_all(hdr.as_bytes()).is_ok()
+            }
             Ok(e) => {
-                let hdr = if keep {
-                    &e.header_keep
-                } else {
-                    &e.header_close
-                };
-                stream.write_all(hdr).is_ok() && (head_only || stream.write_all(&e.body).is_ok())
+                // Re-date the pre-rendered header: a shared-cache hit
+                // may be long past the second it was rendered in.
+                let hdr = e.header_with_current_date(keep);
+                stream.write_all(&hdr).is_ok() && (head_only || stream.write_all(&e.body).is_ok())
             }
             Err(status) => respond_error(&mut stream, status, head_only).is_ok(),
         };
         if !ok || !keep {
             return;
         }
+        phase_start = Instant::now();
+        in_header = parser.buffered() > 0;
     }
+}
+
+/// Reads a regular file and its mtime from the same open descriptor
+/// (fstat semantics — no metadata/read race), mirroring the AMPED
+/// helper's `load_file_checked`.
+fn read_file_with_mtime(p: &std::path::Path) -> io::Result<(Vec<u8>, Option<i64>)> {
+    let file = std::fs::File::open(p)?;
+    let meta = file.metadata()?;
+    if !meta.is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            "not a regular file",
+        ));
+    }
+    let mut body = Vec::with_capacity(meta.len() as usize);
+    (&file).read_to_end(&mut body)?;
+    Ok((body, crate::server::unix_mtime(&meta)))
 }
 
 fn respond_error(stream: &mut TcpStream, status: Status, head_only: bool) -> io::Result<()> {

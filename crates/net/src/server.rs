@@ -22,10 +22,18 @@
 //!   `EWOULDBLOCK`, re-arm after a voluntary yield — which is also
 //!   correct under the level-triggered fallback. Each shard never
 //!   touches the filesystem and owns a private [`ContentCache`] — no
-//!   cross-shard locking anywhere on the request path. Keep-alive
-//!   connections idle past [`NetConfig::idle_timeout`] are reaped on
-//!   the backend's wait cadence, so dead clients stop pinning
-//!   descriptors and cache slots;
+//!   cross-shard locking anywhere on the request path. Every
+//!   connection carries a **per-state deadline** in the shard's hashed
+//!   timing wheel ([`crate::timer`], §6.4's slow-WAN-client defense):
+//!   a header-read deadline from the first byte of a request
+//!   ([`NetConfig::header_read_timeout`], slowloris senders), a
+//!   write-progress deadline re-armed on every byte of forward
+//!   progress ([`NetConfig::write_stall_timeout`], stalled readers —
+//!   covering both the `writev` and `sendfile` paths), and the
+//!   keep-alive idle timeout ([`NetConfig::idle_timeout`]) between
+//!   requests. The wheel drives the backend's wait timeout ("next
+//!   wheel tick, or block") and expires in O(expired), never by
+//!   scanning the connection table;
 //! * the **helper pool** is shared (disk parallelism is a global
 //!   resource): a miss enqueues a job in its shard's lane of the
 //!   [`JobQueue`], and helpers pop the lanes **round-robin by shard**
@@ -70,6 +78,7 @@ use flash_http::Method;
 use crate::cache::{ContentCache, Entry};
 use crate::event::{new_backend, BackendChoice, BackendKind, Event, EventBackend, Interest};
 use crate::sendfile::send_file;
+use crate::timer::{tick_for, TimerWheel};
 use crate::writev::{writev_fd, MAX_IOV};
 
 /// Server configuration.
@@ -102,6 +111,20 @@ pub struct NetConfig {
     /// clients stop pinning descriptors and connection slots. `None`
     /// disables reaping. Default 30 s.
     pub idle_timeout: Option<Duration>,
+    /// A connection that has begun a request (first header byte
+    /// received) must deliver the complete header within this long or
+    /// be closed — the slowloris-sender defense; the deadline is armed
+    /// once per request and deliberately **not** re-armed by further
+    /// trickled bytes. `None` disables it. Default 15 s.
+    pub header_read_timeout: Option<Duration>,
+    /// A connection mid-response must accept at least one byte of the
+    /// response every interval this long or be closed — the stalled-
+    /// reader defense, covering both the `writev` and `sendfile`
+    /// paths. Unlike the header deadline it **re-arms on every byte of
+    /// forward progress**, so an arbitrarily large body is fine as
+    /// long as the peer keeps draining. `None` disables it.
+    /// Default 30 s.
+    pub write_stall_timeout: Option<Duration>,
 }
 
 impl NetConfig {
@@ -115,6 +138,8 @@ impl NetConfig {
             sendfile_threshold_bytes: 256 * 1024,
             backend: BackendChoice::Auto,
             idle_timeout: Some(Duration::from_secs(30)),
+            header_read_timeout: Some(Duration::from_secs(15)),
+            write_stall_timeout: Some(Duration::from_secs(30)),
         }
     }
 
@@ -140,6 +165,19 @@ impl NetConfig {
     /// disables reaping).
     pub fn with_idle_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.idle_timeout = timeout;
+        self
+    }
+
+    /// Same config with the slow-header deadline (`None` disables it).
+    pub fn with_header_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.header_read_timeout = timeout;
+        self
+    }
+
+    /// Same config with the write-progress deadline (`None` disables
+    /// it).
+    pub fn with_write_stall_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.write_stall_timeout = timeout;
         self
     }
 }
@@ -181,8 +219,17 @@ pub struct ShardStats {
     /// `wait_events / wait_calls` is the batching gauge exposed as
     /// [`ServerStats::events_per_wait`]).
     pub wait_events: AtomicU64,
-    /// Keep-alive connections closed by the idle reaper.
+    /// Keep-alive connections closed by the idle deadline (no request
+    /// in flight).
     pub idle_reaped: AtomicU64,
+    /// Connections closed by the header-read deadline (slow or silent
+    /// request senders).
+    pub read_timeouts: AtomicU64,
+    /// Connections closed by the write-progress deadline (peers that
+    /// stopped draining a response).
+    pub write_stall_timeouts: AtomicU64,
+    /// `304 Not Modified` responses served to conditional requests.
+    pub not_modified: AtomicU64,
 }
 
 /// Counters for a running server: per-shard atomics, aggregated on
@@ -263,9 +310,24 @@ impl ServerStats {
         self.wait_events() as f64 / calls as f64
     }
 
-    /// Keep-alive connections closed by the idle reaper, across shards.
+    /// Keep-alive connections closed by the idle deadline, across shards.
     pub fn idle_reaped(&self) -> u64 {
         self.sum(|s| &s.idle_reaped)
+    }
+
+    /// Connections closed by the header-read deadline, across shards.
+    pub fn read_timeouts(&self) -> u64 {
+        self.sum(|s| &s.read_timeouts)
+    }
+
+    /// Connections closed by the write-progress deadline, across shards.
+    pub fn write_stall_timeouts(&self) -> u64 {
+        self.sum(|s| &s.write_stall_timeouts)
+    }
+
+    /// `304 Not Modified` responses served, across shards.
+    pub fn not_modified(&self) -> u64 {
+        self.sum(|s| &s.not_modified)
     }
 
     /// The per-shard counters (index = shard id).
@@ -415,10 +477,19 @@ fn pop_round_robin(lanes: &mut JobLanes) -> Option<Job> {
 /// What a helper hands back for a readable file: either the bytes
 /// themselves (small file, destined for the content cache) or an open
 /// descriptor plus its stat'ed length (large file, destined for the
-/// `sendfile` path — the shard never sees the body at all).
+/// `sendfile` path — the shard never sees the body at all). Both carry
+/// the fstat'ed mtime so responses advertise `Last-Modified` and
+/// conditional requests can be answered `304`.
 enum FileData {
-    Bytes(Vec<u8>),
-    Fd { file: Arc<File>, len: u64 },
+    Bytes {
+        body: Vec<u8>,
+        mtime: Option<i64>,
+    },
+    Fd {
+        file: Arc<File>,
+        len: u64,
+        mtime: Option<i64>,
+    },
 }
 
 struct Done {
@@ -443,6 +514,22 @@ struct SendFileState {
     remaining: u64,
 }
 
+/// Which deadline class is currently armed in the shard's timing
+/// wheel for a connection — also the expiry's *cause*, mapped to the
+/// matching [`ShardStats`] counter when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeadlineKind {
+    /// No deadline armed (helper owns the request, or the class is
+    /// disabled in [`NetConfig`]).
+    None,
+    /// Keep-alive idle: between requests, nothing buffered.
+    Idle,
+    /// Header read: a request has started but not completed.
+    Header,
+    /// Write progress: a response is in flight.
+    WriteStall,
+}
+
 struct Conn {
     stream: TcpStream,
     parser: flash_http::RequestParser,
@@ -457,12 +544,23 @@ struct Conn {
     sendfile: Option<SendFileState>,
     keep_alive: bool,
     head_only: bool,
+    /// The in-flight request's `If-Modified-Since`, parsed to unix
+    /// seconds — carried here because the response may be rendered by
+    /// a helper completion long after the `Request` is gone.
+    if_modified_since: Option<i64>,
     /// Interest currently armed in the shard's event backend; the loop
     /// reconciles this against the state machine after every drive.
     interest: Interest,
-    /// Last time this connection was driven by readiness or a helper
-    /// completion — the idle reaper's clock.
-    last_activity: Instant,
+    /// Deadline class currently armed in the shard's timing wheel;
+    /// reconciled alongside interest after every drive.
+    deadline: DeadlineKind,
+    /// Value of `progress` when the write-stall deadline was last
+    /// armed: any advance re-arms it (forward progress resets the
+    /// clock; a full stall does not).
+    deadline_progress: u64,
+    /// Cumulative response bytes transmitted (writev + sendfile) — the
+    /// write-progress deadline's odometer.
+    progress: u64,
 }
 
 /// Token for the shard's wake pipe (never a valid connection token:
@@ -799,15 +897,26 @@ fn load_file_checked(p: &Path, sendfile_threshold: u64) -> io::Result<FileData> 
         ));
     }
     let len = meta.len();
+    let mtime = unix_mtime(&meta);
     if len > sendfile_threshold {
         return Ok(FileData::Fd {
             file: Arc::new(file),
             len,
+            mtime,
         });
     }
     let mut body = Vec::with_capacity(len as usize);
     (&file).read_to_end(&mut body)?;
-    Ok(FileData::Bytes(body))
+    Ok(FileData::Bytes { body, mtime })
+}
+
+/// A file's mtime as unix seconds, if the filesystem reports one that
+/// fits (pre-1970 mtimes are reported as `None` rather than lied
+/// about — `Last-Modified` simply goes unsent).
+pub(crate) fn unix_mtime(meta: &std::fs::Metadata) -> Option<i64> {
+    let t = meta.modified().ok()?;
+    let d = t.duration_since(std::time::UNIX_EPOCH).ok()?;
+    Some(d.as_secs() as i64)
 }
 
 /// Everything one shard owns: its cache, its miss-coalescing state,
@@ -856,21 +965,28 @@ fn shard_loop(
     let mut conns: Vec<Option<Conn>> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
     let mut completed: Vec<usize> = Vec::new();
-    // The wait cap bounds how long a lost wake could stall the loop
-    // AND sets the idle-sweep cadence: a quarter of the reap threshold
-    // keeps reap latency within ~1.25x the configured timeout without
-    // costing idle shards more than one wakeup per second.
-    let idle_timeout = ctx.cfg.idle_timeout;
-    let wait_ms = match idle_timeout {
-        Some(t) => ((t.as_millis() / 4) as i64).clamp(10, 1000) as i32,
-        None => 1000,
-    };
-    let mut last_sweep = Instant::now();
+    // Per-state deadlines live in a hashed timing wheel keyed by the
+    // same slot+fd tokens the event backend uses. The tick is an
+    // eighth of the smallest configured timeout, so rounding (≤1 tick)
+    // plus wait cadence (≤1 tick) keeps expiry within ~1.25× the
+    // configured deadline; expiry work is O(expired), never a scan of
+    // the connection table.
+    let cfg_timeouts = [
+        ctx.cfg.idle_timeout,
+        ctx.cfg.header_read_timeout,
+        ctx.cfg.write_stall_timeout,
+    ];
+    let mut wheel = TimerWheel::new(tick_for(cfg_timeouts.into_iter().flatten()));
+    let mut expired: Vec<u64> = Vec::new();
 
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
+        // Sleep until the next wheel tick could expire something; with
+        // nothing armed, block — new work always arrives as a wake
+        // byte or a readiness event.
+        let wait_ms = wheel.next_timeout_ms(Instant::now()).unwrap_or(-1);
         if backend.wait(&mut events, wait_ms).is_err() {
             continue;
         }
@@ -888,7 +1004,7 @@ fn shard_loop(
             // byte, so completions cannot be lost.
             wake.pending.store(false, Ordering::Release);
             while let Ok(stream) = conn_rx.try_recv() {
-                admit_conn(stream, &mut conns, &mut ctx, &mut *backend);
+                admit_conn(stream, &mut conns, &mut ctx, &mut *backend, &mut wheel);
             }
             completed.clear();
             while let Ok(done) = done_rx.try_recv() {
@@ -899,7 +1015,7 @@ fn shard_loop(
             // always writable, so the common case finishes here
             // without ever arming write interest.
             for idx in completed.drain(..) {
-                drive_and_sync(idx, &mut conns, &mut ctx, &mut *backend);
+                drive_and_sync(idx, &mut conns, &mut ctx, &mut *backend, &mut wheel);
             }
         }
         for ev in &events {
@@ -918,14 +1034,38 @@ fn shard_loop(
                 .and_then(|c| c.as_ref())
                 .is_some_and(|c| c.stream.as_raw_fd() == fd);
             if live {
-                drive_and_sync(idx, &mut conns, &mut ctx, &mut *backend);
+                drive_and_sync(idx, &mut conns, &mut ctx, &mut *backend, &mut wheel);
             }
         }
-        if let Some(timeout) = idle_timeout {
-            if last_sweep.elapsed().as_millis() as i64 >= wait_ms as i64 {
-                reap_idle(timeout, &mut conns, &ctx, &mut *backend);
-                last_sweep = Instant::now();
-            }
+        // Expire deadlines last: anything the drives above just
+        // re-armed is already accounted for (single-threaded, so the
+        // wheel is exactly consistent with the connection table here).
+        wheel.expire(Instant::now(), &mut expired);
+        for token in expired.drain(..) {
+            let idx = token_slot(token);
+            let fd = token_fd(token);
+            // Same stale-token guard as readiness events: only close
+            // the slot if it still holds the connection the deadline
+            // was armed for.
+            let Some(conn) = conns
+                .get_mut(idx)
+                .and_then(|c| c.as_mut())
+                .filter(|c| c.stream.as_raw_fd() == fd)
+            else {
+                continue;
+            };
+            let counter = match conn.deadline {
+                DeadlineKind::Idle => &ctx.stats.idle_reaped,
+                DeadlineKind::Header => &ctx.stats.read_timeouts,
+                DeadlineKind::WriteStall => &ctx.stats.write_stall_timeouts,
+                // An expiry for a conn with no armed class can only be
+                // a stale token that survived validation by fd reuse;
+                // leave the connection alone.
+                DeadlineKind::None => continue,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            let _ = backend.deregister(fd);
+            conns[idx] = None;
         }
     }
 }
@@ -939,6 +1079,7 @@ fn admit_conn(
     conns: &mut Vec<Option<Conn>>,
     ctx: &mut ShardCtx,
     backend: &mut dyn EventBackend,
+    wheel: &mut TimerWheel,
 ) {
     let fd = stream.as_raw_fd();
     let conn = Conn {
@@ -950,8 +1091,11 @@ fn admit_conn(
         sendfile: None,
         keep_alive: false,
         head_only: false,
+        if_modified_since: None,
         interest: Interest::READ,
-        last_activity: Instant::now(),
+        deadline: DeadlineKind::None,
+        deadline_progress: 0,
+        progress: 0,
     };
     let idx = match conns.iter_mut().position(|c| c.is_none()) {
         Some(i) => {
@@ -971,26 +1115,58 @@ fn admit_conn(
         conns[idx] = None;
         return;
     }
-    drive_and_sync(idx, conns, ctx, backend);
+    drive_and_sync(idx, conns, ctx, backend, wheel);
 }
 
-/// Closes connections whose keep-alive has sat idle past `timeout`.
-/// Only `Reading` connections qualify: a `Waiting` connection has a
-/// helper completion inbound (its waiter index must stay valid), and a
-/// `Writing` one is backpressured mid-response, not idle.
-fn reap_idle(
-    timeout: Duration,
-    conns: &mut [Option<Conn>],
-    ctx: &ShardCtx,
-    backend: &mut dyn EventBackend,
-) {
-    for slot in conns.iter_mut() {
-        let Some(conn) = slot else { continue };
-        if matches!(conn.state, ConnState::Reading) && conn.last_activity.elapsed() >= timeout {
-            let fd = conn.stream.as_raw_fd();
-            let _ = backend.deregister(fd);
-            *slot = None;
-            ctx.stats.idle_reaped.fetch_add(1, Ordering::Relaxed);
+/// Reconciles the timing wheel with a connection's state machine after
+/// a drive — the deadline analogue of the interest reconcile:
+///
+/// * `Reading` with an empty parse buffer → the **idle** keep-alive
+///   deadline, armed on entry to the state;
+/// * `Reading` with request bytes buffered → the **header-read**
+///   deadline, armed once when the request starts and deliberately
+///   *not* re-armed by further trickled bytes (re-arming is exactly
+///   the slowloris hole);
+/// * `Writing` → the **write-progress** deadline, re-armed whenever
+///   `progress` advanced since the last arm — forward progress resets
+///   the clock, a stalled peer's does not;
+/// * `Waiting` → no deadline: the helper owns the request (this is the
+///   seam a future per-request/CGI deadline plugs into).
+fn sync_deadline(conn: &mut Conn, token: u64, cfg: &NetConfig, wheel: &mut TimerWheel) {
+    let (kind, timeout) = match conn.state {
+        ConnState::Waiting => (DeadlineKind::None, None),
+        ConnState::Writing => (DeadlineKind::WriteStall, cfg.write_stall_timeout),
+        ConnState::Reading => {
+            if conn.parser.buffered() > 0 {
+                (DeadlineKind::Header, cfg.header_read_timeout)
+            } else {
+                (DeadlineKind::Idle, cfg.idle_timeout)
+            }
+        }
+    };
+    match timeout {
+        None => {
+            // State has no deadline (or its class is disabled).
+            if conn.deadline != DeadlineKind::None {
+                wheel.cancel(token);
+                conn.deadline = DeadlineKind::None;
+            }
+        }
+        Some(t) => {
+            // Re-arm when the class changed — OR when response bytes
+            // moved since the last arm. The progress check is what
+            // re-arms a stalled writer on forward progress, and it
+            // also covers transitions invisible to the kind compare:
+            // one drive can run Reading → Writing → Reading
+            // (request served, response flushed, back to idle), which
+            // must start a *fresh* idle period even though the class
+            // reads unchanged. Trickled request bytes advance nothing,
+            // so a slowloris sender never refreshes its own deadline.
+            if conn.deadline != kind || conn.progress != conn.deadline_progress {
+                wheel.arm(token, Instant::now() + t);
+                conn.deadline = kind;
+                conn.deadline_progress = conn.progress;
+            }
         }
     }
 }
@@ -1008,15 +1184,17 @@ enum Drive {
     Yielded,
 }
 
-/// Drives one connection, then reconciles the backend with the result:
-/// deregisters a closed connection's descriptor, re-arms interest when
-/// the state machine moved, and forces an edge re-check after a
+/// Drives one connection, then reconciles the backend *and* the
+/// timing wheel with the result: deregisters and disarms a closed
+/// connection, re-arms interest when the state machine moved, syncs
+/// the per-state deadline, and forces an edge re-check after a
 /// voluntary yield.
 fn drive_and_sync(
     idx: usize,
     conns: &mut [Option<Conn>],
     ctx: &mut ShardCtx,
     backend: &mut dyn EventBackend,
+    wheel: &mut TimerWheel,
 ) {
     let Some(fd) = conns
         .get(idx)
@@ -1025,17 +1203,17 @@ fn drive_and_sync(
     else {
         return;
     };
-    if let Some(conn) = conns[idx].as_mut() {
-        conn.last_activity = Instant::now();
-    }
     let outcome = drive_conn(idx, conns, ctx);
     let token = conn_token(idx, fd);
     match conns.get(idx).and_then(|c| c.as_ref()) {
         None => {
             // Deregister even though close() would eventually unhook
             // it: the poll backend keeps a userspace table that would
-            // otherwise hand a recycled fd number to the kernel.
+            // otherwise hand a recycled fd number to the kernel. The
+            // wheel entry must go for the same reason — the token will
+            // be reminted when the slot is reused.
             let _ = backend.deregister(fd);
+            wheel.cancel(token);
         }
         Some(conn) => {
             let want = desired_interest(&conn.state);
@@ -1051,17 +1229,24 @@ fn drive_and_sync(
                     // served to whatever connection reuses the slot.
                     conns[idx] = None;
                     let _ = backend.deregister(fd);
+                    wheel.cancel(token);
                     if want == Interest::NONE {
                         purge_waiter(ctx, idx);
                     }
+                    return;
                 }
             } else if matches!(outcome, Drive::Yielded) && backend.rearm(fd, token, want).is_err() {
                 // A consumed edge that cannot be re-armed is a
-                // permanent stall under ET (Writing conns are not even
-                // reaped): the connection can never progress, so close
-                // it rather than pin its fd and slot forever.
+                // permanent stall under ET: the connection can never
+                // progress, so close it rather than pin its fd and
+                // slot forever.
                 conns[idx] = None;
                 let _ = backend.deregister(fd);
+                wheel.cancel(token);
+                return;
+            }
+            if let Some(conn) = conns[idx].as_mut() {
+                sync_deadline(conn, token, &ctx.cfg, wheel);
             }
         }
     }
@@ -1086,6 +1271,7 @@ enum Completion {
     Large {
         file: Arc<File>,
         len: u64,
+        mtime: Option<i64>,
         header_keep: Bytes,
         header_close: Bytes,
     },
@@ -1103,8 +1289,8 @@ fn complete_job(
 ) {
     ctx.pending_jobs.remove(&done.path);
     let completion = match done.result {
-        Ok(FileData::Bytes(body)) => {
-            let entry = Entry::build(&done.path, body);
+        Ok(FileData::Bytes { body, mtime }) => {
+            let entry = Entry::build_with_mtime(&done.path, body, mtime);
             // Oversized-for-this-cache entries are refused by the
             // admission check; the waiters below are still served from
             // the entry directly.
@@ -1114,11 +1300,12 @@ fn complete_job(
                 .store(ctx.cache.used_bytes(), Ordering::Relaxed);
             Completion::Small(entry)
         }
-        Ok(FileData::Fd { file, len }) => {
-            let (header_keep, header_close) = crate::cache::header_pair(&done.path, len);
+        Ok(FileData::Fd { file, len, mtime }) => {
+            let (header_keep, header_close) = crate::cache::header_pair(&done.path, len, mtime);
             Completion::Large {
                 file,
                 len,
+                mtime,
                 header_keep,
                 header_close,
             }
@@ -1137,13 +1324,26 @@ fn complete_job(
             continue;
         };
         match &completion {
-            Completion::Small(entry) => queue_entry(conn, entry),
+            Completion::Small(entry) => {
+                if entry.not_modified_since(conn.if_modified_since) {
+                    queue_not_modified(conn, entry.mtime, &ctx.stats);
+                } else {
+                    queue_entry(conn, entry);
+                }
+            }
             Completion::Large {
                 file,
                 len,
+                mtime,
                 header_keep,
                 header_close,
-            } => queue_sendfile(conn, file, *len, header_keep, header_close),
+            } => {
+                if crate::cache::not_modified_since(*mtime, conn.if_modified_since) {
+                    queue_not_modified(conn, *mtime, &ctx.stats);
+                } else {
+                    queue_sendfile(conn, file, *len, header_keep, header_close);
+                }
+            }
             Completion::Fail(status, body) => queue_error(conn, *status, body.clone()),
         }
         conn.state = ConnState::Writing;
@@ -1152,15 +1352,22 @@ fn complete_job(
 }
 
 fn queue_entry(conn: &mut Conn, entry: &Arc<Entry>) {
-    let hdr = if conn.keep_alive {
-        entry.header_keep.clone()
-    } else {
-        entry.header_close.clone()
-    };
-    conn.out.push_back(hdr);
+    // The header goes out as slices around a current Date segment (a
+    // cached entry may be hours old; its baked-in date is not the
+    // response's date) — still one writev, just more iovecs.
+    entry.push_header(conn.keep_alive, &mut conn.out);
     if !conn.head_only {
         conn.out.push_back(entry.body.clone());
     }
+}
+
+/// Queues a bodyless `304 Not Modified` answering a conditional
+/// request whose validator is still current. 304s are rare enough
+/// that the header is rendered on demand rather than cached.
+fn queue_not_modified(conn: &mut Conn, mtime: Option<i64>, stats: &ShardStats) {
+    let hdr = ResponseHeader::not_modified(conn.keep_alive, mtime);
+    conn.out.push_back(Bytes::from(hdr.as_bytes().to_vec()));
+    stats.not_modified.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Queues a large-body response: the pre-rendered header goes through
@@ -1262,6 +1469,7 @@ fn flush_out(conn: &mut Conn, stats: &ShardStats) -> FlushResult {
         match writev_fd(conn.stream.as_raw_fd(), &bufs[..cnt]) {
             Ok(n) => {
                 stats.writev_calls.fetch_add(1, Ordering::Relaxed);
+                conn.progress += n as u64;
                 advance_out(&mut conn.out, &mut conn.out_off, n);
             }
             Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return FlushResult::WouldBlock,
@@ -1297,6 +1505,7 @@ fn flush_out(conn: &mut Conn, stats: &ShardStats) -> FlushResult {
                 Ok(n) => {
                     stats.sendfile_calls.fetch_add(1, Ordering::Relaxed);
                     stats.bytes_sendfile.fetch_add(n as u64, Ordering::Relaxed);
+                    conn.progress += n as u64;
                     sf.remaining -= n as u64;
                     budget -= n as u64;
                 }
@@ -1391,6 +1600,13 @@ fn drive_conn(idx: usize, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) -> Dri
 fn handle_request(idx: usize, conn: &mut Conn, req: Request, ctx: &mut ShardCtx) {
     conn.keep_alive = req.keep_alive();
     conn.head_only = req.method == Method::Head;
+    // Parsed once here; an unparseable date simply makes the request
+    // unconditional. Carried on the connection because the response
+    // may be rendered by a helper completion after `req` is dropped.
+    conn.if_modified_since = req
+        .if_modified_since
+        .as_deref()
+        .and_then(flash_http::date::parse_imf);
     if req.method == Method::Post {
         let body = Bytes::from(error_body(Status::NotImplemented));
         queue_error(conn, Status::NotImplemented, body);
@@ -1403,7 +1619,11 @@ fn handle_request(idx: usize, conn: &mut Conn, req: Request, ctx: &mut ShardCtx)
     }
     if let Some(entry) = ctx.cache.get(&path) {
         ctx.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-        queue_entry(conn, &entry);
+        if entry.not_modified_since(conn.if_modified_since) {
+            queue_not_modified(conn, entry.mtime, &ctx.stats);
+        } else {
+            queue_entry(conn, &entry);
+        }
         conn.state = ConnState::Writing;
         return;
     }
@@ -1589,5 +1809,106 @@ mod tests {
         assert_eq!(desired_interest(&ConnState::Reading), Interest::READ);
         assert_eq!(desired_interest(&ConnState::Writing), Interest::WRITE);
         assert_eq!(desired_interest(&ConnState::Waiting), Interest::NONE);
+    }
+
+    /// A real loopback TcpStream pair (Conn holds a TcpStream; the
+    /// deadline logic never actually touches the socket).
+    fn stream_pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let (b, _) = l.accept().unwrap();
+        (a, b)
+    }
+
+    fn test_conn(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            parser: flash_http::RequestParser::new(),
+            state: ConnState::Reading,
+            out: VecDeque::new(),
+            out_off: 0,
+            sendfile: None,
+            keep_alive: false,
+            head_only: false,
+            if_modified_since: None,
+            interest: Interest::READ,
+            deadline: DeadlineKind::None,
+            deadline_progress: 0,
+            progress: 0,
+        }
+    }
+
+    #[test]
+    fn sync_deadline_maps_states_to_classes() {
+        let (a, _b) = stream_pair();
+        let mut conn = test_conn(a);
+        let cfg = NetConfig::new("/tmp");
+        let mut wheel = TimerWheel::new(Duration::from_millis(10));
+        let token = 42;
+
+        // Reading + empty buffer → idle class.
+        sync_deadline(&mut conn, token, &cfg, &mut wheel);
+        assert_eq!(conn.deadline, DeadlineKind::Idle);
+        assert_eq!(wheel.pending(), 1);
+
+        // Request bytes buffered → header class (fresh arm).
+        let _ = conn.parser.feed(b"GET /slow");
+        sync_deadline(&mut conn, token, &cfg, &mut wheel);
+        assert_eq!(conn.deadline, DeadlineKind::Header);
+
+        // Helper owns the request → no deadline at all.
+        conn.state = ConnState::Waiting;
+        sync_deadline(&mut conn, token, &cfg, &mut wheel);
+        assert_eq!(conn.deadline, DeadlineKind::None);
+        assert_eq!(wheel.pending(), 0, "Waiting must disarm the wheel");
+
+        // Response in flight → write-stall class.
+        conn.state = ConnState::Writing;
+        sync_deadline(&mut conn, token, &cfg, &mut wheel);
+        assert_eq!(conn.deadline, DeadlineKind::WriteStall);
+        assert_eq!(wheel.pending(), 1);
+    }
+
+    #[test]
+    fn sync_deadline_rearms_on_forward_progress_only() {
+        let (a, _b) = stream_pair();
+        let mut conn = test_conn(a);
+        let cfg = NetConfig::new("/tmp");
+        let mut wheel = TimerWheel::new(Duration::from_millis(10));
+        conn.state = ConnState::Writing;
+        sync_deadline(&mut conn, 7, &cfg, &mut wheel);
+        let armed_at = conn.deadline_progress;
+
+        // No progress: the arm point must not move (a stalled peer
+        // must not refresh its own deadline).
+        sync_deadline(&mut conn, 7, &cfg, &mut wheel);
+        assert_eq!(conn.deadline_progress, armed_at);
+
+        // Forward progress: the arm point follows the odometer.
+        conn.progress += 4096;
+        sync_deadline(&mut conn, 7, &cfg, &mut wheel);
+        assert_eq!(conn.deadline_progress, conn.progress);
+        assert_eq!(wheel.pending(), 1, "re-arm replaces, never duplicates");
+    }
+
+    #[test]
+    fn sync_deadline_honours_disabled_classes() {
+        let (a, _b) = stream_pair();
+        let mut conn = test_conn(a);
+        let cfg = NetConfig::new("/tmp")
+            .with_idle_timeout(None)
+            .with_header_read_timeout(None)
+            .with_write_stall_timeout(None);
+        let mut wheel = TimerWheel::new(Duration::from_millis(10));
+        for state in [ConnState::Reading, ConnState::Writing, ConnState::Waiting] {
+            conn.state = state;
+            sync_deadline(&mut conn, 9, &cfg, &mut wheel);
+            assert_eq!(conn.deadline, DeadlineKind::None);
+        }
+        assert_eq!(
+            wheel.pending(),
+            0,
+            "every class disabled: wheel stays empty"
+        );
     }
 }

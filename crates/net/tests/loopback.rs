@@ -460,6 +460,316 @@ fn run_idle_reaper(tag: &str, backend: BackendChoice) {
     let _ = std::fs::remove_dir_all(root);
 }
 
+/// Slow-header (slowloris) deadline: a client that trickles request
+/// bytes without ever completing the header is closed within ~1.25×
+/// the configured header-read deadline — and the trickle must NOT
+/// refresh the deadline.
+fn run_slow_header_deadline(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let timeout = Duration::from_millis(800);
+    let server = Server::start(
+        "127.0.0.1:0",
+        cfg(&root, backend)
+            .with_event_loops(1)
+            .with_header_read_timeout(Some(timeout))
+            // Generous sibling timeouts so only the header deadline
+            // can be the one that fires.
+            .with_idle_timeout(Some(Duration::from_secs(30)))
+            .with_write_stall_timeout(Some(Duration::from_secs(30))),
+    )
+    .unwrap();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let start = std::time::Instant::now();
+    s.write_all(b"GET /index.html HT").unwrap();
+    // Keep trickling inside the deadline: if trickled bytes re-armed
+    // the deadline (the slowloris hole), the close would slip past the
+    // upper bound below.
+    std::thread::sleep(Duration::from_millis(250));
+    s.write_all(b"T").unwrap();
+    std::thread::sleep(Duration::from_millis(250));
+    s.write_all(b"P").unwrap();
+    // The server must close us: read to EOF (or a reset — both count
+    // as closed).
+    let mut sink = Vec::new();
+    let _ = s.read_to_end(&mut sink);
+    let elapsed = start.elapsed();
+    assert!(sink.is_empty(), "no response may precede the close");
+    assert!(
+        elapsed >= timeout - Duration::from_millis(50),
+        "closed early: {elapsed:?}"
+    );
+    // Wheel bound: deadline + tick rounding (timeout/8) + wait cadence
+    // (timeout/8) = 1.25×; the constant absorbs CI scheduling jitter.
+    assert!(
+        elapsed <= timeout.mul_f64(1.25) + Duration::from_millis(400),
+        "closed late: {elapsed:?}"
+    );
+    assert_eq!(server.stats().read_timeouts(), 1, "cause must be counted");
+    assert_eq!(server.stats().idle_reaped(), 0);
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// Write-stall deadline: a client that requests a large (sendfile)
+/// body and then stops reading is closed within ~1.25× the configured
+/// write-progress deadline, with the matching counter bumped.
+fn run_stalled_reader_deadline(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    // Big enough that the kernel's socket buffers (both directions of
+    // loopback, auto-tuned) can never absorb the whole body.
+    std::fs::write(root.join("huge.bin"), vec![0x5Au8; 32 * 1024 * 1024]).unwrap();
+    let timeout = Duration::from_millis(800);
+    let server = Server::start(
+        "127.0.0.1:0",
+        cfg(&root, backend)
+            .with_event_loops(1)
+            .with_write_stall_timeout(Some(timeout))
+            .with_idle_timeout(Some(Duration::from_secs(30)))
+            .with_header_read_timeout(Some(Duration::from_secs(30))),
+    )
+    .unwrap();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"GET /huge.bin HTTP/1.0\r\n\r\n").unwrap();
+    // Read a little to let the response start, then stop reading
+    // entirely: the server keeps sending until both socket buffers
+    // fill, then makes no progress until the deadline fires.
+    let mut chunk = [0u8; 65536];
+    s.read_exact(&mut chunk).unwrap();
+    let stalled_at = std::time::Instant::now();
+    // Watch the server's own counter — the client-side close is
+    // asynchronous (buffered bytes still drain), the stat is not.
+    let deadline_bound = timeout.mul_f64(1.25) + Duration::from_millis(400);
+    while server.stats().write_stall_timeouts() == 0 {
+        assert!(
+            stalled_at.elapsed() <= deadline_bound,
+            "stall not reaped within {deadline_bound:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let elapsed = stalled_at.elapsed();
+    assert!(
+        elapsed >= timeout - Duration::from_millis(50),
+        "reaped early: {elapsed:?} (forward progress must re-arm)"
+    );
+    assert_eq!(server.stats().write_stall_timeouts(), 1);
+    assert_eq!(server.stats().read_timeouts(), 0);
+    // The connection really is dead: draining it ends in EOF/reset
+    // rather than the full 32 MiB body.
+    let mut drained = 0u64;
+    loop {
+        match s.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n as u64,
+        }
+    }
+    assert!(
+        drained < 32 * 1024 * 1024,
+        "close must cut the body short, got {drained} more bytes"
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// A keep-alive connection making steady progress through a large
+/// body is NOT write-stall reaped even when the whole transfer takes
+/// several deadlines' worth of time — progress re-arms the clock.
+fn run_slow_but_steady_reader_survives(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let timeout = Duration::from_millis(400);
+    let server = Server::start(
+        "127.0.0.1:0",
+        cfg(&root, backend)
+            .with_event_loops(1)
+            .with_write_stall_timeout(Some(timeout)),
+    )
+    .unwrap();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"GET /big.bin HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    // Drain the 2 MB response in small sips spread over ~4 deadlines:
+    // each sip is forward progress, so the deadline keeps re-arming.
+    let (hdr, body) = {
+        let mut hdr = Vec::new();
+        let mut byte = [0u8; 1];
+        while !hdr.ends_with(b"\r\n\r\n") {
+            s.read_exact(&mut byte).unwrap();
+            hdr.push(byte[0]);
+        }
+        let mut body = vec![0u8; 2_000_000];
+        let mut off = 0;
+        let sip = 125_000; // 16 sips × 100 ms ≈ 1.6 s total
+        while off < body.len() {
+            let n = (body.len() - off).min(sip);
+            s.read_exact(&mut body[off..off + n]).unwrap();
+            off += n;
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        (String::from_utf8_lossy(&hdr).into_owned(), body)
+    };
+    assert!(hdr.starts_with("HTTP/1.1 200 OK"), "{hdr}");
+    assert!(body.iter().all(|&b| b == 0xAB));
+    assert_eq!(
+        server.stats().write_stall_timeouts(),
+        0,
+        "steady progress must never trip the stall deadline"
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// `If-Modified-Since` handling across both body tiers: a current
+/// validator gets a bodyless 304 (keep-alive preserved, counter
+/// bumped), a stale one gets the full 200 with `Last-Modified`.
+fn run_if_modified_since(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend).with_event_loops(1)).unwrap();
+    let addr = server.addr();
+
+    // Prime: the 200 carries Last-Modified (the validator clients echo).
+    let resp = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    let text = String::from_utf8_lossy(&resp);
+    let validator = text
+        .lines()
+        .find_map(|l| l.strip_prefix("Last-Modified: "))
+        .expect("200 must carry Last-Modified")
+        .trim()
+        .to_owned();
+
+    // Conditional with the echoed validator → bodyless 304 on a
+    // keep-alive connection that stays serviceable.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(
+        format!("GET /index.html HTTP/1.1\r\nHost: t\r\nIf-Modified-Since: {validator}\r\n\r\n")
+            .as_bytes(),
+    )
+    .unwrap();
+    let mut hdr = Vec::new();
+    let mut byte = [0u8; 1];
+    while !hdr.ends_with(b"\r\n\r\n") {
+        s.read_exact(&mut byte).unwrap();
+        hdr.push(byte[0]);
+    }
+    let text = String::from_utf8_lossy(&hdr);
+    assert!(text.starts_with("HTTP/1.1 304 Not Modified"), "{text}");
+    assert!(!text.contains("Content-Length"), "304 is bodyless: {text}");
+    assert!(text.contains("Connection: keep-alive"));
+    // The very next request on the same connection must parse cleanly —
+    // i.e. the 304 really carried no body bytes.
+    s.write_all(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (text, body) = read_response(&mut s);
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    assert_eq!(body, b"<html>hello flash</html>\n");
+    assert_eq!(server.stats().not_modified(), 1);
+
+    // A validator older than the file → full 200.
+    let resp = get(
+        addr,
+        "GET /index.html HTTP/1.0\r\nIf-Modified-Since: Thu, 01 Jan 1970 00:00:00 GMT\r\n\r\n",
+    );
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 200 OK"));
+    assert_eq!(body_of(&resp), b"<html>hello flash</html>\n");
+
+    // Same dance on the sendfile tier: big.bin is far above the
+    // threshold, and its 304 must move zero file bytes.
+    let resp = get(addr, "HEAD /big.bin HTTP/1.0\r\n\r\n");
+    let text = String::from_utf8_lossy(&resp);
+    let validator = text
+        .lines()
+        .find_map(|l| l.strip_prefix("Last-Modified: "))
+        .expect("sendfile-tier 200 must carry Last-Modified")
+        .trim()
+        .to_owned();
+    let sendfile_before = server.stats().bytes_sendfile();
+    let resp = get(
+        addr,
+        &format!("GET /big.bin HTTP/1.0\r\nIf-Modified-Since: {validator}\r\n\r\n"),
+    );
+    let text = String::from_utf8_lossy(&resp);
+    assert!(text.starts_with("HTTP/1.1 304 Not Modified"), "{text}");
+    assert_eq!(
+        server.stats().bytes_sendfile(),
+        sendfile_before,
+        "a 304 must not stream any of the file"
+    );
+    assert_eq!(server.stats().not_modified(), 2);
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// The Date header is the real current time in IMF-fixdate form —
+/// including on cache hits, whose pre-rendered headers are re-dated at
+/// send time rather than serving the load-time date forever.
+fn run_date_header_is_current(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend).with_event_loops(1)).unwrap();
+    let date_of = |resp: &[u8]| -> i64 {
+        let text = String::from_utf8_lossy(resp);
+        let date = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Date: "))
+            .expect("Date header present")
+            .trim()
+            .to_owned();
+        flash_http::date::parse_imf(&date)
+            .unwrap_or_else(|| panic!("Date must be IMF-fixdate, got {date:?}"))
+    };
+    // Miss path: rendered now.
+    let before = flash_http::date::unix_now();
+    let resp = get(server.addr(), "GET /index.html HTTP/1.0\r\n\r\n");
+    let after = flash_http::date::unix_now();
+    let t = date_of(&resp);
+    assert!(
+        t >= before - 2 && t <= after + 2,
+        "Date {t} outside [{before}, {after}]"
+    );
+    // Hit path: the entry was rendered ≥1 s ago, but its served Date
+    // must be NOW, not the render time.
+    std::thread::sleep(Duration::from_millis(1500));
+    let before = flash_http::date::unix_now();
+    let resp = get(server.addr(), "GET /index.html HTTP/1.0\r\n\r\n");
+    let after = flash_http::date::unix_now();
+    let t = date_of(&resp);
+    assert!(
+        t >= before - 1 && t <= after + 1,
+        "cache hit served a stale Date: {t} outside [{before}, {after}]"
+    );
+    assert!(server.stats().cache_hits() >= 1, "second GET must be a hit");
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// Connection-header token lists steer keep-alive end to end.
+fn run_connection_token_list(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
+    let addr = server.addr();
+    // 1.0 + "keep-alive, upgrade": must keep the connection open.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(b"GET /index.html HTTP/1.0\r\nConnection: keep-alive, upgrade\r\n\r\n")
+        .unwrap();
+    let (text, _) = read_response(&mut s);
+    assert!(text.contains("Connection: keep-alive"), "{text}");
+    s.write_all(b"GET /index.html HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        .unwrap();
+    let (text, _) = read_response(&mut s);
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    // 1.1 + "close, te": must close after the response.
+    let resp = get(
+        addr,
+        "GET /index.html HTTP/1.1\r\nHost: t\r\nConnection: close, te\r\n\r\n",
+    );
+    let text = String::from_utf8_lossy(&resp);
+    assert!(text.contains("Connection: close"), "{text}");
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
 fn run_mt_server(tag: &str, backend: BackendChoice) {
     let root = docroot(tag);
     let server = MtServer::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
@@ -480,6 +790,60 @@ fn run_mt_server(tag: &str, backend: BackendChoice) {
     }
     let resp = get(addr, "GET /gone HTTP/1.0\r\n\r\n");
     assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 404"));
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// The MT server honours the same deadline knobs through its blocking
+/// socket timeouts: a slow header sender is disconnected, and a
+/// conditional request gets a 304.
+fn run_mt_deadline_and_304(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let timeout = Duration::from_millis(800);
+    let server = MtServer::start(
+        "127.0.0.1:0",
+        cfg(&root, backend)
+            .with_header_read_timeout(Some(timeout))
+            .with_idle_timeout(Some(Duration::from_secs(30))),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Slow header sender: closed within the deadline plus the worker's
+    // 200 ms check cadence.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let start = std::time::Instant::now();
+    s.write_all(b"GET /index.html HT").unwrap();
+    let mut sink = Vec::new();
+    let _ = s.read_to_end(&mut sink);
+    let elapsed = start.elapsed();
+    assert!(sink.is_empty(), "no response may precede the close");
+    assert!(
+        elapsed >= timeout - Duration::from_millis(50),
+        "closed early: {elapsed:?}"
+    );
+    assert!(
+        elapsed <= timeout + Duration::from_millis(700),
+        "closed late: {elapsed:?}"
+    );
+
+    // 304 parity: prime, echo the validator back, expect Not Modified.
+    let resp = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    let text = String::from_utf8_lossy(&resp);
+    let validator = text
+        .lines()
+        .find_map(|l| l.strip_prefix("Last-Modified: "))
+        .expect("MT 200 must carry Last-Modified")
+        .trim()
+        .to_owned();
+    let resp = get(
+        addr,
+        &format!("GET /index.html HTTP/1.0\r\nIf-Modified-Since: {validator}\r\n\r\n"),
+    );
+    let text = String::from_utf8_lossy(&resp);
+    assert!(text.starts_with("HTTP/1.1 304 Not Modified"), "{text}");
+    assert!(!text.contains("Content-Length"), "{text}");
     server.stop();
     let _ = std::fs::remove_dir_all(root);
 }
@@ -587,8 +951,43 @@ macro_rules! backend_suite {
             }
 
             #[test]
+            fn amped_slow_header_sender_hits_read_deadline() {
+                run_slow_header_deadline(&tag("slowhdr"), $backend);
+            }
+
+            #[test]
+            fn amped_stalled_body_reader_hits_write_deadline() {
+                run_stalled_reader_deadline(&tag("stallrd"), $backend);
+            }
+
+            #[test]
+            fn amped_steady_reader_outlives_write_deadline() {
+                run_slow_but_steady_reader_survives(&tag("steady"), $backend);
+            }
+
+            #[test]
+            fn amped_if_modified_since_both_tiers() {
+                run_if_modified_since(&tag("ims"), $backend);
+            }
+
+            #[test]
+            fn amped_date_header_is_current() {
+                run_date_header_is_current(&tag("date"), $backend);
+            }
+
+            #[test]
+            fn amped_connection_header_token_list() {
+                run_connection_token_list(&tag("connlist"), $backend);
+            }
+
+            #[test]
             fn mt_server_serves_and_shares_cache() {
                 run_mt_server(&tag("mt"), $backend);
+            }
+
+            #[test]
+            fn mt_deadline_and_not_modified_parity() {
+                run_mt_deadline_and_304(&tag("mt-deadline"), $backend);
             }
         }
     };

@@ -127,16 +127,27 @@ fn simulated_and_real_servers_agree_on_header_format() {
     // real server sends those same headers. Spot-check that a simulated
     // response size matches what the real server actually transmits.
     let size = 12_345u64;
-    let hdr = flash_repro::http::ResponseHeader::build(
+    let root = std::env::temp_dir().join(format!("flash-agree-{}", std::process::id()));
+    std::fs::create_dir_all(&root).unwrap();
+    std::fs::write(root.join("f.html"), vec![b'y'; size as usize]).unwrap();
+    // The real server stamps Last-Modified from the file's mtime, so
+    // the reference header must carry the same field to agree on
+    // length (IMF-fixdate is fixed-width, so the value cannot skew it).
+    let mtime = std::fs::metadata(root.join("f.html"))
+        .unwrap()
+        .modified()
+        .unwrap()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_secs() as i64;
+    let hdr = flash_repro::http::ResponseHeader::build_with_last_modified(
         flash_repro::http::Status::Ok,
         "text/html",
         size,
         false,
         true,
+        mtime,
     );
-    let root = std::env::temp_dir().join(format!("flash-agree-{}", std::process::id()));
-    std::fs::create_dir_all(&root).unwrap();
-    std::fs::write(root.join("f.html"), vec![b'y'; size as usize]).unwrap();
     let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
     let mut conn = TcpStream::connect(server.addr()).unwrap();
     conn.write_all(b"GET /f.html HTTP/1.0\r\n\r\n").unwrap();
