@@ -1,9 +1,11 @@
 //! Concurrent-client throughput of the real servers over loopback:
 //! sharded AMPED (1 shard vs. N shards) against MT, so the multicore
-//! speedup is measured rather than asserted — plus a large-file
-//! scenario pitting the `sendfile(2)` tier against forcing the same
-//! body through the in-memory cache + `writev` tier, and a many-idle-
-//! connections scenario (64 active among 1024 registered) pitting the
+//! speedup is measured rather than asserted — plus an accept-rate
+//! scenario (short-lived connections, the single acceptor thread vs.
+//! per-shard `SO_REUSEPORT` listeners), a large-file scenario pitting
+//! the `sendfile(2)` tier against forcing the same body through the
+//! in-memory cache + `writev` tier, and a many-idle-connections
+//! scenario (64 active among 1024 registered) pitting the
 //! edge-triggered `epoll` backend's O(ready fds) waits against the
 //! `poll` backend's O(watched fds) scans.
 //!
@@ -16,7 +18,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use flash_net::event::{ensure_fd_limit, resolve, BackendChoice, BackendKind};
-use flash_net::{MtServer, NetConfig, Server};
+use flash_net::{AcceptMode, AcceptModeKind, MtServer, NetConfig, Server};
 
 const CLIENTS: usize = 8;
 const REQS_PER_CLIENT: usize = 50;
@@ -215,6 +217,79 @@ fn bench_large_file(c: &mut Criterion) {
     g.finish();
 }
 
+const CHURN_CLIENTS: usize = 8;
+const CHURN_CONNS_PER_CLIENT: usize = 40;
+
+/// One churn client: short-lived connections, one HTTP/1.0 request
+/// each — every request pays the full connection-setup cost, so the
+/// accept path dominates what this measures.
+fn client_churn(addr: SocketAddr, conns: usize) {
+    use std::io::Read;
+    for _ in 0..conns {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(b"GET /f0.html HTTP/1.0\r\n\r\n").expect("send");
+        let mut resp = Vec::new();
+        s.read_to_end(&mut resp).expect("read");
+        assert!(resp.starts_with(b"HTTP/1.1 200 OK\r\n"));
+    }
+}
+
+fn storm_churn(addr: SocketAddr) {
+    let threads: Vec<_> = (0..CHURN_CLIENTS)
+        .map(|_| std::thread::spawn(move || client_churn(addr, CHURN_CONNS_PER_CLIENT)))
+        .collect();
+    for t in threads {
+        t.join().expect("churn client");
+    }
+}
+
+/// Connection-setup rate: many short-lived connections against the
+/// single acceptor thread (every accept funneled through one thread
+/// and dealt over a channel) versus per-shard `SO_REUSEPORT` listeners
+/// (the kernel load-balances accepts straight into the shards).
+fn bench_accept_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_accept_rate");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    g.throughput(Throughput::Elements(
+        (CHURN_CLIENTS * CHURN_CONNS_PER_CLIENT) as u64,
+    ));
+
+    for mode in [AcceptMode::Single, AcceptMode::ReusePort] {
+        let root = docroot("accept-rate");
+        let server = Server::start(
+            "127.0.0.1:0",
+            NetConfig::new(&root)
+                .with_event_loops(4)
+                .with_accept_mode(mode),
+        )
+        .unwrap();
+        let resolved = server.accept_mode();
+        if mode == AcceptMode::ReusePort && resolved != AcceptModeKind::ReusePort {
+            // Platform floor degraded the mode: the second scenario
+            // would re-measure the first.
+            server.stop();
+            let _ = std::fs::remove_dir_all(&root);
+            continue;
+        }
+        let addr = server.addr();
+        g.bench_function(&format!("short_conns_4_shards_{}", resolved.name()), |b| {
+            b.iter(|| storm_churn(addr))
+        });
+        println!(
+            "accept mode {}: {} accepted, backpressure events {}",
+            resolved.name(),
+            server.stats().accepted(),
+            server.stats().accept_backpressure(),
+        );
+        server.stop();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    g.finish();
+}
+
 const IDLE_CONNS: usize = 960;
 const IDLE_ACTIVE_CLIENTS: usize = 64;
 const IDLE_REQS: usize = 25;
@@ -308,6 +383,7 @@ fn bench_many_idle_connections(c: &mut Criterion) {
 criterion_group!(
     net_throughput,
     bench_net_throughput,
+    bench_accept_rate,
     bench_large_file,
     bench_many_idle_connections
 );

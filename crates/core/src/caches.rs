@@ -91,6 +91,20 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.slab[idx as usize].value.as_ref()
     }
 
+    /// Looks up `key` mutably, promoting it to most-recently-used on a
+    /// hit — for callers that keep per-entry bookkeeping (validation
+    /// stamps) alongside the cached value.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        self.slab[idx as usize].value.as_mut()
+    }
+
     /// Looks up without promoting (for tests/introspection).
     pub fn peek<Q>(&self, key: &Q) -> Option<&V>
     where
@@ -141,6 +155,21 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.insert(key, idx);
         self.push_front(idx);
         evicted
+    }
+
+    /// Removes `key`, returning its value. O(1), any recency position
+    /// — the targeted-invalidation counterpart of [`Self::pop_lru`]
+    /// (the net server's content cache drops entries whose backing
+    /// file changed on disk).
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        self.free.push(idx);
+        self.slab[idx as usize].value.take()
     }
 
     /// Removes and returns the least-recently-used entry.

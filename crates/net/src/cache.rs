@@ -9,6 +9,7 @@
 //! to helper threads.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use flash_core::caches::LruCache;
@@ -150,9 +151,30 @@ pub fn not_modified_since(mtime: Option<i64>, ims: Option<i64>) -> bool {
 /// here.
 pub const MAX_ENTRY_DIVISOR: u64 = 4;
 
+/// A resident entry plus the instant it was last known to match the
+/// file on disk — set at insert, refreshed by a successful
+/// revalidation re-stat (see [`ContentCache::lookup`]).
+struct Cached {
+    entry: Arc<Entry>,
+    validated_at: Instant,
+}
+
+/// Outcome of a freshness-aware lookup ([`ContentCache::lookup`]).
+pub enum Lookup {
+    /// Resident and within its revalidation TTL: serve it.
+    Hit(Arc<Entry>),
+    /// Resident but past the TTL: the entry may no longer match the
+    /// file on disk — re-stat before serving, then
+    /// [`ContentCache::refresh`] (unchanged) or
+    /// [`ContentCache::invalidate`] (changed).
+    Stale(Arc<Entry>),
+    /// Not resident.
+    Miss,
+}
+
 /// A byte-bounded LRU cache of rendered responses, keyed by URL path.
 pub struct ContentCache {
-    lru: LruCache<String, Arc<Entry>>,
+    lru: LruCache<String, Cached>,
     capacity_bytes: u64,
     used_bytes: u64,
     hits: u64,
@@ -181,17 +203,71 @@ impl ContentCache {
     }
 
     /// Looks up a path, promoting on hit. Borrowed-key lookup: no
-    /// allocation on this per-request path.
+    /// allocation on this per-request path. Freshness-blind — callers
+    /// that honour a revalidation TTL use [`Self::lookup`].
     pub fn get(&mut self, path: &str) -> Option<Arc<Entry>> {
         match self.lru.get(path) {
-            Some(e) => {
+            Some(c) => {
                 self.hits += 1;
-                Some(Arc::clone(e))
+                Some(Arc::clone(&c.entry))
             }
             None => {
                 self.misses += 1;
                 None
             }
+        }
+    }
+
+    /// Freshness-aware lookup: a resident entry whose last validation
+    /// is older than `ttl` comes back [`Lookup::Stale`] — still
+    /// promoted and counted as a hit (the bytes are resident; it is
+    /// their *currency* that is in doubt), but the caller must re-stat
+    /// the file and either [`Self::refresh`] or [`Self::invalidate`]
+    /// before serving. `ttl = None` disables staleness entirely.
+    pub fn lookup(&mut self, path: &str, ttl: Option<Duration>) -> Lookup {
+        match self.lru.get(path) {
+            Some(c) => {
+                self.hits += 1;
+                let entry = Arc::clone(&c.entry);
+                match ttl {
+                    Some(t) if c.validated_at.elapsed() >= t => Lookup::Stale(entry),
+                    _ => Lookup::Hit(entry),
+                }
+            }
+            None => {
+                self.misses += 1;
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Looks up a path without promoting it or touching the hit/miss
+    /// counters — for internal consultations (a revalidation
+    /// completion checking what is resident) that are not requests.
+    pub fn peek(&self, path: &str) -> Option<Arc<Entry>> {
+        self.lru.peek(path).map(|c| Arc::clone(&c.entry))
+    }
+
+    /// Marks a resident entry as just revalidated against the disk
+    /// file (a re-stat matched its mtime and size): its TTL clock
+    /// restarts now.
+    pub fn refresh(&mut self, path: &str) {
+        if let Some(c) = self.lru.get_mut(path) {
+            c.validated_at = Instant::now();
+        }
+    }
+
+    /// Drops a resident entry whose backing file changed on disk (or
+    /// vanished), so stale bytes stop being served — and stop
+    /// 304-validating — immediately. Returns whether an entry was
+    /// actually removed.
+    pub fn invalidate(&mut self, path: &str) -> bool {
+        match self.lru.remove(path) {
+            Some(old) => {
+                self.used_bytes -= old.entry.cost();
+                true
+            }
+            None => false,
         }
     }
 
@@ -208,12 +284,16 @@ impl ContentCache {
             return false;
         }
         self.used_bytes += entry.cost();
-        if let Some((_, old)) = self.lru.insert(path, entry) {
-            self.used_bytes -= old.cost();
+        let cached = Cached {
+            entry,
+            validated_at: Instant::now(),
+        };
+        if let Some((_, old)) = self.lru.insert(path, cached) {
+            self.used_bytes -= old.entry.cost();
         }
         while self.used_bytes > self.capacity_bytes {
             match self.lru.pop_lru() {
-                Some((_, old)) => self.used_bytes -= old.cost(),
+                Some((_, old)) => self.used_bytes -= old.entry.cost(),
                 None => break,
             }
         }
@@ -353,6 +433,50 @@ mod tests {
         for i in 0..4 {
             assert!(c.get(&format!("/f{i}")).is_some(), "/f{i} must survive");
         }
+    }
+
+    #[test]
+    fn lookup_reports_staleness_and_refresh_resets_it() {
+        let mut c = ContentCache::new(1024 * 1024);
+        c.insert("/a".into(), Entry::build("/a", b"x".to_vec()));
+        // Long TTL: fresh.
+        assert!(matches!(
+            c.lookup("/a", Some(Duration::from_secs(60))),
+            Lookup::Hit(_)
+        ));
+        // Zero TTL: immediately stale — resident but untrusted.
+        assert!(matches!(
+            c.lookup("/a", Some(Duration::ZERO)),
+            Lookup::Stale(_)
+        ));
+        // No TTL: staleness disabled entirely.
+        assert!(matches!(c.lookup("/a", None), Lookup::Hit(_)));
+        // A refresh restarts the clock for a non-zero TTL.
+        c.refresh("/a");
+        assert!(matches!(
+            c.lookup("/a", Some(Duration::from_secs(60))),
+            Lookup::Hit(_)
+        ));
+        assert!(matches!(
+            c.lookup("/missing", Some(Duration::from_secs(60))),
+            Lookup::Miss
+        ));
+    }
+
+    #[test]
+    fn invalidate_removes_entry_and_byte_accounting() {
+        let mut c = ContentCache::new(1024 * 1024);
+        c.insert("/a".into(), Entry::build("/a", vec![0u8; 500]));
+        c.insert("/b".into(), Entry::build("/b", vec![0u8; 700]));
+        let both = c.used_bytes();
+        assert!(c.invalidate("/a"), "resident entry must be removed");
+        assert!(c.get("/a").is_none(), "stale bytes must stop serving");
+        assert!(c.used_bytes() < both, "bytes must be released");
+        assert!(c.get("/b").is_some(), "other entries untouched");
+        assert!(!c.invalidate("/a"), "second invalidate is a no-op");
+        // The slot is reusable: a reload re-inserts cleanly.
+        c.insert("/a".into(), Entry::build("/a", vec![1u8; 200]));
+        assert!(c.get("/a").is_some());
     }
 
     #[test]

@@ -3,9 +3,21 @@
 //!
 //! Two servers built from the shared `flash-http` machinery:
 //!
-//! * [`server::Server`] — **sharded AMPED**: a lightweight acceptor
-//!   deals connections round-robin to `NetConfig::event_loops`
-//!   independent event-loop shards (default `min(cores, 8)`). Each
+//! * [`server::Server`] — **sharded AMPED**:
+//!   `NetConfig::event_loops` independent event-loop shards (default
+//!   `min(cores, 8)`) with a **pluggable accept path**
+//!   ([`server::NetConfig::accept_mode`], resolved by [`sock`]): in
+//!   the default reuseport mode (Linux; `Auto`, overridable with
+//!   `FLASH_ACCEPT_MODE=single|reuseport`) **each shard owns its own
+//!   `SO_REUSEPORT` listener** registered in its own event backend —
+//!   the kernel load-balances connection setup across all shards, no
+//!   acceptor thread serializes it, and no cross-thread dealing hop
+//!   precedes a request; backpressure is local (a shard at
+//!   [`server::NetConfig::max_conns_per_shard`], or out of
+//!   descriptors, quiesces its listener interest and re-arms as slots
+//!   free — `accept_backpressure` counts it). The portable single
+//!   mode keeps a lightweight acceptor thread dealing connections
+//!   round-robin to the shards. Each
 //!   shard multiplexes its connections through the pluggable
 //!   **readiness subsystem** in [`event`]: an [`EventBackend`] trait
 //!   with an edge-triggered `epoll(7)` implementation (Linux; raw FFI,
@@ -57,7 +69,12 @@
 //!   multi-gigabyte response costs no userspace memory at all.
 //!   Oversized entries are likewise refused at cache admission
 //!   ([`cache::MAX_ENTRY_DIVISOR`]), so one huge body can never churn
-//!   a shard's working set.
+//!   a shard's working set. Cached entries do not outlive the files
+//!   they were rendered from: a hit older than
+//!   [`server::NetConfig::cache_revalidate_ttl`] (default 2 s) is
+//!   re-stat'ed by a helper before it is trusted — unchanged files
+//!   revalidate for free (`revalidations`), changed or deleted ones
+//!   are evicted and reloaded (`stale_evicted`).
 //! * [`mt::MtServer`] — **MT**: thread-per-connection with blocking
 //!   I/O and a shared, locked content cache, for comparison (the §3.2
 //!   trade-off discussion, measurable with `cargo bench -p
@@ -89,6 +106,7 @@ pub mod mt;
 pub mod poll;
 pub mod sendfile;
 pub mod server;
+pub mod sock;
 pub mod timer;
 pub mod writev;
 
@@ -96,3 +114,4 @@ pub use cache::{ContentCache, Entry};
 pub use event::{BackendChoice, BackendKind, EventBackend};
 pub use mt::MtServer;
 pub use server::{NetConfig, Server, ServerStats, ShardStats};
+pub use sock::{AcceptMode, AcceptModeKind};

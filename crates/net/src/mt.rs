@@ -18,7 +18,7 @@
 //! progress" semantics (each partial send restarts the timer).
 
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -31,8 +31,9 @@ use flash_http::response::{error_body, ResponseHeader, Status};
 use flash_http::Method;
 use parking_lot::Mutex;
 
-use crate::cache::{ContentCache, Entry};
+use crate::cache::{ContentCache, Entry, Lookup};
 use crate::server::{prepare_accept_backend, run_accept_loop, AcceptSink, NetConfig};
+use crate::sock;
 
 /// Handle to a running MT server.
 pub struct MtServer {
@@ -43,11 +44,16 @@ pub struct MtServer {
 }
 
 impl MtServer {
-    /// Binds `addr` and starts the accept loop.
+    /// Binds `addr` and starts the accept loop. The listener comes
+    /// from the shared socket-options helper ([`crate::sock`]) — same
+    /// nonblocking + `SO_REUSEADDR` setup as the AMPED listeners, one
+    /// accept path's options can never drift from the other's.
     pub fn start(addr: impl ToSocketAddrs, cfg: NetConfig) -> io::Result<MtServer> {
-        let listener = TcpListener::bind(addr)?;
+        let req_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        let listener = sock::bind_listener(req_addr, false)?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let shutdown2 = Arc::clone(&shutdown);
         // Shutdown wakes the accept loop through this pipe, so the
@@ -207,8 +213,32 @@ fn serve_conn(
             path.push_str("index.html");
         }
         // Check the shared cache (lock), then do the blocking disk work
-        // on this thread — only this connection stalls.
-        let cached = cache.lock().get(&path);
+        // on this thread — only this connection stalls. A hit past the
+        // revalidation TTL re-stats the file inline (blocking is this
+        // server's whole idiom): a matching stat restarts the TTL
+        // clock, a mismatch evicts the stale entry and falls through
+        // to the reload below — the same policy the AMPED shards apply
+        // through their helper pool.
+        // The lookup's lock guard must drop before the match arms run:
+        // the stale arm re-locks to refresh/invalidate.
+        let looked_up = cache.lock().lookup(&path, cfg.cache_revalidate_ttl);
+        let cached = match looked_up {
+            Lookup::Hit(e) => Some(e),
+            Lookup::Stale(e) => {
+                let fs_path = cfg.docroot.join(path.trim_start_matches('/'));
+                match crate::server::stat_file_checked(&fs_path) {
+                    Ok((len, mtime)) if e.mtime == mtime && e.body.len() as u64 == len => {
+                        cache.lock().refresh(&path);
+                        Some(e)
+                    }
+                    _ => {
+                        cache.lock().invalidate(&path);
+                        None
+                    }
+                }
+            }
+            Lookup::Miss => None,
+        };
         let entry = match cached {
             Some(e) => Ok(e),
             None => match read_file_with_mtime(&cfg.docroot.join(path.trim_start_matches('/'))) {

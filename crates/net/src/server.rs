@@ -5,9 +5,21 @@
 //!
 //! Layout:
 //!
-//! * a **lightweight acceptor thread** owns the listening socket and
-//!   deals accepted connections round-robin to the shards over
-//!   per-shard channels, waking the target shard through its wake
+//! * the **accept path** is pluggable ([`NetConfig::accept_mode`],
+//!   resolved by [`crate::sock`]): in the default **reuseport** mode
+//!   (Linux) every shard owns its own `SO_REUSEPORT` listening socket
+//!   registered in its own event backend — the kernel hashes incoming
+//!   connections across the listeners, each shard drains its accepts
+//!   to `EWOULDBLOCK` under the ET contract, and there is **no
+//!   acceptor thread and no dealing hop**. Backpressure is local: a
+//!   shard at [`NetConfig::max_conns_per_shard`] (or hitting
+//!   `EMFILE`/`ENFILE` — counted as `accept_backpressure`) drops its
+//!   listener's read interest, letting the backlog queue in the
+//!   kernel or hash to its siblings, and re-arms the moment a slot
+//!   frees. The portable **single** fallback keeps the previous
+//!   shape: a lightweight acceptor thread owns the only listening
+//!   socket and deals accepted connections round-robin to the shards
+//!   over per-shard channels, waking each target through its wake
 //!   socketpair; it blocks in its own readiness backend with no
 //!   polling timeout — shutdown arrives as a byte on a dedicated stop
 //!   pipe;
@@ -40,7 +52,15 @@
 //!   — a cold-cache shard flooding its lane cannot starve the other
 //!   shards' disk latency. The finishing helper routes the completion
 //!   back to that shard's done queue, coalescing wake-up bytes so a
-//!   burst of completions costs one pipe write, not one per job;
+//!   burst of completions costs one pipe write, not one per job. The
+//!   helpers also run **cache revalidation**: a content-cache hit
+//!   older than [`NetConfig::cache_revalidate_ttl`] parks like a miss
+//!   while a helper re-stats the file (open+`fstat`, no read) — a
+//!   matching (length, mtime) restarts the TTL clock and serves the
+//!   waiters from memory (`revalidations`), a mismatch evicts the
+//!   stale entry and reloads (`stale_evicted`), so a file edited in
+//!   place stops being served — and 304-validated — from stale bytes
+//!   within the TTL;
 //! * the send path is **two-tier and zero-copy at both tiers**: small
 //!   bodies are queued as their cached header and body segments and
 //!   transmitted with a single gathered `writev(2)` (see
@@ -75,9 +95,10 @@ use flash_http::request::{ParseStatus, Request};
 use flash_http::response::{error_body, ResponseHeader, Status};
 use flash_http::Method;
 
-use crate::cache::{ContentCache, Entry};
+use crate::cache::{ContentCache, Entry, Lookup};
 use crate::event::{new_backend, BackendChoice, BackendKind, Event, EventBackend, Interest};
 use crate::sendfile::send_file;
+use crate::sock::{self, AcceptMode, AcceptModeKind};
 use crate::timer::{tick_for, TimerWheel};
 use crate::writev::{writev_fd, MAX_IOV};
 
@@ -125,6 +146,28 @@ pub struct NetConfig {
     /// long as the peer keeps draining. `None` disables it.
     /// Default 30 s.
     pub write_stall_timeout: Option<Duration>,
+    /// How `accept(2)` work is distributed (see [`crate::sock`]):
+    /// `Auto` (default) resolves to per-shard `SO_REUSEPORT` listeners
+    /// on Linux — every shard accepts from its own listener registered
+    /// in its own event backend, no acceptor thread, no dealing hop —
+    /// and to the single acceptor thread elsewhere, overridable with
+    /// `FLASH_ACCEPT_MODE=single|reuseport`; `ReusePort`/`Single` pin
+    /// a mode and ignore the environment.
+    pub accept_mode: AcceptMode,
+    /// Per-shard connection cap, enforced on the reuseport accept path
+    /// as **local backpressure**: a shard at its cap unregisters its
+    /// listener's read interest (new connections queue in the kernel
+    /// backlog or hash to other shards) and re-arms the moment a slot
+    /// frees. Default 8192.
+    pub max_conns_per_shard: usize,
+    /// Content-cache hits older than this re-stat the file (via the
+    /// helper pool — the shard still never touches the filesystem)
+    /// before serving: an mtime/size mismatch evicts the entry and
+    /// reloads, so a file edited in place stops being served — and
+    /// 304-validated — from stale cached bytes within the TTL. `None`
+    /// trusts cached entries forever (the pre-revalidation behavior).
+    /// Default 2 s.
+    pub cache_revalidate_ttl: Option<Duration>,
 }
 
 impl NetConfig {
@@ -140,6 +183,9 @@ impl NetConfig {
             idle_timeout: Some(Duration::from_secs(30)),
             header_read_timeout: Some(Duration::from_secs(15)),
             write_stall_timeout: Some(Duration::from_secs(30)),
+            accept_mode: AcceptMode::Auto,
+            max_conns_per_shard: 8192,
+            cache_revalidate_ttl: Some(Duration::from_secs(2)),
         }
     }
 
@@ -178,6 +224,25 @@ impl NetConfig {
     /// it).
     pub fn with_write_stall_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.write_stall_timeout = timeout;
+        self
+    }
+
+    /// Same config pinned to an accept-path mode.
+    pub fn with_accept_mode(mut self, mode: AcceptMode) -> Self {
+        self.accept_mode = mode;
+        self
+    }
+
+    /// Same config with the per-shard connection cap.
+    pub fn with_max_conns_per_shard(mut self, cap: usize) -> Self {
+        self.max_conns_per_shard = cap.max(1);
+        self
+    }
+
+    /// Same config with the content-cache revalidation TTL (`None`
+    /// trusts cached entries until eviction).
+    pub fn with_cache_revalidate_ttl(mut self, ttl: Option<Duration>) -> Self {
+        self.cache_revalidate_ttl = ttl;
         self
     }
 }
@@ -230,6 +295,17 @@ pub struct ShardStats {
     pub write_stall_timeouts: AtomicU64,
     /// `304 Not Modified` responses served to conditional requests.
     pub not_modified: AtomicU64,
+    /// Times this shard's reuseport listener was throttled by fd
+    /// exhaustion (`EMFILE`/`ENFILE`) or another accept failure — read
+    /// interest dropped, re-armed once a connection slot frees.
+    pub accept_backpressure: AtomicU64,
+    /// Cache hits past the revalidation TTL whose re-stat confirmed
+    /// the entry still matches the file (served, TTL clock restarted).
+    pub revalidations: AtomicU64,
+    /// Cache entries evicted because a revalidation re-stat saw a
+    /// different mtime or size (the file changed or vanished) — the
+    /// stale bytes were dropped instead of served.
+    pub stale_evicted: AtomicU64,
 }
 
 /// Counters for a running server: per-shard atomics, aggregated on
@@ -330,6 +406,23 @@ impl ServerStats {
         self.sum(|s| &s.not_modified)
     }
 
+    /// Accept-path backpressure events (listener throttled on
+    /// `EMFILE`/`ENFILE` or accept failure), across shards.
+    pub fn accept_backpressure(&self) -> u64 {
+        self.sum(|s| &s.accept_backpressure)
+    }
+
+    /// Successful cache revalidations (re-stat matched), across shards.
+    pub fn revalidations(&self) -> u64 {
+        self.sum(|s| &s.revalidations)
+    }
+
+    /// Cache entries evicted as stale by a revalidation re-stat,
+    /// across shards.
+    pub fn stale_evicted(&self) -> u64 {
+        self.sum(|s| &s.stale_evicted)
+    }
+
     /// The per-shard counters (index = shard id).
     pub fn per_shard(&self) -> &[Arc<ShardStats>] {
         &self.shards
@@ -342,9 +435,12 @@ pub struct Server {
     addr: SocketAddr,
     stats: Arc<ServerStats>,
     backend: BackendKind,
+    accept_mode: AcceptModeKind,
     shutdown: Arc<AtomicBool>,
     shard_wakes: Vec<WakeHandle>,
-    acceptor_stop: UnixStream,
+    /// `Some` only in single-acceptor mode; reuseport shards are woken
+    /// for shutdown through their ordinary wake pipes.
+    acceptor_stop: Option<UnixStream>,
     jobs: Arc<JobQueue>,
     acceptor_thread: Option<JoinHandle<()>>,
     shard_threads: Vec<JoinHandle<()>>,
@@ -383,11 +479,22 @@ impl WakeHandle {
     }
 }
 
+/// What a helper does for a job: read the file, or merely re-stat it.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    /// Open and read (or open-for-`sendfile`) — a cache miss.
+    Load,
+    /// Open and `fstat` only — a cache hit past its revalidation TTL;
+    /// the shard compares the result against the cached entry.
+    Revalidate,
+}
+
 struct Job {
     path: String,
     fs_path: PathBuf,
     /// Which shard's done queue the completion routes back to.
     shard: usize,
+    kind: JobKind,
 }
 
 /// The shared helper-pool queue: one FIFO lane per shard, popped
@@ -492,9 +599,19 @@ enum FileData {
     },
 }
 
+/// A helper completion's payload, matching the job's [`JobKind`].
+enum DoneData {
+    /// `JobKind::Load`: the file's contents (or open fd), ready to
+    /// render and cache.
+    Loaded(io::Result<FileData>),
+    /// `JobKind::Revalidate`: the file's current (length, mtime) from
+    /// a bare open+`fstat` — no bytes read.
+    Stat(io::Result<(u64, Option<i64>)>),
+}
+
 struct Done {
     path: String,
-    result: io::Result<FileData>,
+    data: DoneData,
 }
 
 enum ConnState {
@@ -568,6 +685,12 @@ struct Conn {
 /// with fd 2^32-1 cannot occur).
 const WAKE_TOKEN: u64 = u64::MAX;
 
+/// Token for a shard's own `SO_REUSEPORT` listener — the slot half is
+/// 2^32-1, which a real connection slot can never reach, so it can
+/// never collide with a connection token (nor with [`WAKE_TOKEN`],
+/// whose fd half differs).
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
 /// Packs a connection's identity into an event token: slot index in
 /// the high 32 bits, descriptor number in the low 32. The fd half lets
 /// the loop reject stale events after a slot is recycled — the same
@@ -585,15 +708,41 @@ fn token_fd(token: u64) -> RawFd {
 }
 
 impl Server {
-    /// Binds `addr` and starts the acceptor, the event-loop shards and
-    /// the shared helper pool.
+    /// Binds `addr` and starts the event-loop shards, the shared
+    /// helper pool and — in single-acceptor mode only — the acceptor
+    /// thread. In reuseport mode every shard owns its own
+    /// `SO_REUSEPORT` listener, registered in that shard's event
+    /// backend before its thread exists.
     pub fn start(addr: impl ToSocketAddrs, cfg: NetConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
+        let req_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        let accept_mode = sock::resolve_accept_mode(cfg.accept_mode);
         let shutdown = Arc::new(AtomicBool::new(false));
         let n_shards = cfg.event_loops.max(1);
         let backend = crate::event::resolve(cfg.backend);
+
+        // All listeners are bound before any thread exists, so an
+        // unbindable port is a clean start() error. In reuseport mode
+        // the first bind fixes the port (addr may carry port 0) and
+        // the remaining shards bind the resolved address.
+        let (addr, single_listener, shard_listeners) = match accept_mode {
+            AcceptModeKind::Single => {
+                let l = sock::bind_listener(req_addr, false)?;
+                let bound = l.local_addr()?;
+                (bound, Some(l), Vec::new())
+            }
+            AcceptModeKind::ReusePort => {
+                let first = sock::bind_listener(req_addr, true)?;
+                let bound = first.local_addr()?;
+                let mut listeners = vec![first];
+                for _ in 1..n_shards {
+                    listeners.push(sock::bind_listener(bound, true)?);
+                }
+                (bound, None, listeners)
+            }
+        };
+        let mut shard_listeners = shard_listeners.into_iter();
 
         let shard_stats: Vec<Arc<ShardStats>> = (0..n_shards)
             .map(|_| Arc::new(ShardStats::default()))
@@ -603,7 +752,10 @@ impl Server {
         });
 
         // One shared helper queue with per-shard lanes; per-shard done
-        // queues and wake pipes routing completions back.
+        // queues and wake pipes routing completions back. The conn
+        // channels exist only in single-acceptor mode — reuseport
+        // shards accept for themselves, so there is no dealing hop and
+        // no wake byte per accepted connection.
         let jobs = JobQueue::new(n_shards);
         let mut conn_txs = Vec::with_capacity(n_shards);
         let mut done_txs = Vec::with_capacity(n_shards);
@@ -611,12 +763,17 @@ impl Server {
         let mut shard_threads = Vec::with_capacity(n_shards);
         let mut shard_setups = Vec::with_capacity(n_shards);
         for shard_id in 0..n_shards {
-            let (conn_tx, conn_rx) = unbounded::<TcpStream>();
+            let conn_rx = if accept_mode == AcceptModeKind::Single {
+                let (conn_tx, conn_rx) = unbounded::<TcpStream>();
+                conn_txs.push(conn_tx);
+                Some(conn_rx)
+            } else {
+                None
+            };
             let (done_tx, done_rx) = unbounded::<Done>();
             let (wake_tx, wake_rx) = UnixStream::pair()?;
             wake_rx.set_nonblocking(true)?;
             let wake = WakeHandle::new(wake_tx);
-            conn_txs.push(conn_tx);
             done_txs.push(done_tx);
             shard_wakes.push(wake.clone());
             shard_setups.push((shard_id, conn_rx, done_rx, wake_rx, wake));
@@ -639,26 +796,47 @@ impl Server {
         // Each shard gets an equal slice of the cache budget: private
         // caches mean zero lock traffic at the cost of N-way
         // duplication of the hottest entries.
+        //
+        // Everything fallible from the first shard spawn onward runs
+        // inside this labeled block: once any shard thread exists, a
+        // later failure must tear the spawned ones down (below) rather
+        // than `?` straight out — an abandoned shard would otherwise
+        // keep its SO_REUSEPORT listener bound for the process
+        // lifetime and spin on its dead wake pipe.
         let shard_cache_bytes = (cfg.cache_bytes / n_shards as u64).max(1);
-        for (shard_id, conn_rx, done_rx, wake_rx, wake) in shard_setups {
-            // The backend is created and the wake pipe registered HERE
-            // so a failure (epoll watch limits, fd exhaustion) aborts
-            // start() with an error instead of leaving a silently dead
-            // shard the acceptor keeps dealing connections to.
-            let mut shard_backend = new_backend(cfg.backend);
-            shard_backend.register(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READ)?;
-            let ctx = ShardCtx {
-                shard: shard_id,
-                cache: ContentCache::new(shard_cache_bytes),
-                waiters: HashMap::new(),
-                pending_jobs: HashSet::new(),
-                jobs: Arc::clone(&jobs),
-                cfg: cfg.clone(),
-                stats: Arc::clone(&shard_stats[shard_id]),
-            };
-            let shutdown2 = Arc::clone(&shutdown);
-            shard_threads.push(
-                std::thread::Builder::new()
+        let setup: io::Result<(Option<UnixStream>, Option<JoinHandle<()>>)> = 'setup: {
+            for (shard_id, conn_rx, done_rx, wake_rx, wake) in shard_setups {
+                // The backend is created and the wake pipe (and, in
+                // reuseport mode, this shard's listener) registered
+                // HERE so a failure (epoll watch limits, fd
+                // exhaustion) aborts start() with an error instead of
+                // leaving a silently dead shard.
+                let mut shard_backend = new_backend(cfg.backend);
+                if let Err(e) =
+                    shard_backend.register(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READ)
+                {
+                    break 'setup Err(e);
+                }
+                let listener = shard_listeners.next();
+                if let Some(l) = &listener {
+                    if let Err(e) =
+                        shard_backend.register(l.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+                    {
+                        break 'setup Err(e);
+                    }
+                }
+                let ctx = ShardCtx {
+                    shard: shard_id,
+                    cache: ContentCache::new(shard_cache_bytes),
+                    waiters: HashMap::new(),
+                    pending_jobs: HashSet::new(),
+                    jobs: Arc::clone(&jobs),
+                    cfg: cfg.clone(),
+                    stats: Arc::clone(&shard_stats[shard_id]),
+                    live_conns: 0,
+                };
+                let shutdown2 = Arc::clone(&shutdown);
+                let spawned = std::thread::Builder::new()
                     .name(format!("flash-shard-{shard_id}"))
                     .spawn(move || {
                         shard_loop(
@@ -667,42 +845,86 @@ impl Server {
                             done_rx,
                             wake_rx,
                             wake,
+                            listener,
                             shard_backend,
                             shutdown2,
                         )
-                    })?,
-            );
-        }
+                    });
+                match spawned {
+                    Ok(t) => shard_threads.push(t),
+                    Err(e) => break 'setup Err(e),
+                }
+            }
 
-        let (acceptor_stop, stop_rx) = UnixStream::pair()?;
-        // Same principle: listener + stop pipe registered before the
-        // thread exists, so a deaf acceptor is a start() error.
-        let accept_backend = prepare_accept_backend(cfg.backend, &listener, &stop_rx)?;
-        let shutdown2 = Arc::clone(&shutdown);
-        let accept_stats = shard_stats.clone();
-        let acceptor_wakes = shard_wakes.clone();
-        let acceptor_thread = std::thread::Builder::new()
-            .name("flash-acceptor".into())
-            .spawn(move || {
-                let mut dealer = ShardDealer {
-                    conn_txs,
-                    wakes: acceptor_wakes,
-                    stats: accept_stats,
-                    next: 0,
-                };
-                run_accept_loop(&listener, accept_backend, &shutdown2, &mut dealer);
-                drop(stop_rx); // keep the read side alive until exit
-            })?;
+            match single_listener {
+                None => Ok((None, None)),
+                Some(listener) => {
+                    let (acceptor_stop, stop_rx) = match UnixStream::pair() {
+                        Ok(pair) => pair,
+                        Err(e) => break 'setup Err(e),
+                    };
+                    // Same principle: listener + stop pipe registered
+                    // before the thread exists, so a deaf acceptor is a
+                    // start() error.
+                    let accept_backend =
+                        match prepare_accept_backend(cfg.backend, &listener, &stop_rx) {
+                            Ok(b) => b,
+                            Err(e) => break 'setup Err(e),
+                        };
+                    let shutdown2 = Arc::clone(&shutdown);
+                    let accept_stats = shard_stats.clone();
+                    let acceptor_wakes = shard_wakes.clone();
+                    let spawned = std::thread::Builder::new()
+                        .name("flash-acceptor".into())
+                        .spawn(move || {
+                            let mut dealer = ShardDealer {
+                                conn_txs,
+                                wakes: acceptor_wakes,
+                                stats: accept_stats,
+                                next: 0,
+                            };
+                            run_accept_loop(&listener, accept_backend, &shutdown2, &mut dealer);
+                            drop(stop_rx); // keep the read side alive until exit
+                        });
+                    match spawned {
+                        Ok(t) => Ok((Some(acceptor_stop), Some(t))),
+                        Err(e) => break 'setup Err(e),
+                    }
+                }
+            }
+        };
+        let (acceptor_stop, acceptor_thread) = match setup {
+            Ok(v) => v,
+            Err(e) => {
+                // Partial start: stop and join every thread spawned so
+                // far, exactly like stop() — the per-shard listeners
+                // close with their loops, so the port is released
+                // before the error is returned.
+                shutdown.store(true, Ordering::SeqCst);
+                for wake in &shard_wakes {
+                    wake.wake_force();
+                }
+                for t in shard_threads {
+                    let _ = t.join();
+                }
+                jobs.close();
+                for t in helper_threads {
+                    let _ = t.join();
+                }
+                return Err(e);
+            }
+        };
 
         Ok(Server {
             addr,
             stats,
             backend,
+            accept_mode,
             shutdown,
             shard_wakes,
             acceptor_stop,
             jobs,
-            acceptor_thread: Some(acceptor_thread),
+            acceptor_thread,
             shard_threads,
             helper_threads,
         })
@@ -723,12 +945,22 @@ impl Server {
         self.backend
     }
 
-    /// Stops the server and joins all threads.
+    /// The accept-path mode this server resolved to at start.
+    pub fn accept_mode(&self) -> AcceptModeKind {
+        self.accept_mode
+    }
+
+    /// Stops the server and joins all threads. Every listener — the
+    /// acceptor's or the per-shard reuseport set — is owned by the
+    /// thread it serves and closed before that thread is joined, so
+    /// when this returns the port is fully released and rebindable.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // The acceptor blocks with no timeout; its stop pipe is the
         // only thing that can wake it.
-        let _ = (&self.acceptor_stop).write_all(b"q");
+        if let Some(stop) = &self.acceptor_stop {
+            let _ = (&*stop).write_all(b"q");
+        }
         for wake in &self.shard_wakes {
             wake.wake_force();
         }
@@ -833,13 +1065,9 @@ struct ShardDealer {
 
 impl AcceptSink for ShardDealer {
     fn on_conn(&mut self, stream: TcpStream) {
-        if stream.set_nonblocking(true).is_err() {
+        if sock::apply_conn_options(&stream).is_err() {
             return;
         }
-        // One gathered write per response makes Nagle pointless;
-        // disabling it removes the delayed-ACK interaction on
-        // keep-alive connections.
-        let _ = stream.set_nodelay(true);
         if self.conn_txs[self.next].send(stream).is_ok() {
             self.stats[self.next]
                 .accepted
@@ -864,12 +1092,15 @@ fn helper_main(
     // `pop` rotates over the per-shard lanes; `None` means the server
     // closed the queue at shutdown.
     while let Some(job) = jobs.pop() {
-        let result = load_file_checked(&job.fs_path, sendfile_threshold);
+        let data = match job.kind {
+            JobKind::Load => DoneData::Loaded(load_file_checked(&job.fs_path, sendfile_threshold)),
+            JobKind::Revalidate => DoneData::Stat(stat_file_checked(&job.fs_path)),
+        };
         let shard = job.shard;
         if done_txs[shard]
             .send(Done {
                 path: job.path,
-                result,
+                data,
             })
             .is_err()
         {
@@ -910,6 +1141,22 @@ fn load_file_checked(p: &Path, sendfile_threshold: u64) -> io::Result<FileData> 
     Ok(FileData::Bytes { body, mtime })
 }
 
+/// The cheap revalidation probe: open + `fstat`, no bytes read.
+/// Returns the file's current length and mtime for comparison against
+/// a cached entry; refuses non-regular files with the same error the
+/// load path would produce.
+pub(crate) fn stat_file_checked(p: &Path) -> io::Result<(u64, Option<i64>)> {
+    let file = File::open(p)?;
+    let meta = file.metadata()?;
+    if !meta.is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            "not a regular file",
+        ));
+    }
+    Ok((meta.len(), unix_mtime(&meta)))
+}
+
 /// A file's mtime as unix seconds, if the filesystem reports one that
 /// fits (pre-1970 mtimes are reported as `None` rather than lied
 /// about — `Last-Modified` simply goes unsent).
@@ -929,6 +1176,11 @@ struct ShardCtx {
     jobs: Arc<JobQueue>,
     cfg: NetConfig,
     stats: Arc<ShardStats>,
+    /// Connections currently occupying slots — the accept gate's
+    /// odometer: at [`NetConfig::max_conns_per_shard`] the shard's
+    /// listener interest is dropped; any close below the cap re-arms
+    /// it.
+    live_conns: usize,
 }
 
 /// The interest the backend should have armed for a connection in this
@@ -943,6 +1195,12 @@ fn desired_interest(state: &ConnState) -> Interest {
     }
 }
 
+/// Bounded retry cadence while a shard's listener is throttled with
+/// room available (the EMFILE/ENFILE case): the re-arm is driven by
+/// the wait timeout rather than an event, because fd headroom can
+/// reappear without any readiness edge on this shard's descriptors.
+const ACCEPT_RETRY_MS: i32 = 50;
+
 /// One event-loop shard: the paper's AMPED loop on the pluggable
 /// readiness backend, over this shard's private connection set.
 ///
@@ -951,12 +1209,30 @@ fn desired_interest(state: &ConnState) -> Interest {
 /// reconciled with the state machine after each drive, and a voluntary
 /// yield (the `sendfile` fairness budget) re-arms the descriptor so
 /// the consumed writability edge is redelivered.
+///
+/// In reuseport mode (`listener` is `Some`) the shard also owns a
+/// `SO_REUSEPORT` listener under [`LISTENER_TOKEN`]: accepts drain to
+/// `EWOULDBLOCK` like any other read source, and **backpressure is
+/// local** — at the connection cap (or on `EMFILE`/`ENFILE`) the
+/// listener's read interest is dropped, so pending connections stay
+/// in the kernel backlog (or hash to other shards), and the interest
+/// is re-armed the moment a slot frees. The re-arm leans on the
+/// backend contract that `modify` redelivers a still-true readiness
+/// condition, so a backlog that filled while throttled surfaces as a
+/// fresh event.
+#[allow(clippy::too_many_arguments)]
 fn shard_loop(
     mut ctx: ShardCtx,
-    conn_rx: Receiver<TcpStream>,
+    // `Some` only in single-acceptor mode (the dealing channel).
+    conn_rx: Option<Receiver<TcpStream>>,
     done_rx: Receiver<Done>,
     mut wake_rx: UnixStream,
     wake: WakeHandle,
+    // `Some` only in reuseport mode: this shard's own listener, owned
+    // (and therefore closed) by this loop — dropped on return, before
+    // Server::stop's join observes the thread gone, so the port is
+    // free once stop() returns.
+    listener: Option<TcpListener>,
     // Created by Server::start with the wake pipe already registered,
     // so backend failures abort startup instead of killing one shard.
     mut backend: Box<dyn EventBackend>,
@@ -978,6 +1254,9 @@ fn shard_loop(
     ];
     let mut wheel = TimerWheel::new(tick_for(cfg_timeouts.into_iter().flatten()));
     let mut expired: Vec<u64> = Vec::new();
+    // Whether the listener's READ interest is currently armed in the
+    // backend (registered armed by Server::start).
+    let mut listener_armed = listener.is_some();
 
     loop {
         if shutdown.load(Ordering::SeqCst) {
@@ -985,8 +1264,18 @@ fn shard_loop(
         }
         // Sleep until the next wheel tick could expire something; with
         // nothing armed, block — new work always arrives as a wake
-        // byte or a readiness event.
-        let wait_ms = wheel.next_timeout_ms(Instant::now()).unwrap_or(-1);
+        // byte or a readiness event. A throttled listener with room to
+        // re-arm (the EMFILE case: headroom can return without any
+        // local readiness edge) bounds the wait to a retry cadence on
+        // top of whatever the wheel asks for.
+        let mut wait_ms = wheel.next_timeout_ms(Instant::now()).unwrap_or(-1);
+        if listener.is_some()
+            && !listener_armed
+            && ctx.live_conns < ctx.cfg.max_conns_per_shard
+            && !(0..=ACCEPT_RETRY_MS).contains(&wait_ms)
+        {
+            wait_ms = ACCEPT_RETRY_MS;
+        }
         if backend.wait(&mut events, wait_ms).is_err() {
             continue;
         }
@@ -994,6 +1283,7 @@ fn shard_loop(
         ctx.stats
             .wait_events
             .fetch_add(events.len() as u64, Ordering::Relaxed);
+        let mut accept_ready = false;
         if events.iter().any(|e| e.token == WAKE_TOKEN) {
             // Drain the pipe completely (edge-triggered: this event
             // may be the only notification for any number of bytes).
@@ -1003,8 +1293,10 @@ fn shard_loop(
             // anything enqueued after this point writes a fresh wake
             // byte, so completions cannot be lost.
             wake.pending.store(false, Ordering::Release);
-            while let Ok(stream) = conn_rx.try_recv() {
-                admit_conn(stream, &mut conns, &mut ctx, &mut *backend, &mut wheel);
+            if let Some(conn_rx) = &conn_rx {
+                while let Ok(stream) = conn_rx.try_recv() {
+                    admit_conn(stream, &mut conns, &mut ctx, &mut *backend, &mut wheel);
+                }
             }
             completed.clear();
             while let Ok(done) = done_rx.try_recv() {
@@ -1020,6 +1312,12 @@ fn shard_loop(
         }
         for ev in &events {
             if ev.token == WAKE_TOKEN {
+                continue;
+            }
+            if ev.token == LISTENER_TOKEN {
+                // Drained below, after existing connections are
+                // serviced and expiries may have freed slots.
+                accept_ready = true;
                 continue;
             }
             let idx = token_slot(ev.token);
@@ -1066,8 +1364,90 @@ fn shard_loop(
             counter.fetch_add(1, Ordering::Relaxed);
             let _ = backend.deregister(fd);
             conns[idx] = None;
+            ctx.live_conns = ctx.live_conns.saturating_sub(1);
+        }
+        // Accept last: the drives and expiries above may have freed
+        // slots, so the gate decision below sees this iteration's
+        // final occupancy.
+        if let Some(l) = &listener {
+            if !listener_armed && ctx.live_conns < ctx.cfg.max_conns_per_shard {
+                // Re-arm: `modify` redelivers a still-pending backlog
+                // as a fresh readiness event (ET contract), and the
+                // level-triggered backend re-reports it on the next
+                // wait — either way the accepts resume without a new
+                // connection having to arrive.
+                if backend
+                    .modify(l.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+                    .is_ok()
+                {
+                    listener_armed = true;
+                }
+            } else if accept_ready && listener_armed {
+                listener_armed = drain_accepts(l, &mut conns, &mut ctx, &mut *backend, &mut wheel);
+            }
         }
     }
+}
+
+/// Drains a shard's own listener to `EWOULDBLOCK` under the ET
+/// contract, admitting and immediately driving each connection.
+/// Stops early — dropping the listener's read interest — at the
+/// shard's connection cap or on an accept failure (`EMFILE`/`ENFILE`
+/// under fd exhaustion, counted as `accept_backpressure`); pending
+/// connections then wait in the kernel backlog (or hash to another
+/// shard's listener) until this shard re-arms. Returns whether the
+/// listener interest is still armed.
+fn drain_accepts(
+    listener: &TcpListener,
+    conns: &mut Vec<Option<Conn>>,
+    ctx: &mut ShardCtx,
+    backend: &mut dyn EventBackend,
+    wheel: &mut TimerWheel,
+) -> bool {
+    loop {
+        if ctx.live_conns >= ctx.cfg.max_conns_per_shard {
+            return !quiesce_listener(listener, backend);
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if sock::apply_conn_options(&stream).is_err() {
+                    continue;
+                }
+                ctx.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                admit_conn(stream, conns, ctx, backend, wheel);
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            // A connection that died while queued in the backlog is
+            // not backpressure — skip it and keep draining. Neither is
+            // a signal landing mid-accept: retry immediately.
+            Err(ref e)
+                if e.kind() == io::ErrorKind::ConnectionAborted
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                continue
+            }
+            Err(_) => {
+                // EMFILE/ENFILE (or another persistent failure):
+                // accepting again immediately would fail immediately.
+                // Count it and back off; the shard loop retries on the
+                // ACCEPT_RETRY_MS cadence and on every freed slot.
+                ctx.stats
+                    .accept_backpressure
+                    .fetch_add(1, Ordering::Relaxed);
+                return !quiesce_listener(listener, backend);
+            }
+        }
+    }
+}
+
+/// Drops a listener's read interest (keeping the registration).
+/// Returns whether the interest was actually dropped — if the
+/// `modify` itself fails the listener stays armed and accepting simply
+/// retries on the next event.
+fn quiesce_listener(listener: &TcpListener, backend: &mut dyn EventBackend) -> bool {
+    backend
+        .modify(listener.as_raw_fd(), LISTENER_TOKEN, Interest::NONE)
+        .is_ok()
 }
 
 /// Places a freshly dealt connection in a slot, registers it with the
@@ -1115,6 +1495,7 @@ fn admit_conn(
         conns[idx] = None;
         return;
     }
+    ctx.live_conns += 1;
     drive_and_sync(idx, conns, ctx, backend, wheel);
 }
 
@@ -1214,6 +1595,7 @@ fn drive_and_sync(
             // be reminted when the slot is reused.
             let _ = backend.deregister(fd);
             wheel.cancel(token);
+            ctx.live_conns = ctx.live_conns.saturating_sub(1);
         }
         Some(conn) => {
             let want = desired_interest(&conn.state);
@@ -1230,6 +1612,7 @@ fn drive_and_sync(
                     conns[idx] = None;
                     let _ = backend.deregister(fd);
                     wheel.cancel(token);
+                    ctx.live_conns = ctx.live_conns.saturating_sub(1);
                     if want == Interest::NONE {
                         purge_waiter(ctx, idx);
                     }
@@ -1243,6 +1626,7 @@ fn drive_and_sync(
                 conns[idx] = None;
                 let _ = backend.deregister(fd);
                 wheel.cancel(token);
+                ctx.live_conns = ctx.live_conns.saturating_sub(1);
                 return;
             }
             if let Some(conn) = conns[idx].as_mut() {
@@ -1288,7 +1672,13 @@ fn complete_job(
     completed: &mut Vec<usize>,
 ) {
     ctx.pending_jobs.remove(&done.path);
-    let completion = match done.result {
+    let result = match done.data {
+        DoneData::Stat(stat) => {
+            return complete_revalidation(done.path, stat, conns, ctx, completed);
+        }
+        DoneData::Loaded(result) => result,
+    };
+    let completion = match result {
         Ok(FileData::Bytes { body, mtime }) => {
             let entry = Entry::build_with_mtime(&done.path, body, mtime);
             // Oversized-for-this-cache entries are refused by the
@@ -1319,7 +1709,62 @@ fn complete_job(
             Completion::Fail(status, Bytes::from(error_body(status)))
         }
     };
-    for idx in ctx.waiters.remove(&done.path).unwrap_or_default() {
+    deliver_completion(&completion, &done.path, conns, ctx, completed);
+}
+
+/// Handles a revalidation re-stat completion: if the cached entry
+/// still matches the file's (length, mtime), its TTL clock restarts
+/// and the waiters are served straight from memory; otherwise the
+/// stale entry is evicted and a full load is requeued — the waiters
+/// stay parked and the `Load` completion serves them the fresh bytes
+/// (or the error the reload produces).
+fn complete_revalidation(
+    path: String,
+    stat: io::Result<(u64, Option<i64>)>,
+    conns: &mut [Option<Conn>],
+    ctx: &mut ShardCtx,
+    completed: &mut Vec<usize>,
+) {
+    if let (Some(entry), Ok((len, mtime))) = (ctx.cache.peek(&path), &stat) {
+        if entry.mtime == *mtime && entry.body.len() as u64 == *len {
+            ctx.cache.refresh(&path);
+            ctx.stats.revalidations.fetch_add(1, Ordering::Relaxed);
+            deliver_completion(&Completion::Small(entry), &path, conns, ctx, completed);
+            return;
+        }
+    }
+    // Changed, vanished, or evicted in the meantime: the resident
+    // bytes can no longer be trusted.
+    if ctx.cache.invalidate(&path) {
+        ctx.stats.stale_evicted.fetch_add(1, Ordering::Relaxed);
+        ctx.stats
+            .cache_used_bytes
+            .store(ctx.cache.used_bytes(), Ordering::Relaxed);
+    }
+    let fs_path = ctx.cfg.docroot.join(path.trim_start_matches('/'));
+    if ctx.pending_jobs.insert(path.clone()) {
+        ctx.stats.helper_jobs.fetch_add(1, Ordering::Relaxed);
+        let shard = ctx.shard;
+        ctx.jobs.push(Job {
+            path,
+            fs_path,
+            shard,
+            kind: JobKind::Load,
+        });
+    }
+}
+
+/// Renders a completion into every waiter's output queue, flipping
+/// them to `Writing` and appending their indices to `completed` for
+/// the caller to drive.
+fn deliver_completion(
+    completion: &Completion,
+    path: &str,
+    conns: &mut [Option<Conn>],
+    ctx: &mut ShardCtx,
+    completed: &mut Vec<usize>,
+) {
+    for idx in ctx.waiters.remove(path).unwrap_or_default() {
         let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
             continue;
         };
@@ -1617,18 +2062,28 @@ fn handle_request(idx: usize, conn: &mut Conn, req: Request, ctx: &mut ShardCtx)
     if path.ends_with('/') {
         path.push_str("index.html");
     }
-    if let Some(entry) = ctx.cache.get(&path) {
-        ctx.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-        if entry.not_modified_since(conn.if_modified_since) {
-            queue_not_modified(conn, entry.mtime, &ctx.stats);
-        } else {
-            queue_entry(conn, &entry);
+    let kind = match ctx.cache.lookup(&path, ctx.cfg.cache_revalidate_ttl) {
+        Lookup::Hit(entry) => {
+            ctx.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if entry.not_modified_since(conn.if_modified_since) {
+                queue_not_modified(conn, entry.mtime, &ctx.stats);
+            } else {
+                queue_entry(conn, &entry);
+            }
+            conn.state = ConnState::Writing;
+            return;
         }
-        conn.state = ConnState::Writing;
-        return;
-    }
-    // Miss: hand the disk work to a helper; coalesce concurrent misses.
-    // The request parser has already normalized away any `..`, so joining
+        // Resident but past the revalidation TTL: the bytes cannot be
+        // trusted until a helper re-stats the file — a cheap
+        // open+fstat, no read — so the connection parks exactly like a
+        // miss and is served by the completion (from memory if the
+        // stat matches, from a reload if not).
+        Lookup::Stale(_) => JobKind::Revalidate,
+        // Miss: hand the disk work to a helper.
+        Lookup::Miss => JobKind::Load,
+    };
+    // Coalesce concurrent misses (and revalidations) per path. The
+    // request parser has already normalized away any `..`, so joining
     // the relative remainder cannot escape the docroot.
     let fs_path = ctx.cfg.docroot.join(path.trim_start_matches('/'));
     ctx.waiters.entry(path.clone()).or_default().push(idx);
@@ -1638,6 +2093,7 @@ fn handle_request(idx: usize, conn: &mut Conn, req: Request, ctx: &mut ShardCtx)
             path,
             fs_path,
             shard: ctx.shard,
+            kind,
         });
     }
     conn.state = ConnState::Waiting;
@@ -1748,6 +2204,7 @@ mod tests {
             path: format!("/{shard}"),
             fs_path: PathBuf::new(),
             shard,
+            kind: JobKind::Load,
         }
     }
 
@@ -1781,6 +2238,7 @@ mod tests {
                 path: format!("/a{i}"),
                 fs_path: PathBuf::new(),
                 shard: 0,
+                kind: JobKind::Load,
             });
         }
         let mut lanes = q.lanes.lock().unwrap();

@@ -259,3 +259,64 @@ fn poll_interest_lifecycle() {
 fn epoll_interest_lifecycle() {
     interest_lifecycle(BackendChoice::Epoll);
 }
+
+/// The accept-gate sequence the reuseport shards run their listeners
+/// through: a listener registered for READ reports pending
+/// connections, `Interest::NONE` quiesces it (backpressure — the
+/// backlog keeps queueing in the kernel), and re-arming with `modify`
+/// redelivers the *still-pending* backlog as a fresh event without a
+/// new connection having to arrive.
+fn listener_accept_gate(choice: BackendChoice) {
+    use std::net::{TcpListener, TcpStream};
+
+    const TOKEN: u64 = u64::MAX - 1; // the server's listener token
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.set_nonblocking(true).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut be = new_backend(choice);
+    be.register(listener.as_raw_fd(), TOKEN, Interest::READ)
+        .unwrap();
+    let mut evs = Vec::new();
+
+    // A pending connection surfaces as readability on the listener.
+    let _c1 = TcpStream::connect(addr).unwrap();
+    assert_eq!(be.wait(&mut evs, 2000).unwrap(), 1);
+    assert_eq!(evs[0].token, TOKEN);
+    assert!(evs[0].readable);
+    let _ = listener.accept().unwrap();
+
+    // Throttled: connections queue silently in the backlog.
+    be.modify(listener.as_raw_fd(), TOKEN, Interest::NONE)
+        .unwrap();
+    let _c2 = TcpStream::connect(addr).unwrap();
+    // Give the loopback handshake a beat to complete first.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    assert_eq!(
+        be.wait(&mut evs, 50).unwrap(),
+        0,
+        "a quiesced listener must stay silent"
+    );
+
+    // Re-arm: the backlog that filled while throttled must be
+    // redelivered even though its edge predates the modify.
+    be.modify(listener.as_raw_fd(), TOKEN, Interest::READ)
+        .unwrap();
+    assert_eq!(
+        be.wait(&mut evs, 2000).unwrap(),
+        1,
+        "re-arm must redeliver the pending backlog"
+    );
+    assert!(evs[0].readable);
+    let _ = listener.accept().unwrap();
+}
+
+#[test]
+fn poll_listener_accept_gate() {
+    listener_accept_gate(BackendChoice::Poll);
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+#[test]
+fn epoll_listener_accept_gate() {
+    listener_accept_gate(BackendChoice::Epoll);
+}

@@ -13,7 +13,9 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use flash_net::{BackendChoice, BackendKind, MtServer, NetConfig, Server};
+use flash_net::{
+    AcceptMode, AcceptModeKind, BackendChoice, BackendKind, MtServer, NetConfig, Server,
+};
 
 /// Creates a docroot with known content; returns its path guard.
 fn docroot(tag: &str) -> std::path::PathBuf {
@@ -317,8 +319,18 @@ fn run_pipelined_keep_alive(tag: &str, backend: BackendChoice) {
 
 fn run_shards_spread_round_robin(tag: &str, backend: BackendChoice) {
     let root = docroot(tag);
-    let server = Server::start("127.0.0.1:0", cfg(&root, backend).with_event_loops(4)).unwrap();
+    // Pinned to the single-acceptor mode: exact round-robin dealing is
+    // that mode's contract. (Reuseport distribution is the kernel's
+    // hash — asserted loosely by its own test below.)
+    let server = Server::start(
+        "127.0.0.1:0",
+        cfg(&root, backend)
+            .with_event_loops(4)
+            .with_accept_mode(AcceptMode::Single),
+    )
+    .unwrap();
     let addr = server.addr();
+    assert_eq!(server.accept_mode(), AcceptModeKind::Single);
     assert_eq!(server.stats().per_shard().len(), 4);
     for _ in 0..32 {
         let resp = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
@@ -848,6 +860,254 @@ fn run_mt_deadline_and_304(tag: &str, backend: BackendChoice) {
     let _ = std::fs::remove_dir_all(root);
 }
 
+/// Per-shard reuseport listeners: with no acceptor thread in the way,
+/// the kernel's 4-tuple hash must spread connections over every
+/// shard's listener. The distribution is the kernel's, so it is
+/// asserted loosely — every shard saw *some* traffic and nothing was
+/// lost — not as an exact split.
+fn run_reuseport_accept_distribution(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let server = Server::start(
+        "127.0.0.1:0",
+        cfg(&root, backend)
+            .with_event_loops(4)
+            .with_accept_mode(AcceptMode::ReusePort),
+    )
+    .unwrap();
+    if server.accept_mode() != AcceptModeKind::ReusePort {
+        // Platform without load-balancing SO_REUSEPORT: the mode
+        // degraded to the acceptor thread; nothing to assert here.
+        server.stop();
+        let _ = std::fs::remove_dir_all(root);
+        return;
+    }
+    let addr = server.addr();
+    const CONNS: u64 = 96;
+    for _ in 0..CONNS {
+        let resp = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+        assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 200"));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.requests(), CONNS);
+    assert_eq!(
+        stats.accepted(),
+        CONNS,
+        "every connection must be accepted by some shard"
+    );
+    // Loose distribution bound: 96 connections over 4 reuseport
+    // listeners leaves each shard empty with probability (3/4)^96 —
+    // a shard with zero accepts means its listener never took traffic.
+    for (i, shard) in stats.per_shard().iter().enumerate() {
+        use std::sync::atomic::Ordering;
+        let accepted = shard.accepted.load(Ordering::Relaxed);
+        assert!(accepted > 0, "shard {i} accepted no connections");
+    }
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// The observable protocol behavior — keep-alive, pipelining, both
+/// body tiers on one connection — must be identical whichever accept
+/// path delivered the connection.
+fn run_accept_mode_parity(tag: &str, backend: BackendChoice, mode: AcceptMode) {
+    let root = docroot(tag);
+    let body: Vec<u8> = (0..400_000usize).map(|i| (i * 7) as u8).collect();
+    std::fs::write(root.join("video.bin"), &body).unwrap();
+    let server = Server::start(
+        "127.0.0.1:0",
+        cfg(&root, backend)
+            .with_event_loops(2)
+            .with_accept_mode(mode),
+    )
+    .unwrap();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // A pipelined burst: both requests must come back in order off one
+    // readiness event.
+    let burst = "GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n\
+                 GET /sub/page.html HTTP/1.1\r\nHost: t\r\n\r\n";
+    s.write_all(burst.as_bytes()).unwrap();
+    let (hdr, got) = read_response(&mut s);
+    assert!(hdr.starts_with("HTTP/1.1 200 OK"), "{hdr}");
+    assert_eq!(got, b"<html>hello flash</html>\n");
+    let (_, got) = read_response(&mut s);
+    assert_eq!(got, b"subdir page");
+    // A sendfile-tier body on the same keep-alive connection...
+    s.write_all(b"GET /video.bin HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (hdr, got) = read_response(&mut s);
+    assert!(hdr.contains("Connection: keep-alive"), "{hdr}");
+    assert_eq!(got, body);
+    // ...followed by a small cached one: no stray bytes, stream intact.
+    s.write_all(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (_, got) = read_response(&mut s);
+    assert_eq!(got, b"<html>hello flash</html>\n");
+    assert!(server.stats().sendfile_calls() >= 1);
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// Shutdown with connections mid-flight — idle keep-alive, a
+/// half-sent request header — must complete promptly and close every
+/// connection rather than hang in a join.
+fn run_accept_shutdown_with_inflight(tag: &str, backend: BackendChoice, mode: AcceptMode) {
+    let root = docroot(tag);
+    let server = Server::start(
+        "127.0.0.1:0",
+        cfg(&root, backend)
+            .with_event_loops(2)
+            .with_accept_mode(mode),
+    )
+    .unwrap();
+    let addr = server.addr();
+    // An established keep-alive connection (request served, parked).
+    let mut idle = TcpStream::connect(addr).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    idle.write_all(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let _ = read_response(&mut idle);
+    // A connection with a half-sent request header.
+    let mut partial = TcpStream::connect(addr).unwrap();
+    partial
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    partial.write_all(b"GET /index.html HT").unwrap();
+    let started = std::time::Instant::now();
+    server.stop();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "stop() must not hang on in-flight connections: {:?}",
+        started.elapsed()
+    );
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// Stopping the server must actually close every listener: the exact
+/// address must be immediately rebindable by a fresh server in either
+/// accept mode (a leaked per-shard reuseport socket would make the
+/// non-reuseport rebind fail forever).
+fn run_accept_port_rebind_after_stop(tag: &str, backend: BackendChoice, mode: AcceptMode) {
+    let root = docroot(tag);
+    let server = Server::start(
+        "127.0.0.1:0",
+        cfg(&root, backend)
+            .with_event_loops(2)
+            .with_accept_mode(mode),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let resp = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 200"));
+    server.stop();
+    // Rebind the same port in single mode — which holds the only
+    // listener, so any leaked reuseport socket from the first server
+    // would fail this bind.
+    let server2 = Server::start(
+        addr,
+        cfg(&root, backend)
+            .with_event_loops(2)
+            .with_accept_mode(AcceptMode::Single),
+    )
+    .expect("port must be rebindable after stop");
+    assert_eq!(server2.addr(), addr);
+    let resp = get(addr, "GET /index.html HTTP/1.0\r\n\r\n");
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 200"));
+    server2.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// Content-cache staleness vs mtime: a cached file edited on disk must
+/// stop being served from the stale bytes once the revalidation TTL
+/// lapses, and an unchanged file must revalidate (cheap re-stat)
+/// without a reload.
+fn run_cache_revalidation(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let ttl = Duration::from_millis(100);
+    let server = Server::start(
+        "127.0.0.1:0",
+        cfg(&root, backend)
+            .with_event_loops(1)
+            .with_cache_revalidate_ttl(Some(ttl)),
+    )
+    .unwrap();
+    let addr = server.addr();
+    std::fs::write(root.join("live.html"), b"version one").unwrap();
+    let resp = get(addr, "GET /live.html HTTP/1.0\r\n\r\n");
+    assert_eq!(body_of(&resp), b"version one");
+
+    // Within the TTL the entry is trusted: no re-stat, no reload.
+    let jobs_before = server.stats().helper_jobs();
+    let resp = get(addr, "GET /live.html HTTP/1.0\r\n\r\n");
+    assert_eq!(body_of(&resp), b"version one");
+    assert_eq!(
+        server.stats().helper_jobs(),
+        jobs_before,
+        "a fresh hit must not touch the helper pool"
+    );
+
+    // Edit the file (different length, so the mismatch is visible even
+    // within one mtime second), let the TTL lapse, and refetch: the
+    // stale bytes must be evicted and the new content served.
+    std::fs::write(root.join("live.html"), b"version two, longer").unwrap();
+    std::thread::sleep(ttl + Duration::from_millis(150));
+    let resp = get(addr, "GET /live.html HTTP/1.0\r\n\r\n");
+    assert_eq!(
+        body_of(&resp),
+        b"version two, longer",
+        "stale cached bytes must not be served past the TTL"
+    );
+    assert!(
+        server.stats().stale_evicted() >= 1,
+        "the eviction must be counted"
+    );
+
+    // And the stale entry must stop 304-validating: a validator echoed
+    // from the *old* version must not suppress the new body. (The new
+    // 200 carries the new Last-Modified.)
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    assert!(text.contains("Content-Length: 19"), "{text}");
+
+    // Unchanged file past the TTL: served from memory after a cheap
+    // re-stat — a revalidation, not an eviction.
+    std::thread::sleep(ttl + Duration::from_millis(150));
+    let evicted_before = server.stats().stale_evicted();
+    let resp = get(addr, "GET /live.html HTTP/1.0\r\n\r\n");
+    assert_eq!(body_of(&resp), b"version two, longer");
+    assert!(
+        server.stats().revalidations() >= 1,
+        "the matching re-stat must be counted"
+    );
+    assert_eq!(
+        server.stats().stale_evicted(),
+        evicted_before,
+        "an unchanged file must not be evicted"
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// The MT server applies the same revalidation policy inline.
+fn run_mt_cache_revalidation(tag: &str, backend: BackendChoice) {
+    let root = docroot(tag);
+    let ttl = Duration::from_millis(100);
+    let server = MtServer::start(
+        "127.0.0.1:0",
+        cfg(&root, backend).with_cache_revalidate_ttl(Some(ttl)),
+    )
+    .unwrap();
+    let addr = server.addr();
+    std::fs::write(root.join("live.html"), b"mt version one").unwrap();
+    let resp = get(addr, "GET /live.html HTTP/1.0\r\n\r\n");
+    assert_eq!(body_of(&resp), b"mt version one");
+    std::fs::write(root.join("live.html"), b"mt version two!!").unwrap();
+    std::thread::sleep(ttl + Duration::from_millis(150));
+    let resp = get(addr, "GET /live.html HTTP/1.0\r\n\r\n");
+    assert_eq!(body_of(&resp), b"mt version two!!");
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
 fn run_backend_resolution(tag: &str, backend: BackendChoice, expect: BackendKind) {
     let root = docroot(tag);
     let server = Server::start("127.0.0.1:0", cfg(&root, backend)).unwrap();
@@ -978,6 +1238,63 @@ macro_rules! backend_suite {
             #[test]
             fn amped_connection_header_token_list() {
                 run_connection_token_list(&tag("connlist"), $backend);
+            }
+
+            #[test]
+            fn amped_reuseport_accept_distribution_covers_all_shards() {
+                run_reuseport_accept_distribution(&tag("rp-dist"), $backend);
+            }
+
+            #[test]
+            fn amped_accept_mode_single_full_protocol_parity() {
+                run_accept_mode_parity(&tag("parity-single"), $backend, AcceptMode::Single);
+            }
+
+            #[test]
+            fn amped_accept_mode_reuseport_full_protocol_parity() {
+                run_accept_mode_parity(&tag("parity-rp"), $backend, AcceptMode::ReusePort);
+            }
+
+            #[test]
+            fn amped_accept_shutdown_with_inflight_connections_single() {
+                run_accept_shutdown_with_inflight(
+                    &tag("shut-single"),
+                    $backend,
+                    AcceptMode::Single,
+                );
+            }
+
+            #[test]
+            fn amped_accept_shutdown_with_inflight_connections_reuseport() {
+                run_accept_shutdown_with_inflight(&tag("shut-rp"), $backend, AcceptMode::ReusePort);
+            }
+
+            #[test]
+            fn amped_accept_port_rebinds_after_stop_single() {
+                run_accept_port_rebind_after_stop(
+                    &tag("rebind-single"),
+                    $backend,
+                    AcceptMode::Single,
+                );
+            }
+
+            #[test]
+            fn amped_accept_port_rebinds_after_stop_reuseport() {
+                run_accept_port_rebind_after_stop(
+                    &tag("rebind-rp"),
+                    $backend,
+                    AcceptMode::ReusePort,
+                );
+            }
+
+            #[test]
+            fn amped_cache_revalidates_entries_past_ttl() {
+                run_cache_revalidation(&tag("revalidate"), $backend);
+            }
+
+            #[test]
+            fn mt_cache_revalidates_entries_past_ttl() {
+                run_mt_cache_revalidation(&tag("mt-revalidate"), $backend);
             }
 
             #[test]

@@ -1,0 +1,94 @@
+//! Connection-setup-rate smoke test for the accept path: hammers the
+//! real AMPED server with short-lived connections — one request each,
+//! no keep-alive, so every request pays the full accept cost — under
+//! **both accept modes** (the single acceptor thread and the per-shard
+//! `SO_REUSEPORT` listeners), asserts every connection is served, and
+//! prints the connections-per-second each mode sustained.
+//!
+//! Run with: `cargo run --release --example accept_churn`
+//! CI runs this on every push; it exits non-zero on any violation.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use flash_repro::net::{AcceptMode, AcceptModeKind, NetConfig, Server};
+
+const CLIENT_THREADS: usize = 8;
+const CONNS_PER_THREAD: usize = 250;
+const TOTAL_CONNS: usize = CLIENT_THREADS * CONNS_PER_THREAD;
+
+fn churn(addr: std::net::SocketAddr) -> Duration {
+    let start = Instant::now();
+    let threads: Vec<_> = (0..CLIENT_THREADS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..CONNS_PER_THREAD {
+                    let mut s = TcpStream::connect(addr).expect("connect");
+                    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                    s.write_all(b"GET /index.html HTTP/1.0\r\n\r\n")
+                        .expect("send");
+                    let mut resp = Vec::new();
+                    s.read_to_end(&mut resp).expect("read");
+                    assert!(
+                        resp.starts_with(b"HTTP/1.1 200 OK\r\n"),
+                        "short-lived connection not served"
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    start.elapsed()
+}
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("flash-accept-churn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    std::fs::write(root.join("index.html"), b"<html>churn</html>").unwrap();
+
+    for mode in [AcceptMode::Single, AcceptMode::ReusePort] {
+        let server = Server::start(
+            "127.0.0.1:0",
+            NetConfig::new(&root)
+                .with_event_loops(4)
+                .with_accept_mode(mode),
+        )
+        .unwrap();
+        let resolved = server.accept_mode();
+        let elapsed = churn(server.addr());
+        let stats = server.stats();
+        assert_eq!(
+            stats.requests(),
+            TOTAL_CONNS as u64,
+            "every connection must be served exactly once"
+        );
+        assert_eq!(
+            stats.accepted(),
+            TOTAL_CONNS as u64,
+            "every connection must be accepted"
+        );
+        if resolved == AcceptModeKind::ReusePort {
+            // The kernel hash must have spread the churn across the
+            // shards' listeners — an acceptorless shard would mean its
+            // listener never took traffic.
+            for (i, shard) in stats.per_shard().iter().enumerate() {
+                let accepted = shard.accepted.load(std::sync::atomic::Ordering::Relaxed);
+                assert!(accepted > 0, "shard {i} accepted nothing under reuseport");
+            }
+        }
+        println!(
+            "accept churn OK [{}]: {} conns in {:?} ({:.0} conns/sec), backpressure events: {}",
+            resolved.name(),
+            TOTAL_CONNS,
+            elapsed,
+            TOTAL_CONNS as f64 / elapsed.as_secs_f64(),
+            stats.accept_backpressure(),
+        );
+        server.stop();
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
