@@ -88,6 +88,53 @@
 //! predates multicore; per-core loops are how its single-loop design
 //! scales while keeping every invariant intact *within* a shard.
 //!
+//! # Lifecycle: drain, signals, and generation handoff
+//!
+//! A production server's restarts and deploys must be non-events. The
+//! lifecycle subsystem ([`lifecycle`], [`handoff`]) gives both servers
+//! a real one:
+//!
+//! ```text
+//!            SIGTERM / drain()              last conn done
+//!             (or deadline)                 (or deadline)
+//!  serving ───────────────────▶ draining ───────────────────▶ exited
+//!     │                            ▲
+//!     │ SIGHUP / reload_docroot()  │  accepting stops, idle
+//!     │ (config swaps in place,    │  keep-alives close at once,
+//!     │  no connection dropped)    │  in-flight responses and
+//!     └──▶ serving                 │  pipelined requests finish
+//!
+//!  serving ── SIGINT / stop_now() ──▶ exited   (immediate teardown)
+//! ```
+//!
+//! | Signal    | Action                                               |
+//! |-----------|------------------------------------------------------|
+//! | `SIGTERM` | Drain: stop accepting, finish in-flight work, exit   |
+//! | `SIGHUP`  | Reload: swap docroot + flush caches, drop no conn    |
+//! | `SIGINT`  | Stop now: immediate teardown, severing connections   |
+//!
+//! Signals are delivered with the classic **self-pipe trick**
+//! ([`lifecycle::Signals`]): an async-signal-safe handler writes the
+//! signal number to a nonblocking socketpair and the orchestrator
+//! (your main thread) reads it at leisure and calls
+//! [`Server::drain`](server::Server::drain),
+//! [`Server::reload_docroot`](server::Server::reload_docroot), or
+//! [`Server::stop_now`](server::Server::stop_now).
+//!
+//! **Generation handoff** makes the restart itself zero-downtime: the
+//! old process sends duplicates of its listening sockets
+//! ([`Server::handoff_listeners`](server::Server::handoff_listeners))
+//! over a unix control socket with `SCM_RIGHTS`
+//! ([`handoff::send_listeners`] / [`handoff::recv_listeners`], or the
+//! [`handoff::HandoffControl`] rendezvous), the new process adopts
+//! them with [`Server::start_inherited`](server::Server::start_inherited),
+//! and only then does the old generation drain. Because the *kernel
+//! sockets* move — not just the port via a fresh `SO_REUSEPORT` bind —
+//! the accept backlog survives the switch in both accept modes and no
+//! SYN or queued connection is ever reset. See
+//! `examples/graceful_restart.rs` for the full choreography under
+//! load.
+//!
 //! # Quick start
 //!
 //! ```no_run
@@ -96,14 +143,17 @@
 //! let server = Server::start("127.0.0.1:8080", NetConfig::new("./public")).unwrap();
 //! println!("serving on http://{}", server.addr());
 //! println!("event-loop shards: {}", server.stats().per_shard().len());
-//! // ... later:
-//! server.stop();
+//! // ... later: finish what's in flight, bounded by drain_timeout.
+//! server.drain();
 //! ```
 
 pub mod cache;
 pub mod event;
+pub mod handoff;
+pub mod lifecycle;
 pub mod mt;
 pub mod poll;
+pub mod report;
 pub mod sendfile;
 pub mod server;
 pub mod sock;
@@ -112,6 +162,9 @@ pub mod writev;
 
 pub use cache::{ContentCache, Entry};
 pub use event::{BackendChoice, BackendKind, EventBackend};
+pub use handoff::{recv_listeners, request_listeners, send_listeners, HandoffControl};
+pub use lifecycle::{send_to_self, Signal, Signals};
 pub use mt::MtServer;
+pub use report::BenchReport;
 pub use server::{NetConfig, Server, ServerStats, ShardStats};
 pub use sock::{AcceptMode, AcceptModeKind};

@@ -16,9 +16,20 @@
 //! onto `SO_SNDTIMEO` — a `send` that cannot move a single byte for
 //! that long fails the write, which is exactly the "re-arm on forward
 //! progress" semantics (each partial send restarts the timer).
+//!
+//! The lifecycle semantics match the AMPED server's too (see
+//! [`crate::lifecycle`]): [`MtServer::drain`] stops accepting and lets
+//! every worker finish its in-flight request (idle keep-alives close
+//! within their 200 ms read cadence; a watchdog severs anything
+//! slower than the grace), [`MtServer::reload_docroot`] swaps the
+//! served root and flushes the shared cache without dropping a
+//! connection, and [`MtServer::stop_now`] is the immediate teardown.
+//! [`MtServer::start_inherited`] adopts a handed-off listener so even
+//! the thread-per-connection comparison server restarts without
+//! resetting a queued connection.
 
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -32,13 +43,28 @@ use flash_http::Method;
 use parking_lot::Mutex;
 
 use crate::cache::{ContentCache, Entry, Lookup};
+use crate::lifecycle::{LifecycleShared, PHASE_DRAINING, PHASE_STOPPING};
 use crate::server::{prepare_accept_backend, run_accept_loop, AcceptSink, NetConfig};
 use crate::sock;
+
+/// The shared content cache plus the reload generation its entries
+/// were loaded under — one lock covers both, so a SIGHUP flush and
+/// any insert racing it serialize: a worker still holding pre-reload
+/// bytes finds `generation` advanced and skips its insert.
+struct SharedCache {
+    cache: ContentCache,
+    generation: u64,
+}
 
 /// Handle to a running MT server.
 pub struct MtServer {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    /// Accept-path stop flag: flipping it (plus a stop byte) ends the
+    /// accept loop; workers are governed by `lifecycle`, not this.
+    accept_stop: Arc<AtomicBool>,
+    lifecycle: Arc<LifecycleShared>,
+    drain_timeout: Duration,
+    handoff: Vec<TcpListener>,
     stop_tx: UnixStream,
     accept_thread: Option<JoinHandle<()>>,
 }
@@ -53,19 +79,40 @@ impl MtServer {
             io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
         })?;
         let listener = sock::bind_listener(req_addr, false)?;
+        Self::start_impl(listener, cfg)
+    }
+
+    /// Starts on a listening socket inherited from a previous
+    /// generation (see [`crate::handoff`]): the kernel socket — and
+    /// its accept backlog — survives the generation switch.
+    pub fn start_inherited(cfg: NetConfig, listener: TcpListener) -> io::Result<MtServer> {
+        listener.set_nonblocking(true)?;
+        Self::start_impl(listener, cfg)
+    }
+
+    fn start_impl(listener: TcpListener, cfg: NetConfig) -> io::Result<MtServer> {
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let shutdown2 = Arc::clone(&shutdown);
+        let accept_stop = Arc::new(AtomicBool::new(false));
+        let accept_stop2 = Arc::clone(&accept_stop);
+        let lifecycle = Arc::new(LifecycleShared::new());
+        let lifecycle2 = Arc::clone(&lifecycle);
+        // The handoff dup, kept so a next generation can inherit the
+        // live kernel socket while this one drains.
+        let handoff = vec![listener.try_clone()?];
         // Shutdown wakes the accept loop through this pipe, so the
         // loop blocks in its readiness backend with no timeout instead
         // of polling on an arbitrary interval.
         let (stop_tx, stop_rx) = UnixStream::pair()?;
-        let cache = Arc::new(Mutex::new(ContentCache::new(cfg.cache_bytes)));
+        let cache = Arc::new(Mutex::new(SharedCache {
+            cache: ContentCache::new(cfg.cache_bytes),
+            generation: 0,
+        }));
         // Listener + stop pipe registered before the thread exists, so
         // a backend that cannot watch them is a start error, not a
         // silently deaf accept thread (same machinery as the AMPED
         // acceptor — the loop itself is shared).
         let backend = prepare_accept_backend(cfg.backend, &listener, &stop_rx)?;
+        let drain_timeout = cfg.drain_timeout;
         let accept_thread = std::thread::Builder::new()
             .name("flash-mt-accept".into())
             .spawn(move || {
@@ -73,9 +120,9 @@ impl MtServer {
                     workers: Vec::new(),
                     cache,
                     cfg,
-                    shutdown: Arc::clone(&shutdown2),
+                    lifecycle: lifecycle2,
                 };
-                run_accept_loop(&listener, backend, &shutdown2, &mut spawner);
+                run_accept_loop(&listener, backend, &accept_stop2, &mut spawner);
                 drop(stop_rx); // keep the read side alive until exit
                 for h in spawner.workers {
                     let _ = h.join();
@@ -83,7 +130,10 @@ impl MtServer {
             })?;
         Ok(MtServer {
             addr,
-            shutdown,
+            accept_stop,
+            lifecycle,
+            drain_timeout,
+            handoff,
             stop_tx,
             accept_thread: Some(accept_thread),
         })
@@ -94,9 +144,72 @@ impl MtServer {
         self.addr
     }
 
-    /// Stops the server and joins the accept loop.
-    pub fn stop(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+    /// The handoff set: a duplicate of the listening socket, for
+    /// sending to the next generation (see [`crate::handoff`]).
+    pub fn handoff_listeners(&self) -> &[TcpListener] {
+        &self.handoff
+    }
+
+    /// See [`crate::server::Server::stop`]: the grace the drain-based
+    /// `stop()` allows in-flight responses.
+    const STOP_GRACE: Duration = Duration::from_secs(1);
+
+    /// Drains gracefully, bounded by [`NetConfig::drain_timeout`]:
+    /// accepting stops, workers finish their in-flight requests and
+    /// close (idle keep-alives within their read-cadence), and a
+    /// watchdog severs anything still running when the grace expires.
+    pub fn drain(self) {
+        let grace = self.drain_timeout;
+        self.drain_for(grace);
+    }
+
+    /// [`MtServer::drain`] with an explicit grace bound.
+    pub fn drain_for(mut self, grace: Duration) {
+        self.lifecycle.begin_drain(Instant::now() + grace);
+        // The deadline has no event loop to enforce it here — a
+        // watchdog escalates to stop-now when the grace expires, so
+        // the worker joins below cannot hang past it. Detached: if
+        // every worker finishes early the escalation is a no-op on a
+        // dead phase machine.
+        let lifecycle = Arc::clone(&self.lifecycle);
+        std::thread::spawn(move || {
+            std::thread::sleep(grace);
+            lifecycle.stop_now();
+        });
+        // Release this generation's claim on the port: the handoff
+        // dups close now (a next generation holding inherited dups
+        // keeps the kernel socket alive), and the accept thread's
+        // listener closes as it exits in the join below — so the
+        // address is rebindable while the workers drain.
+        self.handoff.clear();
+        self.halt_accept_and_join();
+    }
+
+    /// Stops through the drain path with a short bounded grace (min of
+    /// [`NetConfig::drain_timeout`] and 1 s), so a response already
+    /// being written goes out whole. [`MtServer::stop_now`] is the
+    /// immediate teardown.
+    pub fn stop(self) {
+        let grace = self.drain_timeout.min(Self::STOP_GRACE);
+        self.drain_for(grace);
+    }
+
+    /// Stops immediately: workers notice within their 200 ms read
+    /// cadence and return without finishing keep-alive conversations.
+    pub fn stop_now(mut self) {
+        self.lifecycle.stop_now();
+        self.halt_accept_and_join();
+    }
+
+    /// Publishes a new document root: each worker swaps its docroot at
+    /// the next loop turn and the shared cache is flushed exactly once
+    /// (generation-checked under its lock). No connection is dropped.
+    pub fn reload_docroot(&self, docroot: impl Into<std::path::PathBuf>) {
+        self.lifecycle.publish_reload(docroot.into());
+    }
+
+    fn halt_accept_and_join(&mut self) {
+        self.accept_stop.store(true, Ordering::SeqCst);
         let _ = (&self.stop_tx).write_all(b"q");
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
@@ -108,9 +221,9 @@ impl MtServer {
 /// finished workers reaped between drains.
 struct WorkerSpawner {
     workers: Vec<JoinHandle<()>>,
-    cache: Arc<Mutex<ContentCache>>,
+    cache: Arc<Mutex<SharedCache>>,
     cfg: NetConfig,
-    shutdown: Arc<AtomicBool>,
+    lifecycle: Arc<LifecycleShared>,
 }
 
 impl AcceptSink for WorkerSpawner {
@@ -118,10 +231,10 @@ impl AcceptSink for WorkerSpawner {
         let _ = stream.set_nodelay(true);
         let cache = Arc::clone(&self.cache);
         let cfg = self.cfg.clone();
-        let flag = Arc::clone(&self.shutdown);
+        let lifecycle = Arc::clone(&self.lifecycle);
         if let Ok(h) = std::thread::Builder::new()
             .name("flash-mt-conn".into())
-            .spawn(move || serve_conn(stream, cache, cfg, flag))
+            .spawn(move || serve_conn(stream, cache, cfg, lifecycle))
         {
             self.workers.push(h);
         }
@@ -134,9 +247,9 @@ impl AcceptSink for WorkerSpawner {
 
 fn serve_conn(
     mut stream: TcpStream,
-    cache: Arc<Mutex<ContentCache>>,
-    cfg: NetConfig,
-    shutdown: Arc<AtomicBool>,
+    cache: Arc<Mutex<SharedCache>>,
+    mut cfg: NetConfig,
+    lifecycle: Arc<LifecycleShared>,
 ) {
     // The blocking read is capped at 200 ms so shutdown and the phase
     // deadlines below are checked on that cadence even when the peer
@@ -153,9 +266,38 @@ fn serve_conn(
     // request). Idle and header phases carry different deadlines.
     let mut phase_start = Instant::now();
     let mut in_header = parser.buffered() > 0;
+    // Reload generation this worker's docroot reflects, and how many
+    // responses it has served — a fresh connection (none yet) gets
+    // grace to send its first request during drain; an idle keep-alive
+    // closes at once.
+    let mut epoch = lifecycle.reload_gen();
+    let mut served = 0u64;
     loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return;
+        match lifecycle.phase() {
+            PHASE_STOPPING => return,
+            // Draining and idle between requests: close. The blocking
+            // read below is capped at 200 ms, so an idle keep-alive
+            // reaches this check within that cadence of the drain
+            // starting. Buffered pipelined bytes are served first.
+            PHASE_DRAINING if served > 0 && parser.buffered() == 0 => return,
+            _ => {}
+        }
+        let generation = lifecycle.reload_gen();
+        if generation != epoch {
+            if let Some(root) = lifecycle.reload_docroot() {
+                cfg.docroot = root;
+            }
+            // First worker to observe the new generation flushes the
+            // shared cache; the generation lives under the cache lock,
+            // so the flush happens exactly once and no pre-reload
+            // insert can land after it (inserts are epoch-checked).
+            let mut locked = cache.lock();
+            if locked.generation != generation {
+                locked.cache = ContentCache::new(cfg.cache_bytes);
+                locked.generation = generation;
+            }
+            drop(locked);
+            epoch = generation;
         }
         // Serve any request already buffered (keep-alive pipelining)
         // before blocking on the socket for more bytes.
@@ -221,18 +363,18 @@ fn serve_conn(
         // through their helper pool.
         // The lookup's lock guard must drop before the match arms run:
         // the stale arm re-locks to refresh/invalidate.
-        let looked_up = cache.lock().lookup(&path, cfg.cache_revalidate_ttl);
+        let looked_up = cache.lock().cache.lookup(&path, cfg.cache_revalidate_ttl);
         let cached = match looked_up {
             Lookup::Hit(e) => Some(e),
             Lookup::Stale(e) => {
                 let fs_path = cfg.docroot.join(path.trim_start_matches('/'));
                 match crate::server::stat_file_checked(&fs_path) {
                     Ok((len, mtime)) if e.mtime == mtime && e.body.len() as u64 == len => {
-                        cache.lock().refresh(&path);
+                        cache.lock().cache.refresh(&path);
                         Some(e)
                     }
                     _ => {
-                        cache.lock().invalidate(&path);
+                        cache.lock().cache.invalidate(&path);
                         None
                     }
                 }
@@ -244,7 +386,15 @@ fn serve_conn(
             None => match read_file_with_mtime(&cfg.docroot.join(path.trim_start_matches('/'))) {
                 Ok((body, mtime)) => {
                     let e = Entry::build_with_mtime(&path, body, mtime);
-                    cache.lock().insert(path.clone(), Arc::clone(&e));
+                    // Epoch check under the lock: bytes read against a
+                    // pre-reload docroot must not land in the
+                    // post-reload cache. The waiter (this connection)
+                    // is still served — its request predates the swap.
+                    let mut locked = cache.lock();
+                    if locked.generation == epoch {
+                        locked.cache.insert(path.clone(), Arc::clone(&e));
+                    }
+                    drop(locked);
                     Ok(e)
                 }
                 Err(err) => Err(match err.kind() {
@@ -274,6 +424,7 @@ fn serve_conn(
         if !ok || !keep {
             return;
         }
+        served += 1;
         phase_start = Instant::now();
         in_header = parser.buffered() > 0;
     }

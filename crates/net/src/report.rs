@@ -1,0 +1,254 @@
+//! The recorded perf trajectory: a tiny hand-rolled JSON emitter for
+//! `BENCH_net.json`, so smoke runs and benches leave machine-readable
+//! numbers behind instead of only printing — future PRs diff against
+//! the recorded scenarios rather than against anecdotes in commit
+//! messages.
+//!
+//! Deliberately minimal (the workspace builds against local shims
+//! only — no serde): scenario names are plain identifiers, values are
+//! numbers, and the output is stable, pretty-printed JSON of the
+//! shape:
+//!
+//! ```json
+//! {
+//!   "scenarios": [
+//!     {"name": "accept_churn/reuseport", "requests": 2000,
+//!      "elapsed_secs": 0.41, "requests_per_sec": 4878.0,
+//!      "conns_per_sec": 4878.0}
+//!   ]
+//! }
+//! ```
+//!
+//! The destination defaults to `BENCH_net.json` in the current
+//! directory, overridable with `FLASH_BENCH_JSON`.
+
+use std::io;
+use std::path::PathBuf;
+
+/// One measured scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Identifier, `harness/variant` by convention.
+    pub name: String,
+    /// Requests completed over the measurement.
+    pub requests: u64,
+    /// Wall-clock seconds the measurement took.
+    pub elapsed_secs: f64,
+    /// Requests per second.
+    pub requests_per_sec: f64,
+    /// Connections per second, where the scenario churns connections
+    /// (`None` for keep-alive workloads).
+    pub conns_per_sec: Option<f64>,
+}
+
+/// Accumulates scenarios and writes them as one JSON document.
+#[derive(Debug, Default)]
+pub struct BenchReport {
+    scenarios: Vec<Scenario>,
+}
+
+impl BenchReport {
+    pub fn new() -> BenchReport {
+        BenchReport::default()
+    }
+
+    /// Records a scenario from its raw counts; rates are derived here
+    /// so every caller computes them the same way.
+    pub fn record(&mut self, name: &str, requests: u64, elapsed_secs: f64, conn_churn: bool) {
+        let rate = if elapsed_secs > 0.0 {
+            requests as f64 / elapsed_secs
+        } else {
+            0.0
+        };
+        self.scenarios.push(Scenario {
+            name: name.to_string(),
+            requests,
+            elapsed_secs,
+            requests_per_sec: rate,
+            conns_per_sec: conn_churn.then_some(rate),
+        });
+    }
+
+    /// The recorded scenarios.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// The destination path: `FLASH_BENCH_JSON` or `BENCH_net.json`.
+    pub fn default_path() -> PathBuf {
+        std::env::var_os("FLASH_BENCH_JSON")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("BENCH_net.json"))
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        render_document(self.scenarios.iter().map(scenario_line))
+    }
+
+    /// Writes the report to [`BenchReport::default_path`], **merging**
+    /// with any document already there: scenarios this report recorded
+    /// replace same-named entries, everything else is kept. Separate
+    /// harnesses (the accept-churn smoke, the graceful-restart smoke,
+    /// `cargo bench`) thereby accumulate into one trajectory file
+    /// instead of clobbering each other. Returns the path written.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let path = Self::default_path();
+        let existing = std::fs::read_to_string(&path).unwrap_or_default();
+        let fresh: Vec<String> = self.scenarios.iter().map(scenario_line).collect();
+        let kept = existing_scenario_lines(&existing)
+            .into_iter()
+            .filter(|old| {
+                scenario_name(old)
+                    .is_none_or(|name| fresh.iter().all(|new| scenario_name(new) != Some(name)))
+            });
+        std::fs::write(&path, render_document(kept.chain(fresh.clone())))?;
+        Ok(path)
+    }
+}
+
+/// One scenario as its single-line JSON object (no trailing comma).
+fn scenario_line(s: &Scenario) -> String {
+    let mut out = format!(
+        "{{\"name\": \"{}\", \"requests\": {}, \"elapsed_secs\": {:.6}, \"requests_per_sec\": {:.1}",
+        escape(&s.name),
+        s.requests,
+        s.elapsed_secs,
+        s.requests_per_sec
+    );
+    if let Some(c) = s.conns_per_sec {
+        out.push_str(&format!(", \"conns_per_sec\": {c:.1}"));
+    }
+    out.push('}');
+    out
+}
+
+/// Assembles scenario object lines into the output document.
+fn render_document(lines: impl Iterator<Item = String>) -> String {
+    let lines: Vec<String> = lines.collect();
+    let mut out = String::from("{\n  \"scenarios\": [\n");
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(line);
+        if i + 1 < lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Recovers the scenario object lines from a previously written
+/// document. This reads only the format [`render_document`] itself
+/// produces — one object per line — so a hand-edited or foreign file
+/// degrades to "nothing recovered", never to a parse error.
+fn existing_scenario_lines(doc: &str) -> Vec<String> {
+    doc.lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with("{\"name\": \""))
+        .map(|l| l.strip_suffix(',').unwrap_or(l).to_string())
+        .collect()
+}
+
+/// The (escaped) scenario name inside an object line.
+fn scenario_name(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("{\"name\": \"")?;
+    // Names are escaped, so the first unescaped quote terminates; an
+    // escaped-form comparison is exact because escaping is canonical.
+    let mut end = 0;
+    let bytes = rest.as_bytes();
+    while end < bytes.len() {
+        match bytes[end] {
+            b'\\' => end += 2,
+            b'"' => return Some(&rest[..end]),
+            _ => end += 1,
+        }
+    }
+    None
+}
+
+/// JSON string escaping for the characters a scenario name could
+/// plausibly contain.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_valid_shape() {
+        let mut r = BenchReport::new();
+        r.record("accept_churn/single", 2000, 0.5, true);
+        r.record("graceful_restart/reuseport", 100, 0.25, false);
+        let json = r.to_json();
+        assert!(json.contains("\"name\": \"accept_churn/single\""));
+        assert!(json.contains("\"requests_per_sec\": 4000.0"));
+        assert!(json.contains("\"conns_per_sec\": 4000.0"));
+        // The keep-alive scenario must not claim a conn rate.
+        let ka_line = json
+            .lines()
+            .find(|l| l.contains("graceful_restart"))
+            .unwrap();
+        assert!(!ka_line.contains("conns_per_sec"));
+        // Balanced braces/brackets — a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut r = BenchReport::new();
+        r.record("we\"ird\\name", 1, 1.0, false);
+        assert!(r.to_json().contains("we\\\"ird\\\\name"));
+    }
+
+    #[test]
+    fn zero_elapsed_does_not_divide_by_zero() {
+        let mut r = BenchReport::new();
+        r.record("instant", 5, 0.0, true);
+        assert_eq!(r.scenarios()[0].requests_per_sec, 0.0);
+    }
+
+    #[test]
+    fn write_merges_latest_wins_by_name() {
+        let path = std::env::temp_dir().join(format!("flash-report-{}.json", std::process::id()));
+        std::env::set_var("FLASH_BENCH_JSON", &path);
+        let _ = std::fs::remove_file(&path);
+
+        let mut first = BenchReport::new();
+        first.record("accept_churn/single", 100, 1.0, true);
+        first.record("net_throughput/amped", 500, 1.0, false);
+        first.write().unwrap();
+
+        // A second harness re-records one scenario and adds another:
+        // its numbers replace the same-named entry, the unrelated
+        // entry survives.
+        let mut second = BenchReport::new();
+        second.record("accept_churn/single", 300, 1.0, true);
+        second.record("graceful_restart/single", 50, 1.0, true);
+        second.write().unwrap();
+
+        let doc = std::fs::read_to_string(&path).unwrap();
+        std::env::remove_var("FLASH_BENCH_JSON");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(doc.matches("accept_churn/single").count(), 1);
+        assert!(doc.contains("\"requests\": 300"), "latest numbers win");
+        assert!(!doc.contains("\"requests\": 100"), "stale numbers gone");
+        assert!(doc.contains("net_throughput/amped"));
+        assert!(doc.contains("graceful_restart/single"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

@@ -97,6 +97,7 @@ use flash_http::Method;
 
 use crate::cache::{ContentCache, Entry, Lookup};
 use crate::event::{new_backend, BackendChoice, BackendKind, Event, EventBackend, Interest};
+use crate::lifecycle::{LifecycleShared, PHASE_DRAINING, PHASE_STOPPING};
 use crate::sendfile::send_file;
 use crate::sock::{self, AcceptMode, AcceptModeKind};
 use crate::timer::{tick_for, TimerWheel};
@@ -168,6 +169,22 @@ pub struct NetConfig {
     /// trusts cached entries forever (the pre-revalidation behavior).
     /// Default 2 s.
     pub cache_revalidate_ttl: Option<Duration>,
+    /// How long a drain ([`Server::drain`], SIGTERM) waits for
+    /// existing connections to finish before the shards exit anyway.
+    /// In-flight responses (including multi-gigabyte `sendfile`
+    /// bodies) and pipelined keep-alive requests already buffered are
+    /// served to completion within this bound; whatever is still open
+    /// at the deadline is severed. Default 30 s.
+    pub drain_timeout: Duration,
+    /// A connection whose request is owned by a helper (`Waiting`)
+    /// must receive its completion within this long or be closed —
+    /// the wedged-disk/wedged-helper defense, the fourth timing-wheel
+    /// deadline class. Without it a helper stuck in `open(2)` on a
+    /// dead NFS mount (or a FIFO, or a hung CGI successor) pins the
+    /// waiter's fd and slot forever. `None` disables it.
+    /// Default 60 s — deliberately above every disk-latency spike a
+    /// healthy system produces.
+    pub helper_wait_timeout: Option<Duration>,
 }
 
 impl NetConfig {
@@ -186,6 +203,8 @@ impl NetConfig {
             accept_mode: AcceptMode::Auto,
             max_conns_per_shard: 8192,
             cache_revalidate_ttl: Some(Duration::from_secs(2)),
+            drain_timeout: Duration::from_secs(30),
+            helper_wait_timeout: Some(Duration::from_secs(60)),
         }
     }
 
@@ -243,6 +262,19 @@ impl NetConfig {
     /// trusts cached entries until eviction).
     pub fn with_cache_revalidate_ttl(mut self, ttl: Option<Duration>) -> Self {
         self.cache_revalidate_ttl = ttl;
+        self
+    }
+
+    /// Same config with the graceful-drain deadline.
+    pub fn with_drain_timeout(mut self, timeout: Duration) -> Self {
+        self.drain_timeout = timeout;
+        self
+    }
+
+    /// Same config with the helper-completion deadline (`None`
+    /// disables it).
+    pub fn with_helper_wait_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.helper_wait_timeout = timeout;
         self
     }
 }
@@ -306,6 +338,17 @@ pub struct ShardStats {
     /// different mtime or size (the file changed or vanished) — the
     /// stale bytes were dropped instead of served.
     pub stale_evicted: AtomicU64,
+    /// `Waiting` connections closed by the helper-completion deadline
+    /// ([`NetConfig::helper_wait_timeout`]) — their helper or disk
+    /// wedged; the late completion, if it ever arrives, is discarded.
+    pub helper_wait_timeouts: AtomicU64,
+    /// Gauge: 1 while this shard is in drain mode (listener quiesced,
+    /// serving out existing connections), 0 otherwise.
+    pub draining: AtomicU64,
+    /// Connections retired *by the drain*: idle keep-alive
+    /// connections closed at drain entry plus keep-alive connections
+    /// closed after their final response went out whole.
+    pub drained_conns: AtomicU64,
 }
 
 /// Counters for a running server: per-shard atomics, aggregated on
@@ -423,20 +466,76 @@ impl ServerStats {
         self.sum(|s| &s.stale_evicted)
     }
 
+    /// `Waiting` connections closed by the helper-completion deadline,
+    /// across shards.
+    pub fn helper_wait_timeouts(&self) -> u64 {
+        self.sum(|s| &s.helper_wait_timeouts)
+    }
+
+    /// Gauge: how many shards are currently in drain mode.
+    pub fn draining_shards(&self) -> u64 {
+        self.sum(|s| &s.draining)
+    }
+
+    /// Connections retired by drains (idle keep-alives closed at
+    /// drain entry + keep-alives closed after their final response),
+    /// across shards.
+    pub fn drained_conns(&self) -> u64 {
+        self.sum(|s| &s.drained_conns)
+    }
+
     /// The per-shard counters (index = shard id).
     pub fn per_shard(&self) -> &[Arc<ShardStats>] {
         &self.shards
     }
 }
 
-/// Handle to a running server; dropping it does **not** stop the server —
-/// call [`Server::stop`].
+/// Handle to a running server; dropping it does **not** stop the
+/// server — call [`Server::stop`] (drain with a short grace),
+/// [`Server::drain`] (graceful, bounded by
+/// [`NetConfig::drain_timeout`]), or [`Server::stop_now`] (immediate).
+///
+/// # Lifecycle
+///
+/// ```text
+///            SIGHUP: reload_docroot() — connections undisturbed
+///               ┌───┐
+///               ▼   │
+///  ┌─────────────────┐  drain()/SIGTERM   ┌──────────────┐  all conns done
+///  │     serving     │ ─────────────────► │   draining   │ ─────┬─────────► exited
+///  └─────────────────┘                    └──────────────┘      │
+///               │                               │ drain_timeout │
+///               │ stop_now()/SIGINT             ▼               │
+///               └─────────────────────────► exited ◄────────────┘
+/// ```
+///
+/// Draining shards quiesce their listeners (reuseport) or the
+/// acceptor stops (single mode), idle keep-alive connections are
+/// closed at once, and everything mid-request — in-flight `sendfile`
+/// bodies, pipelined keep-alive bursts — is served to completion or
+/// the deadline. For zero-downtime restarts, hand the listener set to
+/// the next generation first (see [`crate::handoff`] and
+/// [`Server::handoff_listeners`]), start it with
+/// [`Server::start_inherited`], then drain this one: the kernel
+/// sockets (and their accept backlogs) survive the switch, in both
+/// accept modes.
 pub struct Server {
     addr: SocketAddr,
     stats: Arc<ServerStats>,
     backend: BackendKind,
     accept_mode: AcceptModeKind,
+    /// Accept-path stop flag (the acceptor thread and the shared
+    /// accept loop); shards take their orders from `lifecycle`.
     shutdown: Arc<AtomicBool>,
+    lifecycle: Arc<LifecycleShared>,
+    drain_timeout: Duration,
+    /// Duplicates of every listening socket this server accepts from
+    /// (plus any extras inherited from a previous generation), held
+    /// for handoff: passing these to the next generation keeps the
+    /// kernel sockets — and their backlogs — alive across the switch.
+    /// Dropped when the server handle is consumed, so a plain
+    /// stop/drain still releases the port.
+    handoff: Vec<TcpListener>,
     shard_wakes: Vec<WakeHandle>,
     /// `Some` only in single-acceptor mode; reuseport shards are woken
     /// for shutdown through their ordinary wake pipes.
@@ -495,6 +594,10 @@ struct Job {
     /// Which shard's done queue the completion routes back to.
     shard: usize,
     kind: JobKind,
+    /// The dispatching shard's reload epoch; echoed back on the
+    /// [`Done`] so a completion that raced a SIGHUP reload can be
+    /// served to its waiters without poisoning the fresh cache.
+    epoch: u64,
 }
 
 /// The shared helper-pool queue: one FIFO lane per shard, popped
@@ -612,6 +715,8 @@ enum DoneData {
 struct Done {
     path: String,
     data: DoneData,
+    /// Echo of [`Job::epoch`] — see there.
+    epoch: u64,
 }
 
 enum ConnState {
@@ -636,8 +741,8 @@ struct SendFileState {
 /// matching [`ShardStats`] counter when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum DeadlineKind {
-    /// No deadline armed (helper owns the request, or the class is
-    /// disabled in [`NetConfig`]).
+    /// No deadline armed (the state's class is disabled in
+    /// [`NetConfig`]).
     None,
     /// Keep-alive idle: between requests, nothing buffered.
     Idle,
@@ -645,6 +750,9 @@ enum DeadlineKind {
     Header,
     /// Write progress: a response is in flight.
     WriteStall,
+    /// Helper wait: the request is owned by a helper, and a wedged
+    /// helper or stalled disk must not pin the fd and slot forever.
+    HelperWait,
 }
 
 struct Conn {
@@ -717,31 +825,101 @@ impl Server {
         let req_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
         })?;
+        Server::start_impl(Some(req_addr), Vec::new(), cfg)
+    }
+
+    /// Starts a server on listening sockets inherited from a previous
+    /// generation (see [`crate::handoff`]) instead of binding fresh
+    /// ones — the kernel sockets, and every connection queued in
+    /// their backlogs, carry over from the old generation, so the
+    /// switch drops nothing even in the `Single`/non-reuseport mode
+    /// where a same-port rebind is impossible.
+    ///
+    /// In single mode the first inherited listener serves; in
+    /// reuseport mode the inherited set is dealt to the shards in
+    /// order, and if there are fewer listeners than shards the
+    /// remainder bind fresh `SO_REUSEPORT` siblings on the same port.
+    /// Inherited listeners beyond what the accept path needs are not
+    /// closed — they stay in this server's handoff set
+    /// ([`Server::handoff_listeners`]), because closing the last
+    /// duplicate of a listening socket RSTs its queued connections;
+    /// still, matching `event_loops` across generations is the
+    /// clean configuration.
+    pub fn start_inherited(cfg: NetConfig, inherited: Vec<TcpListener>) -> io::Result<Server> {
+        if inherited.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "start_inherited requires at least one listener",
+            ));
+        }
+        Server::start_impl(None, inherited, cfg)
+    }
+
+    fn start_impl(
+        req_addr: Option<SocketAddr>,
+        inherited: Vec<TcpListener>,
+        cfg: NetConfig,
+    ) -> io::Result<Server> {
         let accept_mode = sock::resolve_accept_mode(cfg.accept_mode);
         let shutdown = Arc::new(AtomicBool::new(false));
+        let lifecycle = Arc::new(LifecycleShared::new());
         let n_shards = cfg.event_loops.max(1);
         let backend = crate::event::resolve(cfg.backend);
 
-        // All listeners are bound before any thread exists, so an
-        // unbindable port is a clean start() error. In reuseport mode
-        // the first bind fixes the port (addr may carry port 0) and
-        // the remaining shards bind the resolved address.
+        // Inherited fds came in via SCM_RIGHTS as dups of the old
+        // generation's listeners; dup shares the open file
+        // description, so they are already nonblocking — asserted
+        // here anyway, because a blocking listener would wedge a
+        // whole shard on one spurious readiness event.
+        for l in &inherited {
+            l.set_nonblocking(true)?;
+        }
+        let mut inherited = inherited.into_iter();
+
+        // All listeners are bound (or adopted) before any thread
+        // exists, so an unbindable port is a clean start() error. In
+        // reuseport mode the first bind fixes the port (addr may
+        // carry port 0) and the remaining shards bind the resolved
+        // address.
         let (addr, single_listener, shard_listeners) = match accept_mode {
             AcceptModeKind::Single => {
-                let l = sock::bind_listener(req_addr, false)?;
+                let l = match inherited.next() {
+                    Some(l) => l,
+                    None => sock::bind_listener(req_addr.expect("addr or listeners"), false)?,
+                };
                 let bound = l.local_addr()?;
                 (bound, Some(l), Vec::new())
             }
             AcceptModeKind::ReusePort => {
-                let first = sock::bind_listener(req_addr, true)?;
+                let first = match inherited.next() {
+                    Some(l) => l,
+                    None => sock::bind_listener(req_addr.expect("addr or listeners"), true)?,
+                };
                 let bound = first.local_addr()?;
                 let mut listeners = vec![first];
                 for _ in 1..n_shards {
-                    listeners.push(sock::bind_listener(bound, true)?);
+                    listeners.push(match inherited.next() {
+                        Some(l) => l,
+                        // Fewer inherited listeners than shards: the
+                        // rest bind fresh reuseport siblings (the
+                        // inherited sockets carry SO_REUSEPORT, so
+                        // the shared bind is permitted).
+                        None => sock::bind_listener(bound, true)?,
+                    });
                 }
                 (bound, None, listeners)
             }
         };
+
+        // The handoff set: one duplicate of every listener the accept
+        // path uses, plus inherited extras (closing the last dup of a
+        // listening socket would RST its queued connections — extras
+        // ride along to the next generation instead).
+        let mut handoff = Vec::new();
+        for l in single_listener.iter().chain(shard_listeners.iter()) {
+            handoff.push(l.try_clone()?);
+        }
+        handoff.extend(inherited);
         let mut shard_listeners = shard_listeners.into_iter();
 
         let shard_stats: Vec<Arc<ShardStats>> = (0..n_shards)
@@ -828,14 +1006,17 @@ impl Server {
                 let ctx = ShardCtx {
                     shard: shard_id,
                     cache: ContentCache::new(shard_cache_bytes),
+                    cache_capacity: shard_cache_bytes,
                     waiters: HashMap::new(),
                     pending_jobs: HashSet::new(),
                     jobs: Arc::clone(&jobs),
                     cfg: cfg.clone(),
                     stats: Arc::clone(&shard_stats[shard_id]),
                     live_conns: 0,
+                    draining: false,
+                    epoch: 0,
                 };
-                let shutdown2 = Arc::clone(&shutdown);
+                let lifecycle2 = Arc::clone(&lifecycle);
                 let spawned = std::thread::Builder::new()
                     .name(format!("flash-shard-{shard_id}"))
                     .spawn(move || {
@@ -847,7 +1028,7 @@ impl Server {
                             wake,
                             listener,
                             shard_backend,
-                            shutdown2,
+                            lifecycle2,
                         )
                     });
                 match spawned {
@@ -897,9 +1078,10 @@ impl Server {
             Ok(v) => v,
             Err(e) => {
                 // Partial start: stop and join every thread spawned so
-                // far, exactly like stop() — the per-shard listeners
-                // close with their loops, so the port is released
-                // before the error is returned.
+                // far, exactly like stop_now() — the per-shard
+                // listeners close with their loops, so the port is
+                // released before the error is returned.
+                lifecycle.stop_now();
                 shutdown.store(true, Ordering::SeqCst);
                 for wake in &shard_wakes {
                     wake.wake_force();
@@ -921,6 +1103,9 @@ impl Server {
             backend,
             accept_mode,
             shutdown,
+            lifecycle,
+            drain_timeout: cfg.drain_timeout,
+            handoff,
             shard_wakes,
             acceptor_stop,
             jobs,
@@ -950,11 +1135,89 @@ impl Server {
         self.accept_mode
     }
 
-    /// Stops the server and joins all threads. Every listener — the
+    /// The handoff set: duplicates of every listening socket this
+    /// server accepts from. Send these to the next generation
+    /// ([`crate::handoff::send_listeners`]) before draining this one —
+    /// the kernel sockets and their accept backlogs then survive the
+    /// generation switch.
+    pub fn handoff_listeners(&self) -> &[TcpListener] {
+        &self.handoff
+    }
+
+    /// Grace period [`Server::stop`] allows in-flight responses: long
+    /// enough for any response already being written to go out whole
+    /// on a healthy link, short enough that tests and tools calling
+    /// `stop()` stay snappy.
+    const STOP_GRACE: Duration = Duration::from_secs(1);
+
+    /// Drains gracefully, bounded by [`NetConfig::drain_timeout`]:
+    /// accepting stops everywhere, idle keep-alive connections are
+    /// closed at once, connections mid-request — including in-flight
+    /// `sendfile` bodies and pipelined keep-alive bursts already
+    /// buffered — are served to completion, and each shard exits when
+    /// its last connection finishes (or the deadline severs the rest).
+    /// This is the SIGTERM order in the lifecycle diagram above.
+    pub fn drain(self) {
+        let grace = self.drain_timeout;
+        self.drain_for(grace);
+    }
+
+    /// [`Server::drain`] with an explicit grace bound.
+    pub fn drain_for(mut self, grace: Duration) {
+        self.lifecycle.begin_drain(Instant::now() + grace);
+        // This generation's claim on the port ends now: the handoff
+        // dups close here (and each shard closes its own listener as
+        // it observes the drain). A next generation that already
+        // received inherited dups keeps the kernel sockets — and
+        // their accept backlogs — alive; without one, a fresh
+        // `SO_REUSEPORT` bind fully owns the port while we drain
+        // instead of sharing the hash group with sockets nobody is
+        // accepting from.
+        self.handoff.clear();
+        self.halt_accept_and_join();
+    }
+
+    /// Stops the server through the drain path with a short bounded
+    /// grace (min of [`NetConfig::drain_timeout`] and 1 s): a response
+    /// already being written goes out whole instead of being truncated
+    /// mid-body, idle connections close immediately, and anything
+    /// slower than the grace is severed. Tests that need today's
+    /// instant teardown use [`Server::stop_now`].
+    pub fn stop(self) {
+        let grace = self.drain_timeout.min(Self::STOP_GRACE);
+        self.drain_for(grace);
+    }
+
+    /// Stops immediately, severing in-flight connections — the
+    /// SIGINT order, and the pre-drain `stop()` behavior.
+    pub fn stop_now(mut self) {
+        self.lifecycle.stop_now();
+        self.halt_accept_and_join();
+    }
+
+    /// Publishes a new document root: every shard swaps its config
+    /// and flushes its content cache between drives — in-flight
+    /// requests finish undisturbed, the next request on every
+    /// connection (including currently open keep-alives) is served
+    /// from the new root. This is the SIGHUP order; completions from
+    /// jobs dispatched before the swap are served to their waiters
+    /// but not cached (epoch-checked), so pre-reload bytes cannot
+    /// poison the post-reload cache.
+    pub fn reload_docroot(&self, docroot: impl Into<PathBuf>) {
+        self.lifecycle.publish_reload(docroot.into());
+        for wake in &self.shard_wakes {
+            wake.wake();
+        }
+    }
+
+    /// Wakes everything and joins all threads. Every listener — the
     /// acceptor's or the per-shard reuseport set — is owned by the
-    /// thread it serves and closed before that thread is joined, so
-    /// when this returns the port is fully released and rebindable.
-    pub fn stop(mut self) {
+    /// thread it serves and closed before that thread is joined, and
+    /// the handoff duplicates drop with `self`, so when the caller
+    /// returns the port is fully released and rebindable (unless a
+    /// next generation holds inherited duplicates — the point of
+    /// handoff).
+    fn halt_accept_and_join(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // The acceptor blocks with no timeout; its stop pipe is the
         // only thing that can wake it.
@@ -1101,6 +1364,7 @@ fn helper_main(
             .send(Done {
                 path: job.path,
                 data,
+                epoch: job.epoch,
             })
             .is_err()
         {
@@ -1181,6 +1445,19 @@ struct ShardCtx {
     /// listener interest is dropped; any close below the cap re-arms
     /// it.
     live_conns: usize,
+    /// This shard's slice of the content-cache budget, kept so a
+    /// SIGHUP reload can build a replacement cache of the same size
+    /// (the cache itself has no capacity getter).
+    cache_capacity: u64,
+    /// Whether this shard has entered drain: accepting has stopped,
+    /// keep-alive connections close after their final response, and
+    /// the loop exits once the last connection finishes.
+    draining: bool,
+    /// Reload epoch, bumped on every SIGHUP docroot swap. Helper jobs
+    /// carry the epoch they were dispatched under; a completion from a
+    /// previous epoch still serves its waiters (their request predates
+    /// the reload) but is never inserted into the post-reload cache.
+    epoch: u64,
 }
 
 /// The interest the backend should have armed for a connection in this
@@ -1229,14 +1506,14 @@ fn shard_loop(
     mut wake_rx: UnixStream,
     wake: WakeHandle,
     // `Some` only in reuseport mode: this shard's own listener, owned
-    // (and therefore closed) by this loop — dropped on return, before
-    // Server::stop's join observes the thread gone, so the port is
-    // free once stop() returns.
-    listener: Option<TcpListener>,
+    // (and therefore closed) by this loop — dropped at drain entry or
+    // on return, before Server::stop's join observes the thread gone,
+    // so the port is free once stop() returns.
+    mut listener: Option<TcpListener>,
     // Created by Server::start with the wake pipe already registered,
     // so backend failures abort startup instead of killing one shard.
     mut backend: Box<dyn EventBackend>,
-    shutdown: Arc<AtomicBool>,
+    lifecycle: Arc<LifecycleShared>,
 ) {
     let mut conns: Vec<Option<Conn>> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
@@ -1251,17 +1528,52 @@ fn shard_loop(
         ctx.cfg.idle_timeout,
         ctx.cfg.header_read_timeout,
         ctx.cfg.write_stall_timeout,
+        ctx.cfg.helper_wait_timeout,
     ];
     let mut wheel = TimerWheel::new(tick_for(cfg_timeouts.into_iter().flatten()));
     let mut expired: Vec<u64> = Vec::new();
     // Whether the listener's READ interest is currently armed in the
     // backend (registered armed by Server::start).
     let mut listener_armed = listener.is_some();
+    // The drain deadline, captured once when the shard observes the
+    // draining phase (begin_drain stores it before flipping the
+    // phase, so it is always visible here).
+    let mut drain_deadline: Option<Instant> = None;
 
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        match lifecycle.phase() {
+            PHASE_STOPPING => {
+                if ctx.draining {
+                    ctx.stats.draining.store(0, Ordering::Relaxed);
+                }
+                return;
+            }
+            PHASE_DRAINING if !ctx.draining => {
+                drain_deadline = lifecycle.drain_deadline();
+                // The listener CLOSES here, not merely quiesces: an
+                // open reuseport socket keeps its place in the
+                // kernel's hash group even with no one accepting, so
+                // keeping it would blackhole the connections hashed to
+                // it. A next generation holding inherited handoff dups
+                // keeps the kernel socket (and its backlog) alive;
+                // without one, fresh binds now fully own the port.
+                if let Some(l) = listener.take() {
+                    let _ = backend.deregister(l.as_raw_fd());
+                }
+                listener_armed = false;
+                enter_drain(&mut conns, &mut ctx, &mut *backend, &mut wheel);
+            }
+            _ => {}
+        }
+        if ctx.draining
+            && (ctx.live_conns == 0 || drain_deadline.is_some_and(|d| Instant::now() >= d))
+        {
+            // Drained clean — or the deadline severs whatever is left
+            // (conns drop with the loop's locals on return).
+            ctx.stats.draining.store(0, Ordering::Relaxed);
             return;
         }
+        apply_reload(&mut ctx, &lifecycle);
         // Sleep until the next wheel tick could expire something; with
         // nothing armed, block — new work always arrives as a wake
         // byte or a readiness event. A throttled listener with room to
@@ -1271,10 +1583,24 @@ fn shard_loop(
         let mut wait_ms = wheel.next_timeout_ms(Instant::now()).unwrap_or(-1);
         if listener.is_some()
             && !listener_armed
+            && !ctx.draining
             && ctx.live_conns < ctx.cfg.max_conns_per_shard
             && !(0..=ACCEPT_RETRY_MS).contains(&wait_ms)
         {
             wait_ms = ACCEPT_RETRY_MS;
+        }
+        // While draining, never sleep past the drain deadline — the
+        // severing check above must run when it lands even if every
+        // remaining connection is quietly mid-transfer.
+        if let Some(d) = drain_deadline {
+            let left = d
+                .saturating_duration_since(Instant::now())
+                .as_millis()
+                .min(i32::MAX as u128) as i32;
+            let left = left.max(1);
+            if wait_ms < 0 || wait_ms > left {
+                wait_ms = left;
+            }
         }
         if backend.wait(&mut events, wait_ms).is_err() {
             continue;
@@ -1352,10 +1678,12 @@ fn shard_loop(
             else {
                 continue;
             };
-            let counter = match conn.deadline {
+            let kind = conn.deadline;
+            let counter = match kind {
                 DeadlineKind::Idle => &ctx.stats.idle_reaped,
                 DeadlineKind::Header => &ctx.stats.read_timeouts,
                 DeadlineKind::WriteStall => &ctx.stats.write_stall_timeouts,
+                DeadlineKind::HelperWait => &ctx.stats.helper_wait_timeouts,
                 // An expiry for a conn with no armed class can only be
                 // a stale token that survived validation by fd reuse;
                 // leave the connection alone.
@@ -1365,10 +1693,19 @@ fn shard_loop(
             let _ = backend.deregister(fd);
             conns[idx] = None;
             ctx.live_conns = ctx.live_conns.saturating_sub(1);
+            if kind == DeadlineKind::HelperWait {
+                // The reaped connection was parked on a waiter list;
+                // remove it so the completion — which may still arrive
+                // — cannot be delivered to whatever connection reuses
+                // this slot.
+                purge_waiter(&mut ctx, idx);
+            }
         }
         // Accept last: the drives and expiries above may have freed
         // slots, so the gate decision below sees this iteration's
         // final occupancy.
+        // (`listener` is already `None` by drain entry, so a draining
+        // shard can neither re-arm nor accept here.)
         if let Some(l) = &listener {
             if !listener_armed && ctx.live_conns < ctx.cfg.max_conns_per_shard {
                 // Re-arm: `modify` redelivers a still-pending backlog
@@ -1450,6 +1787,81 @@ fn quiesce_listener(listener: &TcpListener, backend: &mut dyn EventBackend) -> b
         .is_ok()
 }
 
+/// Flips a shard into drain: the listener's read interest is dropped
+/// for good (its backlog belongs to whoever holds the handoff dup),
+/// and **idle** keep-alive connections — parked between requests with
+/// nothing buffered, nothing queued, and at least one response already
+/// delivered — are closed at once instead of waiting out their idle
+/// timeout. Everything else (mid-request, pipelined bytes buffered,
+/// response in flight, or so fresh no response has been produced yet)
+/// is left to finish under the drain deadline.
+fn enter_drain(
+    conns: &mut [Option<Conn>],
+    ctx: &mut ShardCtx,
+    backend: &mut dyn EventBackend,
+    wheel: &mut TimerWheel,
+) {
+    ctx.draining = true;
+    ctx.stats.draining.store(1, Ordering::Relaxed);
+    for idx in 0..conns.len() {
+        let reading = conns[idx]
+            .as_ref()
+            .is_some_and(|c| matches!(c.state, ConnState::Reading));
+        if !reading {
+            continue;
+        }
+        // Drive before judging: a pipelined burst already sitting in
+        // the socket buffer has not reached the parser yet, and a
+        // connection must not be severed with honourable requests in
+        // its receive queue. The drive reads to EWOULDBLOCK and — with
+        // `draining` already set — closes the connection itself after
+        // its final response goes out.
+        drive_and_sync(idx, conns, ctx, backend, wheel);
+        let Some(conn) = conns[idx].as_ref() else {
+            continue;
+        };
+        // Still Reading with nothing anywhere after the drive: a
+        // genuinely idle keep-alive (at least one response served) —
+        // close it now rather than waiting out its idle timeout. A
+        // fresh connection (no response yet) keeps its grace to send
+        // the request it connected for.
+        let idle = matches!(conn.state, ConnState::Reading)
+            && conn.parser.buffered() == 0
+            && conn.out.is_empty()
+            && conn.sendfile.is_none()
+            && conn.progress > 0;
+        if idle {
+            let fd = conn.stream.as_raw_fd();
+            let _ = backend.deregister(fd);
+            wheel.cancel(conn_token(idx, fd));
+            conns[idx] = None;
+            ctx.live_conns = ctx.live_conns.saturating_sub(1);
+            ctx.stats.drained_conns.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Applies a published SIGHUP reload the shard has not seen yet: the
+/// docroot swaps, the content cache is replaced wholesale (same
+/// budget — pre-reload bytes must not be served under the new root),
+/// and the shard's epoch advances so a completion from a job
+/// dispatched before the swap serves its parked waiters but is never
+/// inserted into the fresh cache. In-flight connections are untouched:
+/// the swap happens between drives, so the next request on every
+/// connection — including open keep-alives — sees the new root.
+fn apply_reload(ctx: &mut ShardCtx, lifecycle: &LifecycleShared) {
+    let generation = lifecycle.reload_gen();
+    if generation == ctx.epoch {
+        return;
+    }
+    if let Some(root) = lifecycle.reload_docroot() {
+        ctx.cfg.docroot = root;
+    }
+    ctx.cache = ContentCache::new(ctx.cache_capacity);
+    ctx.stats.cache_used_bytes.store(0, Ordering::Relaxed);
+    ctx.epoch = generation;
+}
+
 /// Places a freshly dealt connection in a slot, registers it with the
 /// backend, and drives it immediately — its request bytes are usually
 /// in flight already, so waiting for the first readiness event would
@@ -1511,11 +1923,15 @@ fn admit_conn(
 /// * `Writing` → the **write-progress** deadline, re-armed whenever
 ///   `progress` advanced since the last arm — forward progress resets
 ///   the clock, a stalled peer's does not;
-/// * `Waiting` → no deadline: the helper owns the request (this is the
-///   seam a future per-request/CGI deadline plugs into).
+/// * `Waiting` → the **helper-wait** deadline: the helper owns the
+///   request, and a wedged helper or stalled disk must not pin the
+///   waiter's fd and slot forever. Expiry reaps the connection *and*
+///   purges its waiter registration, so a late completion arriving
+///   after the reap cannot be delivered to whatever connection has
+///   reused the slot.
 fn sync_deadline(conn: &mut Conn, token: u64, cfg: &NetConfig, wheel: &mut TimerWheel) {
     let (kind, timeout) = match conn.state {
-        ConnState::Waiting => (DeadlineKind::None, None),
+        ConnState::Waiting => (DeadlineKind::HelperWait, cfg.helper_wait_timeout),
         ConnState::Writing => (DeadlineKind::WriteStall, cfg.write_stall_timeout),
         ConnState::Reading => {
             if conn.parser.buffered() > 0 {
@@ -1683,11 +2099,16 @@ fn complete_job(
             let entry = Entry::build_with_mtime(&done.path, body, mtime);
             // Oversized-for-this-cache entries are refused by the
             // admission check; the waiters below are still served from
-            // the entry directly.
-            ctx.cache.insert(done.path.clone(), Arc::clone(&entry));
-            ctx.stats
-                .cache_used_bytes
-                .store(ctx.cache.used_bytes(), Ordering::Relaxed);
+            // the entry directly. A completion from before a SIGHUP
+            // reload (stale epoch) also serves its waiters — their
+            // requests predate the reload — but is NOT inserted:
+            // pre-reload bytes must not poison the post-reload cache.
+            if done.epoch == ctx.epoch {
+                ctx.cache.insert(done.path.clone(), Arc::clone(&entry));
+                ctx.stats
+                    .cache_used_bytes
+                    .store(ctx.cache.used_bytes(), Ordering::Relaxed);
+            }
             Completion::Small(entry)
         }
         Ok(FileData::Fd { file, len, mtime }) => {
@@ -1750,6 +2171,7 @@ fn complete_revalidation(
             fs_path,
             shard,
             kind: JobKind::Load,
+            epoch: ctx.epoch,
         });
     }
 }
@@ -2023,9 +2445,17 @@ fn drive_conn(idx: usize, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) -> Dri
             ConnState::Writing => match flush_out(conn, &ctx.stats) {
                 FlushResult::Flushed => {
                     ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
-                    if conn.keep_alive {
+                    // Under drain a keep-alive connection closes after
+                    // its final response — unless pipelined request
+                    // bytes are already buffered, which are honoured
+                    // before the close (the loop continues Reading and
+                    // serves them without touching the socket).
+                    if conn.keep_alive && !(ctx.draining && conn.parser.buffered() == 0) {
                         conn.state = ConnState::Reading;
                     } else {
+                        if ctx.draining {
+                            ctx.stats.drained_conns.fetch_add(1, Ordering::Relaxed);
+                        }
                         conns[idx] = None;
                         return Drive::Closed;
                     }
@@ -2094,6 +2524,7 @@ fn handle_request(idx: usize, conn: &mut Conn, req: Request, ctx: &mut ShardCtx)
             fs_path,
             shard: ctx.shard,
             kind,
+            epoch: ctx.epoch,
         });
     }
     conn.state = ConnState::Waiting;
@@ -2205,6 +2636,7 @@ mod tests {
             fs_path: PathBuf::new(),
             shard,
             kind: JobKind::Load,
+            epoch: 0,
         }
     }
 
@@ -2239,6 +2671,7 @@ mod tests {
                 fs_path: PathBuf::new(),
                 shard: 0,
                 kind: JobKind::Load,
+                epoch: 0,
             });
         }
         let mut lanes = q.lanes.lock().unwrap();
@@ -2314,17 +2747,25 @@ mod tests {
         sync_deadline(&mut conn, token, &cfg, &mut wheel);
         assert_eq!(conn.deadline, DeadlineKind::Header);
 
-        // Helper owns the request → no deadline at all.
+        // Helper owns the request → the helper-wait class, so a wedged
+        // helper cannot pin the slot forever.
         conn.state = ConnState::Waiting;
         sync_deadline(&mut conn, token, &cfg, &mut wheel);
-        assert_eq!(conn.deadline, DeadlineKind::None);
-        assert_eq!(wheel.pending(), 0, "Waiting must disarm the wheel");
+        assert_eq!(conn.deadline, DeadlineKind::HelperWait);
+        assert_eq!(wheel.pending(), 1, "Waiting arms the helper-wait class");
 
         // Response in flight → write-stall class.
         conn.state = ConnState::Writing;
         sync_deadline(&mut conn, token, &cfg, &mut wheel);
         assert_eq!(conn.deadline, DeadlineKind::WriteStall);
         assert_eq!(wheel.pending(), 1);
+
+        // The class honours its disable switch like the others.
+        let no_hw = NetConfig::new("/tmp").with_helper_wait_timeout(None);
+        conn.state = ConnState::Waiting;
+        sync_deadline(&mut conn, token, &no_hw, &mut wheel);
+        assert_eq!(conn.deadline, DeadlineKind::None);
+        assert_eq!(wheel.pending(), 0, "disabled helper-wait disarms");
     }
 
     #[test]
@@ -2356,7 +2797,8 @@ mod tests {
         let cfg = NetConfig::new("/tmp")
             .with_idle_timeout(None)
             .with_header_read_timeout(None)
-            .with_write_stall_timeout(None);
+            .with_write_stall_timeout(None)
+            .with_helper_wait_timeout(None);
         let mut wheel = TimerWheel::new(Duration::from_millis(10));
         for state in [ConnState::Reading, ConnState::Writing, ConnState::Waiting] {
             conn.state = state;

@@ -7,12 +7,14 @@
 //!
 //! Run with: `cargo run --release --example accept_churn`
 //! CI runs this on every push; it exits non-zero on any violation.
+//! Appends both modes' numbers to the `BENCH_net.json` perf
+//! trajectory (destination overridable with `FLASH_BENCH_JSON`).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use flash_repro::net::{AcceptMode, AcceptModeKind, NetConfig, Server};
+use flash_repro::net::{AcceptMode, AcceptModeKind, BenchReport, NetConfig, Server};
 
 const CLIENT_THREADS: usize = 8;
 const CONNS_PER_THREAD: usize = 250;
@@ -50,6 +52,7 @@ fn main() {
     std::fs::create_dir_all(&root).unwrap();
     std::fs::write(root.join("index.html"), b"<html>churn</html>").unwrap();
 
+    let mut report = BenchReport::new();
     for mode in [AcceptMode::Single, AcceptMode::ReusePort] {
         let server = Server::start(
             "127.0.0.1:0",
@@ -88,7 +91,17 @@ fn main() {
             TOTAL_CONNS as f64 / elapsed.as_secs_f64(),
             stats.accept_backpressure(),
         );
+        report.record(
+            &format!("accept_churn/{}", resolved.name()),
+            TOTAL_CONNS as u64,
+            elapsed.as_secs_f64(),
+            true,
+        );
         server.stop();
+    }
+    match report.write() {
+        Ok(path) => println!("bench report: {}", path.display()),
+        Err(e) => eprintln!("bench report not written: {e}"),
     }
     let _ = std::fs::remove_dir_all(&root);
 }

@@ -60,7 +60,14 @@ fn main() -> std::io::Result<()> {
     );
     println!("note: the repeated fetch was a cache hit — no helper involved");
 
-    server.stop();
+    // Exit the way a production deploy would: drain — stop accepting,
+    // finish anything in flight (bounded by `NetConfig::drain_timeout`),
+    // then tear down. A long-running deployment would drive this from
+    // signals instead: `Signals::install_default()` turns
+    // SIGTERM/SIGHUP/SIGINT into `drain()` / `reload_docroot()` /
+    // `stop_now()` calls — see `examples/graceful_restart.rs`.
+    server.drain();
+    println!("drained cleanly: all connections served to completion");
     std::fs::remove_dir_all(&root)?;
     Ok(())
 }
