@@ -140,6 +140,10 @@ mod imp {
     /// landing mid-`fork` elsewhere in the process cannot leak
     /// listeners into unrelated children.
     const MSG_CMSG_CLOEXEC: core::ffi::c_int = 0x40000000;
+    /// Returned in `msg_flags` when the control buffer was too small
+    /// for the peer's ancillary data — some fds were dropped by the
+    /// kernel, so the set is unusable.
+    const MSG_CTRUNC: core::ffi::c_int = 0x8;
 
     #[repr(C)]
     struct IoVec {
@@ -168,6 +172,7 @@ mod imp {
     unsafe extern "C" {
         fn sendmsg(fd: core::ffi::c_int, msg: *const MsgHdr, flags: core::ffi::c_int) -> isize;
         fn recvmsg(fd: core::ffi::c_int, msg: *mut MsgHdr, flags: core::ffi::c_int) -> isize;
+        fn close(fd: core::ffi::c_int) -> core::ffi::c_int;
     }
 
     /// `CMSG_ALIGN` for this ABI: round up to the pointer size.
@@ -276,28 +281,38 @@ mod imp {
             let hdr = base as *const CmsgHdr;
             ((*hdr).level, (*hdr).ty, (*hdr).len)
         };
-        if level != SOL_SOCKET || ty != SCM_RIGHTS {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "handoff control message is not SCM_RIGHTS",
-            ));
-        }
+        // Collect whatever fds recvmsg already installed in this
+        // process *before* validating: every rejection below must
+        // close them, or a malformed peer leaks descriptors into us.
         let data_off = cmsg_align(mem::size_of::<CmsgHdr>());
-        let n = cmsg_len.saturating_sub(data_off) / 4;
-        if n == 0 || n != count_byte[0] as usize {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "handoff fd count mismatch",
-            ));
-        }
-        let mut fds = Vec::with_capacity(n);
-        // SAFETY: cmsg_len (≤ controllen ≤ the buffer) covers n fds
-        // starting at data_off.
-        unsafe {
-            let data = base.add(data_off) as *const RawFd;
-            for i in 0..n {
-                fds.push(data.add(i).read_unaligned());
+        let mut fds = Vec::new();
+        if level == SOL_SOCKET && ty == SCM_RIGHTS {
+            let n = cmsg_len.saturating_sub(data_off) / 4;
+            // SAFETY: cmsg_len (≤ controllen ≤ the buffer) covers n
+            // fds starting at data_off.
+            unsafe {
+                let data = base.add(data_off) as *const RawFd;
+                for i in 0..n {
+                    fds.push(data.add(i).read_unaligned());
+                }
             }
+        }
+        let reject = |fds: Vec<RawFd>, why: &str| {
+            for fd in fds {
+                // SAFETY: each fd was installed by this recvmsg and
+                // handed to no one else.
+                unsafe { close(fd) };
+            }
+            Err(io::Error::new(io::ErrorKind::InvalidData, why))
+        };
+        if msg.flags & MSG_CTRUNC != 0 {
+            return reject(fds, "handoff control data truncated");
+        }
+        if level != SOL_SOCKET || ty != SCM_RIGHTS {
+            return reject(fds, "handoff control message is not SCM_RIGHTS");
+        }
+        if fds.is_empty() || fds.len() != count_byte[0] as usize {
+            return reject(fds, "handoff fd count mismatch");
         }
         Ok(fds)
     }

@@ -79,7 +79,6 @@ static SIGNAL_FD: AtomicI32 = AtomicI32::new(-1);
 
 unsafe extern "C" {
     fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
-    fn close(fd: i32) -> i32;
     fn kill(pid: i32, sig: i32) -> i32;
     fn getpid() -> i32;
 }
@@ -175,7 +174,9 @@ impl Signals {
     /// Installs a handler for each signal in `set`, routing deliveries
     /// into a fresh self-pipe, and returns its read end. Installing
     /// again replaces the previous pipe (the handler is process-global
-    /// state — the last installer wins).
+    /// state — the last installer wins); the replaced pipe's write end
+    /// is intentionally leaked, never closed, so a signal racing the
+    /// swap cannot write into a recycled descriptor.
     pub fn install(set: &[Signal]) -> io::Result<Signals> {
         let (tx, rx) = UnixStream::pair()?;
         // The handler's write must never block — a full pipe drops
@@ -184,15 +185,15 @@ impl Signals {
         tx.set_nonblocking(true)?;
         let fd = tx.as_raw_fd();
         // The write end must outlive any future signal delivery, so
-        // it is leaked into the handler's static slot; replacing an
-        // earlier installation closes the fd it leaked.
+        // it is leaked into the handler's static slot. An fd a prior
+        // install leaked stays leaked: a handler that loaded the old
+        // value just before the swap may still `write(2)` to it, and
+        // closing it would let that write land on a closed — or
+        // since-reused — descriptor and corrupt an unrelated stream.
+        // Installs happen once or twice per process, so the cost is a
+        // dormant socketpair end, never a misdirected byte.
         std::mem::forget(tx);
-        let old = SIGNAL_FD.swap(fd, Ordering::SeqCst);
-        if old >= 0 {
-            // SAFETY: `old` was leaked by a previous install and is
-            // owned by this slot alone.
-            unsafe { close(old) };
-        }
+        SIGNAL_FD.store(fd, Ordering::SeqCst);
         for s in set {
             ffi::install_handler(s.number(), forward_signal)?;
         }

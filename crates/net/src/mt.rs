@@ -168,13 +168,17 @@ impl MtServer {
         self.lifecycle.begin_drain(Instant::now() + grace);
         // The deadline has no event loop to enforce it here — a
         // watchdog escalates to stop-now when the grace expires, so
-        // the worker joins below cannot hang past it. Detached: if
-        // every worker finishes early the escalation is a no-op on a
-        // dead phase machine.
+        // the worker joins below cannot hang past it. It waits on a
+        // channel rather than sleeping the full grace: when the drain
+        // completes early the sender drops and the watchdog wakes and
+        // exits at once, leaving no thread pinning the lifecycle Arc
+        // for the rest of the grace.
         let lifecycle = Arc::clone(&self.lifecycle);
-        std::thread::spawn(move || {
-            std::thread::sleep(grace);
-            lifecycle.stop_now();
+        let (drained_tx, drained_rx) = std::sync::mpsc::channel::<()>();
+        let watchdog = std::thread::spawn(move || {
+            if drained_rx.recv_timeout(grace) == Err(std::sync::mpsc::RecvTimeoutError::Timeout) {
+                lifecycle.stop_now();
+            }
         });
         // Release this generation's claim on the port: the handoff
         // dups close now (a next generation holding inherited dups
@@ -183,6 +187,8 @@ impl MtServer {
         // address is rebindable while the workers drain.
         self.handoff.clear();
         self.halt_accept_and_join();
+        drop(drained_tx);
+        let _ = watchdog.join();
     }
 
     /// Stops through the drain path with a short bounded grace (min of
@@ -266,11 +272,18 @@ fn serve_conn(
     // request). Idle and header phases carry different deadlines.
     let mut phase_start = Instant::now();
     let mut in_header = parser.buffered() > 0;
-    // Reload generation this worker's docroot reflects, and how many
-    // responses it has served — a fresh connection (none yet) gets
-    // grace to send its first request during drain; an idle keep-alive
-    // closes at once.
-    let mut epoch = lifecycle.reload_gen();
+    // Reload generation this worker's docroot reflects. The cfg it
+    // was spawned with is a clone of the accept thread's original —
+    // generation 0's docroot, however many reloads have been
+    // published since — so the epoch starts at 0 and the first loop
+    // turn applies any pending reload before a request is served.
+    // (Starting at `lifecycle.reload_gen()` would skip the swap and
+    // serve — and cache — pre-reload content on post-reload
+    // connections.)
+    let mut epoch = 0u64;
+    // Responses served so far: a fresh connection (none yet) gets
+    // grace to send its first request during drain; an idle
+    // keep-alive closes at once.
     let mut served = 0u64;
     loop {
         match lifecycle.phase() {

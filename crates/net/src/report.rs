@@ -92,6 +92,14 @@ impl BenchReport {
     /// harnesses (the accept-churn smoke, the graceful-restart smoke,
     /// `cargo bench`) thereby accumulate into one trajectory file
     /// instead of clobbering each other. Returns the path written.
+    ///
+    /// The document is published atomically — rendered into a sibling
+    /// temp file and renamed over the destination — so a concurrent
+    /// reader never sees a torn file. The read-merge-write itself is
+    /// last-writer-wins, though: harnesses writing the *same* file are
+    /// assumed to run sequentially (as the CI workflow does); truly
+    /// concurrent writers should point `FLASH_BENCH_JSON` at distinct
+    /// paths.
     pub fn write(&self) -> io::Result<PathBuf> {
         let path = Self::default_path();
         let existing = std::fs::read_to_string(&path).unwrap_or_default();
@@ -102,7 +110,13 @@ impl BenchReport {
                 scenario_name(old)
                     .is_none_or(|name| fresh.iter().all(|new| scenario_name(new) != Some(name)))
             });
-        std::fs::write(&path, render_document(kept.chain(fresh.clone())))?;
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, render_document(kept.chain(fresh.clone())))?;
+        std::fs::rename(&tmp, &path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })?;
         Ok(path)
     }
 }

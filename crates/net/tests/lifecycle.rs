@@ -435,3 +435,42 @@ fn mt_drain_completes_inflight_and_reloads_live() {
     let _ = std::fs::remove_dir_all(root_a);
     let _ = std::fs::remove_dir_all(root_b);
 }
+
+#[test]
+fn mt_connection_opened_after_reload_serves_new_root() {
+    let root_a = docroot("mt-postreload-a");
+    let root_b = docroot("mt-postreload-b");
+    std::fs::write(root_b.join("index.html"), b"<html>generation two</html>\n").unwrap();
+    let server = MtServer::start("127.0.0.1:0", NetConfig::new(&root_a)).unwrap();
+    // A pre-reload request warms the shared cache with root-a bytes.
+    let mut warm = TcpStream::connect(server.addr()).unwrap();
+    warm.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    warm.write_all(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (_, body) = read_response(&mut warm);
+    assert_eq!(body, b"<html>hello flash</html>\n");
+    drop(warm);
+
+    server.reload_docroot(&root_b);
+    // Workers spawned for connections opened *after* the reload start
+    // from the spawner's original (root-a) config, so each must apply
+    // the published reload before serving its first request — and the
+    // flushed shared cache must refill with root-b bytes, never be
+    // re-poisoned with root-a content (the later connections below
+    // are served from what the first one cached).
+    for i in 0..3 {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (text, body) = read_response(&mut s);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert_eq!(
+            body, b"<html>generation two</html>\n",
+            "post-reload connection {i} served the stale root"
+        );
+    }
+    server.stop_now();
+    let _ = std::fs::remove_dir_all(root_a);
+    let _ = std::fs::remove_dir_all(root_b);
+}
