@@ -225,12 +225,21 @@ impl ContentCache {
     /// the file and either [`Self::refresh`] or [`Self::invalidate`]
     /// before serving. `ttl = None` disables staleness entirely.
     pub fn lookup(&mut self, path: &str, ttl: Option<Duration>) -> Lookup {
+        self.lookup_at(path, ttl, Instant::now())
+    }
+
+    /// [`Self::lookup`] with an explicit notion of "now" — the seam
+    /// the deterministic sim driver uses (its clock is a base
+    /// `Instant` plus simulated nanoseconds, never the wall clock).
+    pub fn lookup_at(&mut self, path: &str, ttl: Option<Duration>, now: Instant) -> Lookup {
         match self.lru.get(path) {
             Some(c) => {
                 self.hits += 1;
                 let entry = Arc::clone(&c.entry);
                 match ttl {
-                    Some(t) if c.validated_at.elapsed() >= t => Lookup::Stale(entry),
+                    Some(t) if now.saturating_duration_since(c.validated_at) >= t => {
+                        Lookup::Stale(entry)
+                    }
                     _ => Lookup::Hit(entry),
                 }
             }
@@ -252,8 +261,13 @@ impl ContentCache {
     /// file (a re-stat matched its mtime and size): its TTL clock
     /// restarts now.
     pub fn refresh(&mut self, path: &str) {
+        self.refresh_at(path, Instant::now())
+    }
+
+    /// [`Self::refresh`] with an explicit validation instant.
+    pub fn refresh_at(&mut self, path: &str, now: Instant) {
         if let Some(c) = self.lru.get_mut(path) {
-            c.validated_at = Instant::now();
+            c.validated_at = now;
         }
     }
 
@@ -279,6 +293,11 @@ impl ContentCache {
     /// capacity, the entire cache plus the entry itself — for a body
     /// the page cache serves better.
     pub fn insert(&mut self, path: String, entry: Arc<Entry>) -> bool {
+        self.insert_at(path, entry, Instant::now())
+    }
+
+    /// [`Self::insert`] with an explicit validation instant.
+    pub fn insert_at(&mut self, path: String, entry: Arc<Entry>, now: Instant) -> bool {
         if entry.cost() > self.max_entry_bytes() {
             self.rejected_oversized += 1;
             return false;
@@ -286,7 +305,7 @@ impl ContentCache {
         self.used_bytes += entry.cost();
         let cached = Cached {
             entry,
-            validated_at: Instant::now(),
+            validated_at: now,
         };
         if let Some((_, old)) = self.lru.insert(path, cached) {
             self.used_bytes -= old.entry.cost();

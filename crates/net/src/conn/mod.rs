@@ -1,0 +1,248 @@
+//! The **sans-IO protocol core**: the AMPED connection state machine
+//! and per-shard bookkeeping, extracted from the syscall-driven server
+//! loop so one body of protocol logic can run under two drivers —
+//! the real event loop in [`crate::server`] (sockets, `writev(2)`,
+//! `sendfile(2)`, the shared helper-thread pool) and the deterministic
+//! simulation in [`crate::sim`] (in-memory endpoints, simulated time,
+//! scheduled fault injection, millions of replayed connections).
+//!
+//! The core speaks through two narrow traits and two existing seams:
+//!
+//! * [`ConnIo`] — everything the state machine ever asks of a
+//!   transport: `read`, gathered `writev`, and one `sendfile` chunk
+//!   against an opaque [`ConnIo::FileRef`]. The real driver implements
+//!   it over a nonblocking `TcpStream` (with `FileRef = Arc<File>`);
+//!   the sim implements it over byte queues with windows and injected
+//!   partial writes (with a value-type file handle).
+//! * [`HelperPort`] — how the core dispatches disk work. The core
+//!   submits a [`HelperJob`] and later receives a [`Done`]; whether a
+//!   helper thread pool or a simulated-latency scheduler sits behind
+//!   the port is the driver's business.
+//! * the [`crate::event::EventBackend`] and [`crate::timer::TimerWheel`]
+//!   seams are unchanged: readiness and deadlines stay driver-owned,
+//!   with the core exposing [`machine::desired_interest`] and
+//!   [`machine::sync_deadline`] so both drivers reconcile them the
+//!   same way.
+//!
+//! Layout: [`machine`] holds the per-connection state machine
+//! ([`machine::Conn`], flush/gather/advance, deadline sync); [`shard`]
+//! holds the per-shard protocol state ([`shard::ShardCore`]: content
+//! cache, miss coalescing, job cancellation, reload epochs, drain) and
+//! the request/completion transitions. Nothing in this module performs
+//! a syscall or reads a clock — every instant is a parameter.
+
+pub mod machine;
+pub mod shard;
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use machine::{Conn, ConnState, DeadlineKind, Drive};
+pub use shard::ShardCore;
+
+/// The transport seam: every I/O operation the connection state
+/// machine performs, with nonblocking semantics — `WouldBlock` means
+/// "retry when the driver says so", exactly as on a nonblocking
+/// socket. Implementations must never block.
+pub trait ConnIo {
+    /// An opaque handle to a large body served without materializing
+    /// its bytes in the core (`Arc<File>` for the real `sendfile(2)`
+    /// path; a value type in the sim). `Clone` because one file can be
+    /// mid-stream on many connections at once.
+    type FileRef: Clone;
+
+    /// Reads request bytes; `Ok(0)` is peer EOF.
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Gathered write of the queued response segments; returns bytes
+    /// accepted (possibly a partial write mid-iovec).
+    fn writev(&mut self, bufs: &[&[u8]]) -> io::Result<usize>;
+
+    /// Transmits up to `max` bytes of `file` starting at `*offset`,
+    /// advancing `*offset` past the bytes sent. `Ok(0)` means the file
+    /// ended early (it shrank after stat — a protocol-fatal condition).
+    fn sendfile(&mut self, file: &Self::FileRef, offset: &mut u64, max: u64) -> io::Result<usize>;
+}
+
+/// The disk seam: the core submits jobs, the driver (helper pool or
+/// simulated disk) executes them and feeds the resulting [`Done`] back
+/// into [`shard::ShardCore::complete_job`].
+pub trait HelperPort {
+    /// Dispatches one open/read (or open/fstat) job. Must not block.
+    fn submit(&mut self, job: HelperJob);
+}
+
+/// What a helper does for a job: read the file, or merely re-stat it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Open and read (or open-for-`sendfile`) — a cache miss.
+    Load,
+    /// Open and `fstat` only — a cache hit past its revalidation TTL;
+    /// the shard compares the result against the cached entry.
+    Revalidate,
+}
+
+/// One unit of disk work dispatched through a [`HelperPort`].
+pub struct HelperJob {
+    /// URL path (the waiter-coalescing key).
+    pub path: String,
+    /// Filesystem path to open.
+    pub fs_path: PathBuf,
+    pub kind: JobKind,
+    /// The dispatching shard's reload epoch; echoed back on the
+    /// [`Done`] so a completion that raced a SIGHUP reload can be
+    /// served to its waiters without poisoning the fresh cache.
+    pub epoch: u64,
+    /// Per-dispatch token, echoed back on the [`Done`]. The shard
+    /// accepts a completion only while the *same* dispatch is still
+    /// pending — a completion surviving past a cancellation (or a
+    /// newer dispatch for the same path) is dropped wholesale.
+    pub token: u64,
+    /// Cooperative cancellation flag, set when the job's last waiter
+    /// is reaped: an executor that observes it before doing the disk
+    /// work skips the job entirely (the CGI-tier prerequisite — a
+    /// long-running worker must be stoppable, not merely ignorable).
+    pub cancel: Arc<AtomicBool>,
+}
+
+impl HelperJob {
+    /// Whether this job was cancelled after dispatch. Executors check
+    /// before (and long-running ones, during) the work; a cancelled
+    /// job needs no completion — its pending entry is already gone.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Acquire)
+    }
+}
+
+/// What a job execution hands back for a readable file: either the
+/// bytes themselves (small file, destined for the content cache) or an
+/// opaque file handle plus its stat'ed length (large file, destined
+/// for the `sendfile` path — the shard never sees the body at all).
+/// Both carry the fstat'ed mtime so responses advertise
+/// `Last-Modified` and conditional requests can be answered `304`.
+pub enum FileData<F> {
+    Bytes {
+        body: Vec<u8>,
+        mtime: Option<i64>,
+    },
+    Fd {
+        file: F,
+        len: u64,
+        mtime: Option<i64>,
+    },
+}
+
+/// A completion's payload, matching the job's [`JobKind`].
+pub enum DoneData<F> {
+    /// [`JobKind::Load`]: the file's contents (or open handle), ready
+    /// to render and cache.
+    Loaded(io::Result<FileData<F>>),
+    /// [`JobKind::Revalidate`]: the file's current (length, mtime)
+    /// from a bare open+`fstat` — no bytes read.
+    Stat(io::Result<(u64, Option<i64>)>),
+}
+
+/// A finished helper job, routed back to the dispatching shard.
+pub struct Done<F> {
+    pub path: String,
+    pub data: DoneData<F>,
+    /// Echo of [`HelperJob::epoch`] — see there.
+    pub epoch: u64,
+    /// Echo of [`HelperJob::token`] — see there.
+    pub token: u64,
+}
+
+/// The protocol-relevant slice of the server configuration: what the
+/// core needs to route requests and classify deadlines, and nothing a
+/// driver owns (shard counts, socket options, backend choice).
+#[derive(Debug, Clone)]
+pub struct ProtoConfig {
+    /// Directory served as the document root (the sim resolves
+    /// against its simulated filesystem; the URL-path join rule is the
+    /// core's either way).
+    pub docroot: PathBuf,
+    /// Keep-alive idle deadline (`None` disables the class).
+    pub idle_timeout: Option<Duration>,
+    /// Slow-header deadline, armed once per request.
+    pub header_read_timeout: Option<Duration>,
+    /// Write-progress deadline, re-armed on forward progress.
+    pub write_stall_timeout: Option<Duration>,
+    /// Helper-completion deadline for `Waiting` connections.
+    pub helper_wait_timeout: Option<Duration>,
+    /// Content-cache revalidation TTL (`None` trusts entries forever).
+    pub cache_revalidate_ttl: Option<Duration>,
+}
+
+/// Live counters for one event-loop shard (real or simulated —
+/// atomics so the real driver's cross-thread readers need no locks;
+/// the sim reads them single-threaded).
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Completed responses (any status).
+    pub requests: AtomicU64,
+    /// Connections dealt to this shard by the acceptor.
+    pub accepted: AtomicU64,
+    /// Jobs this shard dispatched to the helper pool (content-cache
+    /// misses, after coalescing).
+    pub helper_jobs: AtomicU64,
+    /// Responses served from this shard's content cache.
+    pub cache_hits: AtomicU64,
+    /// Gathered `writev(2)` calls issued on the send path.
+    pub writev_calls: AtomicU64,
+    /// `sendfile(2)` calls issued on the large-body path.
+    pub sendfile_calls: AtomicU64,
+    /// Body bytes transmitted via `sendfile(2)` (page cache → socket,
+    /// never through userspace).
+    pub bytes_sendfile: AtomicU64,
+    /// Gauge: bytes currently resident in this shard's content cache
+    /// (refreshed after every insert).
+    pub cache_used_bytes: AtomicU64,
+    /// Readiness `wait` calls this shard has issued.
+    pub wait_calls: AtomicU64,
+    /// Readiness events those waits returned (the ratio
+    /// `wait_events / wait_calls` is the batching gauge exposed as
+    /// [`crate::server::ServerStats::events_per_wait`]).
+    pub wait_events: AtomicU64,
+    /// Keep-alive connections closed by the idle deadline (no request
+    /// in flight).
+    pub idle_reaped: AtomicU64,
+    /// Connections closed by the header-read deadline (slow or silent
+    /// request senders).
+    pub read_timeouts: AtomicU64,
+    /// Connections closed by the write-progress deadline (peers that
+    /// stopped draining a response).
+    pub write_stall_timeouts: AtomicU64,
+    /// `304 Not Modified` responses served to conditional requests.
+    pub not_modified: AtomicU64,
+    /// Times this shard's reuseport listener was throttled by fd
+    /// exhaustion (`EMFILE`/`ENFILE`) or another accept failure — read
+    /// interest dropped, re-armed once a connection slot frees.
+    pub accept_backpressure: AtomicU64,
+    /// Cache hits past the revalidation TTL whose re-stat confirmed
+    /// the entry still matches the file (served, TTL clock restarted).
+    pub revalidations: AtomicU64,
+    /// Cache entries evicted because a revalidation re-stat saw a
+    /// different mtime or size (the file changed or vanished) — the
+    /// stale bytes were dropped instead of served.
+    pub stale_evicted: AtomicU64,
+    /// `Waiting` connections closed by the helper-completion deadline
+    /// — their helper or disk wedged; the late completion, if it ever
+    /// arrives, is discarded by its stale token.
+    pub helper_wait_timeouts: AtomicU64,
+    /// In-flight helper jobs cancelled because their last waiter was
+    /// reaped: the cancel flag was raised and the pending entry
+    /// dropped, so the job is skipped if still queued and its
+    /// completion (if it already ran) dies on token mismatch — never
+    /// populating the cache, never waking a reused slot.
+    pub jobs_cancelled: AtomicU64,
+    /// Gauge: 1 while this shard is in drain mode (listener quiesced,
+    /// serving out existing connections), 0 otherwise.
+    pub draining: AtomicU64,
+    /// Connections retired *by the drain*: idle keep-alive
+    /// connections closed at drain entry plus keep-alive connections
+    /// closed after their final response went out whole.
+    pub drained_conns: AtomicU64,
+}

@@ -1,0 +1,592 @@
+//! Per-shard protocol state and transitions: the content cache, miss
+//! coalescing with per-job cancellation, reload epochs, drain mode,
+//! and the request → helper → response pipeline — generic over
+//! [`ConnIo`], free of syscalls and clocks (every instant is a
+//! parameter), so the real event loop and the deterministic sim drive
+//! the identical code.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use flash_http::request::{ParseStatus, Request};
+use flash_http::response::{error_body, ResponseHeader, Status};
+use flash_http::Method;
+
+use crate::cache::{ContentCache, Entry, Lookup};
+use crate::timer::TimerWheel;
+
+use super::machine::{flush_out, Conn, ConnState, DeadlineKind, Drive, FlushResult, SendFileState};
+use super::{
+    ConnIo, Done, DoneData, FileData, HelperJob, HelperPort, JobKind, ProtoConfig, ShardStats,
+};
+
+/// The shard's record of one dispatched, not-yet-completed job: the
+/// token a completion must echo to be accepted, and the cancellation
+/// flag raised if every waiter is reaped first.
+pub struct PendingJob {
+    pub token: u64,
+    pub cancel: Arc<AtomicBool>,
+}
+
+/// Everything one shard's protocol layer owns: its cache, its
+/// miss-coalescing and job-cancellation state, its statistics, and its
+/// reload/drain posture. Deliberately **not** generic over the
+/// transport — per-connection transport state lives in each
+/// [`Conn`]; large-body handles pass through transiently.
+pub struct ShardCore {
+    pub shard: usize,
+    pub cache: ContentCache,
+    /// This shard's slice of the content-cache budget, kept so a
+    /// SIGHUP reload can build a replacement cache of the same size
+    /// (the cache itself has no capacity getter).
+    pub cache_capacity: u64,
+    /// Connections parked per URL path awaiting a helper completion.
+    pub waiters: HashMap<String, Vec<usize>>,
+    /// In-flight jobs per URL path. Invariant (checkable via
+    /// [`ShardCore::check_invariants`]): a path has a pending job iff
+    /// it has a non-empty waiter list.
+    pub pending_jobs: HashMap<String, PendingJob>,
+    /// Monotonic per-dispatch token source (see [`HelperJob::token`]).
+    next_job_token: u64,
+    pub cfg: ProtoConfig,
+    pub stats: Arc<ShardStats>,
+    /// Whether this shard has entered drain: accepting has stopped,
+    /// keep-alive connections close after their final response.
+    pub draining: bool,
+    /// Reload epoch, bumped on every SIGHUP docroot swap. Helper jobs
+    /// carry the epoch they were dispatched under; a completion from a
+    /// previous epoch still serves its waiters (their request predates
+    /// the reload) but is never inserted into the post-reload cache.
+    pub epoch: u64,
+}
+
+impl ShardCore {
+    /// A fresh shard core with a `cache_bytes`-bounded content cache.
+    pub fn new(shard: usize, cache_bytes: u64, cfg: ProtoConfig, stats: Arc<ShardStats>) -> Self {
+        ShardCore {
+            shard,
+            cache: ContentCache::new(cache_bytes),
+            cache_capacity: cache_bytes,
+            waiters: HashMap::new(),
+            pending_jobs: HashMap::new(),
+            next_job_token: 1,
+            cfg,
+            stats,
+            draining: false,
+            epoch: 0,
+        }
+    }
+
+    /// Applies a docroot reload: the root swaps (when given), the
+    /// content cache is replaced wholesale (same budget — pre-reload
+    /// bytes must not be served under the new root), and the epoch
+    /// advances so a completion from a job dispatched before the swap
+    /// serves its parked waiters but is never inserted into the fresh
+    /// cache. In-flight connections are untouched.
+    pub fn apply_reload(&mut self, docroot: Option<PathBuf>, generation: u64) {
+        if let Some(root) = docroot {
+            self.cfg.docroot = root;
+        }
+        self.cache = ContentCache::new(self.cache_capacity);
+        self.stats.cache_used_bytes.store(0, Ordering::Relaxed);
+        self.epoch = generation;
+    }
+
+    /// Flips the shard into drain mode (bookkeeping only; the driver
+    /// quiesces its listener and sweeps idle connections itself).
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+        self.stats.draining.store(1, Ordering::Relaxed);
+    }
+
+    /// Runs one connection's state machine as far as it will go
+    /// without blocking — reads drained to `WouldBlock`, writes until
+    /// backpressure — and reports why it stopped. `now` is the
+    /// driver's clock (cache-TTL decisions happen here).
+    pub fn drive_conn<Io: ConnIo>(
+        &mut self,
+        idx: usize,
+        conns: &mut [Option<Conn<Io>>],
+        port: &mut dyn HelperPort,
+        now: Instant,
+    ) -> Drive {
+        loop {
+            let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+                return Drive::Closed;
+            };
+            match conn.state {
+                ConnState::Reading => {
+                    // Serve any request already buffered (keep-alive
+                    // pipelining) before asking the transport for more.
+                    match conn.parser.feed(&[]) {
+                        ParseStatus::Done(req) => {
+                            self.handle_request(idx, conn, req, port, now);
+                            if matches!(conn.state, ConnState::Waiting) {
+                                return Drive::Blocked;
+                            }
+                            continue;
+                        }
+                        ParseStatus::Error(_) => {
+                            let body = Bytes::from(error_body(Status::BadRequest));
+                            queue_error(conn, Status::BadRequest, body);
+                            conn.state = ConnState::Writing;
+                            continue;
+                        }
+                        ParseStatus::Incomplete => {}
+                    }
+                    let mut buf = [0u8; 4096];
+                    match conn.io.read(&mut buf) {
+                        Ok(0) => {
+                            conns[idx] = None;
+                            return Drive::Closed;
+                        }
+                        Ok(n) => match conn.parser.feed(&buf[..n]) {
+                            ParseStatus::Done(req) => {
+                                self.handle_request(idx, conn, req, port, now);
+                                if matches!(conn.state, ConnState::Waiting) {
+                                    return Drive::Blocked;
+                                }
+                            }
+                            ParseStatus::Incomplete => {}
+                            ParseStatus::Error(_) => {
+                                let body = Bytes::from(error_body(Status::BadRequest));
+                                queue_error(conn, Status::BadRequest, body);
+                                conn.state = ConnState::Writing;
+                            }
+                        },
+                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            return Drive::Blocked
+                        }
+                        Err(_) => {
+                            conns[idx] = None;
+                            return Drive::Closed;
+                        }
+                    }
+                }
+                ConnState::Writing => match flush_out(conn, &self.stats) {
+                    FlushResult::Flushed => {
+                        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                        // Under drain a keep-alive connection closes
+                        // after its final response — unless pipelined
+                        // request bytes are already buffered, which are
+                        // honoured before the close (the loop continues
+                        // Reading and serves them without touching the
+                        // transport).
+                        if conn.keep_alive && !(self.draining && conn.parser.buffered() == 0) {
+                            conn.state = ConnState::Reading;
+                        } else {
+                            if self.draining {
+                                self.stats.drained_conns.fetch_add(1, Ordering::Relaxed);
+                            }
+                            conns[idx] = None;
+                            return Drive::Closed;
+                        }
+                    }
+                    FlushResult::WouldBlock => return Drive::Blocked,
+                    FlushResult::Yielded => return Drive::Yielded,
+                    FlushResult::Error => {
+                        conns[idx] = None;
+                        return Drive::Closed;
+                    }
+                },
+                ConnState::Waiting => return Drive::Blocked,
+            }
+        }
+    }
+
+    fn handle_request<Io: ConnIo>(
+        &mut self,
+        idx: usize,
+        conn: &mut Conn<Io>,
+        req: Request,
+        port: &mut dyn HelperPort,
+        now: Instant,
+    ) {
+        conn.keep_alive = req.keep_alive();
+        conn.head_only = req.method == Method::Head;
+        // Parsed once here; an unparseable date simply makes the
+        // request unconditional. Carried on the connection because the
+        // response may be rendered by a helper completion after `req`
+        // is dropped.
+        conn.if_modified_since = req
+            .if_modified_since
+            .as_deref()
+            .and_then(flash_http::date::parse_imf);
+        if req.method == Method::Post {
+            let body = Bytes::from(error_body(Status::NotImplemented));
+            queue_error(conn, Status::NotImplemented, body);
+            conn.state = ConnState::Writing;
+            return;
+        }
+        let mut path = req.path.clone();
+        if path.ends_with('/') {
+            path.push_str("index.html");
+        }
+        let kind = match self
+            .cache
+            .lookup_at(&path, self.cfg.cache_revalidate_ttl, now)
+        {
+            Lookup::Hit(entry) => {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                if entry.not_modified_since(conn.if_modified_since) {
+                    queue_not_modified(conn, entry.mtime, &self.stats);
+                } else {
+                    queue_entry(conn, &entry);
+                }
+                conn.state = ConnState::Writing;
+                return;
+            }
+            // Resident but past the revalidation TTL: the bytes cannot
+            // be trusted until a helper re-stats the file — a cheap
+            // open+fstat, no read — so the connection parks exactly
+            // like a miss and is served by the completion (from memory
+            // if the stat matches, from a reload if not).
+            Lookup::Stale(_) => JobKind::Revalidate,
+            // Miss: hand the disk work to a helper.
+            Lookup::Miss => JobKind::Load,
+        };
+        // Coalesce concurrent misses (and revalidations) per path. The
+        // request parser has already normalized away any `..`, so
+        // joining the relative remainder cannot escape the docroot.
+        self.waiters.entry(path.clone()).or_default().push(idx);
+        self.dispatch_job(path, kind, port);
+        conn.state = ConnState::Waiting;
+    }
+
+    /// Dispatches one job per path: coalesced behind the pending map,
+    /// tokened so only this dispatch's completion is accepted, and
+    /// carrying a fresh cancellation flag.
+    fn dispatch_job(&mut self, path: String, kind: JobKind, port: &mut dyn HelperPort) {
+        if self.pending_jobs.contains_key(&path) {
+            return;
+        }
+        let token = self.next_job_token;
+        self.next_job_token += 1;
+        let cancel = Arc::new(AtomicBool::new(false));
+        self.pending_jobs.insert(
+            path.clone(),
+            PendingJob {
+                token,
+                cancel: Arc::clone(&cancel),
+            },
+        );
+        self.stats.helper_jobs.fetch_add(1, Ordering::Relaxed);
+        let fs_path = self.cfg.docroot.join(path.trim_start_matches('/'));
+        port.submit(HelperJob {
+            path,
+            fs_path,
+            kind,
+            epoch: self.epoch,
+            token,
+            cancel,
+        });
+    }
+
+    /// Removes a dropped connection's index from every waiter list —
+    /// so a helper completion can never be delivered to a recycled
+    /// slot — and **cancels the job** of any path whose waiter list
+    /// emptied: the pending entry is dropped (a completion that
+    /// already ran dies on token mismatch in [`Self::complete_job`])
+    /// and the cancel flag is raised (an executor that has not started
+    /// yet skips the job entirely).
+    pub fn purge_waiter(&mut self, idx: usize) {
+        let mut orphaned: Vec<String> = Vec::new();
+        self.waiters.retain(|path, list| {
+            list.retain(|&w| w != idx);
+            if list.is_empty() {
+                orphaned.push(path.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for path in orphaned {
+            if let Some(job) = self.pending_jobs.remove(&path) {
+                job.cancel.store(true, Ordering::Release);
+                self.stats.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Renders a helper completion into every waiter's output queue,
+    /// flipping them to `Writing` and appending their indices to
+    /// `completed` for the driver to drive. A completion whose token
+    /// does not match the path's pending dispatch — the job was
+    /// cancelled after a waiter reap, or superseded — is dropped
+    /// wholesale: no cache insert, no waiter wake.
+    pub fn complete_job<Io: ConnIo>(
+        &mut self,
+        done: Done<Io::FileRef>,
+        conns: &mut [Option<Conn<Io>>],
+        completed: &mut Vec<usize>,
+        port: &mut dyn HelperPort,
+        now: Instant,
+    ) {
+        match self.pending_jobs.get(&done.path) {
+            Some(p) if p.token == done.token => {
+                self.pending_jobs.remove(&done.path);
+            }
+            _ => return,
+        }
+        let result = match done.data {
+            DoneData::Stat(stat) => {
+                return self.complete_revalidation(done.path, stat, conns, completed, port, now);
+            }
+            DoneData::Loaded(result) => result,
+        };
+        let completion = match result {
+            Ok(FileData::Bytes { body, mtime }) => {
+                let entry = Entry::build_with_mtime(&done.path, body, mtime);
+                // Oversized-for-this-cache entries are refused by the
+                // admission check; the waiters below are still served
+                // from the entry directly. A completion from before a
+                // SIGHUP reload (stale epoch) also serves its waiters —
+                // their requests predate the reload — but is NOT
+                // inserted: pre-reload bytes must not poison the
+                // post-reload cache.
+                if done.epoch == self.epoch {
+                    self.cache
+                        .insert_at(done.path.clone(), Arc::clone(&entry), now);
+                    self.stats
+                        .cache_used_bytes
+                        .store(self.cache.used_bytes(), Ordering::Relaxed);
+                }
+                Completion::Small(entry)
+            }
+            Ok(FileData::Fd { file, len, mtime }) => {
+                let (header_keep, header_close) = crate::cache::header_pair(&done.path, len, mtime);
+                Completion::Large {
+                    file,
+                    len,
+                    mtime,
+                    header_keep,
+                    header_close,
+                }
+            }
+            Err(e) => {
+                let status = match e.kind() {
+                    io::ErrorKind::NotFound => Status::NotFound,
+                    io::ErrorKind::PermissionDenied => Status::Forbidden,
+                    _ => Status::InternalError,
+                };
+                Completion::Fail(status, Bytes::from(error_body(status)))
+            }
+        };
+        self.deliver_completion(&completion, &done.path, conns, completed);
+    }
+
+    /// Handles a revalidation re-stat completion: if the cached entry
+    /// still matches the file's (length, mtime), its TTL clock
+    /// restarts and the waiters are served straight from memory;
+    /// otherwise the stale entry is evicted and a full load is
+    /// requeued — the waiters stay parked and the `Load` completion
+    /// serves them the fresh bytes (or the error the reload produces).
+    fn complete_revalidation<Io: ConnIo>(
+        &mut self,
+        path: String,
+        stat: io::Result<(u64, Option<i64>)>,
+        conns: &mut [Option<Conn<Io>>],
+        completed: &mut Vec<usize>,
+        port: &mut dyn HelperPort,
+        now: Instant,
+    ) {
+        if let (Some(entry), Ok((len, mtime))) = (self.cache.peek(&path), &stat) {
+            if entry.mtime == *mtime && entry.body.len() as u64 == *len {
+                self.cache.refresh_at(&path, now);
+                self.stats.revalidations.fetch_add(1, Ordering::Relaxed);
+                self.deliver_completion(&Completion::Small(entry), &path, conns, completed);
+                return;
+            }
+        }
+        // Changed, vanished, or evicted in the meantime: the resident
+        // bytes can no longer be trusted.
+        if self.cache.invalidate(&path) {
+            self.stats.stale_evicted.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .cache_used_bytes
+                .store(self.cache.used_bytes(), Ordering::Relaxed);
+        }
+        self.dispatch_job(path, JobKind::Load, port);
+    }
+
+    /// Renders a completion into every waiter's output queue, flipping
+    /// them to `Writing` and appending their indices to `completed`
+    /// for the driver to drive.
+    fn deliver_completion<Io: ConnIo>(
+        &mut self,
+        completion: &Completion<Io::FileRef>,
+        path: &str,
+        conns: &mut [Option<Conn<Io>>],
+        completed: &mut Vec<usize>,
+    ) {
+        for idx in self.waiters.remove(path).unwrap_or_default() {
+            let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+                continue;
+            };
+            match &completion {
+                Completion::Small(entry) => {
+                    if entry.not_modified_since(conn.if_modified_since) {
+                        queue_not_modified(conn, entry.mtime, &self.stats);
+                    } else {
+                        queue_entry(conn, entry);
+                    }
+                }
+                Completion::Large {
+                    file,
+                    len,
+                    mtime,
+                    header_keep,
+                    header_close,
+                } => {
+                    if crate::cache::not_modified_since(*mtime, conn.if_modified_since) {
+                        queue_not_modified(conn, *mtime, &self.stats);
+                    } else {
+                        queue_sendfile(conn, file, *len, header_keep, header_close);
+                    }
+                }
+                Completion::Fail(status, body) => queue_error(conn, *status, body.clone()),
+            }
+            conn.state = ConnState::Writing;
+            completed.push(idx);
+        }
+    }
+
+    /// Verifies the shard's structural invariants against its
+    /// connection table and timing wheel — the deterministic sim calls
+    /// this after (samples of) every step; tests call it constantly.
+    /// `token_of` maps a slot index to its wheel key.
+    ///
+    /// Checked: every waiter index refers to a live `Waiting`
+    /// connection and appears on exactly one list; a path has a
+    /// pending job iff it has (non-empty) waiters; every `Waiting`
+    /// connection is on some waiter list; a connection carries a
+    /// deadline class iff its wheel key is armed.
+    pub fn check_invariants<Io: ConnIo>(
+        &self,
+        conns: &[Option<Conn<Io>>],
+        wheel: &TimerWheel,
+        token_of: impl Fn(usize) -> u64,
+    ) -> Result<(), String> {
+        let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for (path, list) in &self.waiters {
+            if list.is_empty() {
+                return Err(format!("empty waiter list left behind for {path}"));
+            }
+            if !self.pending_jobs.contains_key(path) {
+                return Err(format!("waiters parked on {path} with no pending job"));
+            }
+            for &idx in list {
+                if !seen.insert(idx) {
+                    return Err(format!("conn {idx} appears on two waiter lists"));
+                }
+                match conns.get(idx).and_then(|c| c.as_ref()) {
+                    Some(c) if matches!(c.state, ConnState::Waiting) => {}
+                    Some(_) => {
+                        return Err(format!("waiter {idx} on {path} is not in Waiting state"))
+                    }
+                    None => return Err(format!("waiter {idx} on {path} is an empty slot")),
+                }
+            }
+        }
+        for path in self.pending_jobs.keys() {
+            if !self.waiters.contains_key(path) {
+                return Err(format!(
+                    "pending job for {path} with no waiters (leak: nobody can consume it)"
+                ));
+            }
+        }
+        for (idx, slot) in conns.iter().enumerate() {
+            let Some(conn) = slot else { continue };
+            let armed = wheel.is_armed(token_of(idx));
+            let class = conn.deadline != DeadlineKind::None;
+            if class != armed {
+                return Err(format!(
+                    "conn {idx}: deadline class {:?} but wheel armed={armed}",
+                    conn.deadline
+                ));
+            }
+            if matches!(conn.state, ConnState::Waiting) && !seen.contains(&idx) {
+                return Err(format!(
+                    "conn {idx} is Waiting but on no waiter list (permanently parked)"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A finished helper job, rendered into whatever each waiting
+/// connection needs queued.
+enum Completion<F> {
+    /// Small body: a cached (or at least cacheable) in-memory entry.
+    Small(Arc<Entry>),
+    /// Large body: a shared file handle for the sendfile path, with
+    /// both header forms pre-rendered once for the whole waiter list.
+    Large {
+        file: F,
+        len: u64,
+        mtime: Option<i64>,
+        header_keep: Bytes,
+        header_close: Bytes,
+    },
+    Fail(Status, Bytes),
+}
+
+pub(crate) fn queue_entry<Io: ConnIo>(conn: &mut Conn<Io>, entry: &Arc<Entry>) {
+    // The header goes out as slices around a current Date segment (a
+    // cached entry may be hours old; its baked-in date is not the
+    // response's date) — still one writev, just more iovecs.
+    entry.push_header(conn.keep_alive, &mut conn.out);
+    if !conn.head_only {
+        conn.out.push_back(entry.body.clone());
+    }
+}
+
+/// Queues a bodyless `304 Not Modified` answering a conditional
+/// request whose validator is still current. 304s are rare enough
+/// that the header is rendered on demand rather than cached.
+pub(crate) fn queue_not_modified<Io: ConnIo>(
+    conn: &mut Conn<Io>,
+    mtime: Option<i64>,
+    stats: &ShardStats,
+) {
+    let hdr = ResponseHeader::not_modified(conn.keep_alive, mtime);
+    conn.out.push_back(Bytes::from(hdr.as_bytes().to_vec()));
+    stats.not_modified.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Queues a large-body response: the pre-rendered header goes through
+/// the ordinary `writev` queue; the body rides as a [`SendFileState`]
+/// transmitted after the queue drains. HEAD gets the header (with the
+/// true `Content-Length`) and no file state at all.
+pub(crate) fn queue_sendfile<Io: ConnIo>(
+    conn: &mut Conn<Io>,
+    file: &Io::FileRef,
+    len: u64,
+    keep: &Bytes,
+    close: &Bytes,
+) {
+    let hdr = if conn.keep_alive { keep } else { close };
+    conn.out.push_back(hdr.clone());
+    if !conn.head_only {
+        conn.sendfile = Some(SendFileState {
+            file: file.clone(),
+            offset: 0,
+            remaining: len,
+        });
+    }
+}
+
+pub(crate) fn queue_error<Io: ConnIo>(conn: &mut Conn<Io>, status: Status, body: Bytes) {
+    let hdr = ResponseHeader::build(status, "text/html", body.len() as u64, false, true);
+    conn.out.push_back(Bytes::from(hdr.as_bytes().to_vec()));
+    if !conn.head_only {
+        conn.out.push_back(body);
+    }
+    conn.keep_alive = false;
+}

@@ -88,6 +88,75 @@
 //! predates multicore; per-core loops are how its single-loop design
 //! scales while keeping every invariant intact *within* a shard.
 //!
+//! # Architecture: one protocol core, two drivers
+//!
+//! The AMPED server is layered **sans-IO**: everything the paper is
+//! *about* — request parsing, the cache/helper handoff, completion
+//! routing, deadlines, drain — lives in a protocol core that performs
+//! no syscalls, reads no clocks, and names no file descriptors. The
+//! core is driven through three narrow seams, and everything
+//! platform-shaped plugs in underneath:
+//!
+//! ```text
+//!              ┌────────────────────────────────────────────────┐
+//!              │            protocol core   [`conn`]            │
+//!              │  Conn<Io> state machine · ShardCore: cache,    │
+//!              │  waiter lists, job tokens, completion routing, │
+//!              │  deadline policy, drain · check_invariants()   │
+//!              └───────┬──────────────┬──────────────┬──────────┘
+//!        seams:     ConnIo        HelperPort      Wheel + `now`
+//!              (read/writev/   (submit job;     (every Instant is
+//!               sendfile on     completions      a parameter; the
+//!               Io::FileRef)    come back as     core never reads
+//!                               plain values)    a clock)
+//!              ┌───────┴──────────────┴──────────────┴──────────┐
+//!   driver #1  │  real shards  [`server`] — sockets, a helper   │
+//!              │  pool, socketpair wakeups, readiness via       │
+//!              │  [`event`]: epoll (Linux) or poll fallback     │
+//!              ├────────────────────────────────────────────────┤
+//!   driver #2  │  deterministic sim  [`sim`] — scripted         │
+//!              │  endpoints, an event calendar + seeded RNG     │
+//!              │  (`flash-simcore`), simulated time, injected   │
+//!              │  faults, invariants checked every event        │
+//!              └────────────────────────────────────────────────┘
+//! ```
+//!
+//! Driver #1 is the production server described above; its loop only
+//! moves bytes and readiness, so every behavior worth testing lives
+//! below the seams. Driver #2 replays millions of connections in
+//! seconds of wall time: same-seed runs are **bit-identical** (the
+//! report's fingerprint folds every response byte), and the fault mix
+//! — partial writes, trickled headers, disk stalls, wedged helpers,
+//! EMFILE storms, mid-run reloads — runs against the *same* core the
+//! real sockets drive. `cargo run --release --example sim_replay`
+//! is the CI entry point; `crates/net/tests/conn_machine.rs` uses the
+//! same seams to prove byte-boundary independence exhaustively.
+//!
+//! ## How to add a fault to the sim
+//!
+//! Faults are driver-side behaviors, never core changes — the core
+//! must already survive them, that's the point:
+//!
+//! 1. **Add a knob** to [`sim::FaultPlan`] (a probability or
+//!    magnitude), defaulted into `FaultPlan::heavy()` so the CI replay
+//!    exercises it.
+//! 2. **Express it at a seam.** Transport faults live in the sim's
+//!    `ConnIo` (shrink the write window for partial writes, delay or
+//!    fragment inbox refills for slow clients); helper faults live in
+//!    job dispatch (stretch the completion delay for disk stalls or
+//!    wedges, drop the completion after reaping for cancellations);
+//!    resource faults live in admission (refuse an accept for EMFILE).
+//! 3. **Consume randomness deterministically**: draw from the single
+//!    `SimRng` only inside event handlers (never during iteration over
+//!    a hash map), and schedule effects through the event calendar so
+//!    a seed fully determines the interleaving.
+//! 4. **Assert the consequence**, not just survival: add a counter to
+//!    the report if the fault has an observable outcome, and extend
+//!    the in-file tests so a fault that stops firing fails loudly.
+//!    `ShardCore::check_invariants` runs between events either way —
+//!    leaked slots, stale-epoch cache inserts, or orphaned deadlines
+//!    from the new fault fail the replay without further wiring.
+//!
 //! # Lifecycle: drain, signals, and generation handoff
 //!
 //! A production server's restarts and deploys must be non-events. The
@@ -148,6 +217,7 @@
 //! ```
 
 pub mod cache;
+pub mod conn;
 pub mod event;
 pub mod handoff;
 pub mod lifecycle;
@@ -156,6 +226,7 @@ pub mod poll;
 pub mod report;
 pub mod sendfile;
 pub mod server;
+pub mod sim;
 pub mod sock;
 pub mod timer;
 pub mod writev;

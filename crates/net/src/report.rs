@@ -39,6 +39,24 @@ pub struct Scenario {
     /// Connections per second, where the scenario churns connections
     /// (`None` for keep-alive workloads).
     pub conns_per_sec: Option<f64>,
+    /// Response bytes per second, where the harness counted bytes.
+    pub bytes_per_sec: Option<f64>,
+    /// Median request (or connection) latency in milliseconds, where
+    /// the harness sampled latencies.
+    pub p50_ms: Option<f64>,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: Option<f64>,
+}
+
+/// The `q`-quantile (0.0–1.0) of an **already sorted** sample, by the
+/// nearest-rank method every harness shares. Empty samples yield
+/// `None` rather than a fake zero.
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    Some(sorted[idx.min(sorted.len() - 1)])
 }
 
 /// Accumulates scenarios and writes them as one JSON document.
@@ -55,17 +73,42 @@ impl BenchReport {
     /// Records a scenario from its raw counts; rates are derived here
     /// so every caller computes them the same way.
     pub fn record(&mut self, name: &str, requests: u64, elapsed_secs: f64, conn_churn: bool) {
-        let rate = if elapsed_secs > 0.0 {
-            requests as f64 / elapsed_secs
-        } else {
-            0.0
+        self.record_full(name, requests, elapsed_secs, conn_churn, None, None, None);
+    }
+
+    /// [`BenchReport::record`] plus the optional columns: total
+    /// response bytes (→ `bytes_per_sec`) and latency percentiles in
+    /// milliseconds — harnesses with a raw sample derive those with
+    /// [`percentile`]; the sim reads them off its report. For
+    /// simulated scenarios `elapsed_secs` is simulated time, so the
+    /// derived rates are simulated-time throughput.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_full(
+        &mut self,
+        name: &str,
+        requests: u64,
+        elapsed_secs: f64,
+        conn_churn: bool,
+        bytes: Option<u64>,
+        p50_ms: Option<f64>,
+        p99_ms: Option<f64>,
+    ) {
+        let rate = |n: f64| {
+            if elapsed_secs > 0.0 {
+                n / elapsed_secs
+            } else {
+                0.0
+            }
         };
         self.scenarios.push(Scenario {
             name: name.to_string(),
             requests,
             elapsed_secs,
-            requests_per_sec: rate,
-            conns_per_sec: conn_churn.then_some(rate),
+            requests_per_sec: rate(requests as f64),
+            conns_per_sec: conn_churn.then_some(rate(requests as f64)),
+            bytes_per_sec: bytes.map(|b| rate(b as f64)),
+            p50_ms,
+            p99_ms,
         });
     }
 
@@ -132,6 +175,15 @@ fn scenario_line(s: &Scenario) -> String {
     );
     if let Some(c) = s.conns_per_sec {
         out.push_str(&format!(", \"conns_per_sec\": {c:.1}"));
+    }
+    if let Some(b) = s.bytes_per_sec {
+        out.push_str(&format!(", \"bytes_per_sec\": {b:.1}"));
+    }
+    if let Some(p) = s.p50_ms {
+        out.push_str(&format!(", \"p50_ms\": {p:.3}"));
+    }
+    if let Some(p) = s.p99_ms {
+        out.push_str(&format!(", \"p99_ms\": {p:.3}"));
     }
     out.push('}');
     out
@@ -220,6 +272,46 @@ mod tests {
         // Balanced braces/brackets — a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn record_full_derives_percentiles_and_byte_rate() {
+        let mut r = BenchReport::new();
+        let mut lat = [5.0, 1.0, 3.0, 2.0, 4.0];
+        lat.sort_by(f64::total_cmp);
+        let (p50, p99) = (percentile(&lat, 0.50), percentile(&lat, 0.99));
+        r.record_full(
+            "sim_zipf/seed41",
+            1000,
+            2.0,
+            true,
+            Some(1_000_000),
+            p50,
+            p99,
+        );
+        let s = &r.scenarios()[0];
+        assert_eq!(s.bytes_per_sec, Some(500_000.0));
+        assert_eq!(s.p50_ms, Some(3.0));
+        assert_eq!(s.p99_ms, Some(5.0));
+        let json = r.to_json();
+        assert!(json.contains("\"bytes_per_sec\": 500000.0"));
+        assert!(json.contains("\"p50_ms\": 3.000"));
+        assert!(json.contains("\"p99_ms\": 5.000"));
+        // Plain record() still omits every optional column.
+        let mut plain = BenchReport::new();
+        plain.record("accept_churn/single", 10, 1.0, false);
+        let line = plain.to_json();
+        assert!(!line.contains("bytes_per_sec"));
+        assert!(!line.contains("p50_ms"));
+    }
+
+    #[test]
+    fn percentile_handles_edges() {
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[7.0], 0.99), Some(7.0));
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 1.0), Some(4.0));
     }
 
     #[test]

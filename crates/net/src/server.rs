@@ -77,7 +77,7 @@
 //! simply runs N times, the way per-core executor designs scale a
 //! uniprocessor event loop.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -89,19 +89,48 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use flash_http::request::{ParseStatus, Request};
-use flash_http::response::{error_body, ResponseHeader, Status};
-use flash_http::Method;
 
-use crate::cache::{ContentCache, Entry, Lookup};
+use crate::conn::machine::{sync_deadline, Conn};
+use crate::conn::{
+    ConnIo, ConnState, Done, DoneData, Drive, FileData, HelperJob, HelperPort, JobKind,
+    ProtoConfig, ShardCore,
+};
 use crate::event::{new_backend, BackendChoice, BackendKind, Event, EventBackend, Interest};
 use crate::lifecycle::{LifecycleShared, PHASE_DRAINING, PHASE_STOPPING};
 use crate::sendfile::send_file;
 use crate::sock::{self, AcceptMode, AcceptModeKind};
 use crate::timer::{tick_for, TimerWheel};
-use crate::writev::{writev_fd, MAX_IOV};
+use crate::writev::writev_fd;
+
+pub use crate::conn::{DeadlineKind, ShardStats};
+
+/// A connection over the real transport: the sans-IO state machine
+/// ([`crate::conn::machine::Conn`]) bound to a nonblocking socket.
+type NetConn = Conn<SockIo>;
+
+/// The real transport behind [`ConnIo`]: a nonblocking `TcpStream`,
+/// with gathered writes via `writev(2)` and large bodies via
+/// `sendfile(2)` against shared `Arc<File>` handles.
+pub(crate) struct SockIo {
+    pub(crate) stream: TcpStream,
+}
+
+impl ConnIo for SockIo {
+    type FileRef = Arc<File>;
+
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.stream.read(buf)
+    }
+
+    fn writev(&mut self, bufs: &[&[u8]]) -> io::Result<usize> {
+        writev_fd(self.stream.as_raw_fd(), bufs)
+    }
+
+    fn sendfile(&mut self, file: &Arc<File>, offset: &mut u64, max: u64) -> io::Result<usize> {
+        send_file(self.stream.as_raw_fd(), file, offset, max)
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -288,69 +317,6 @@ pub fn default_event_loops() -> usize {
         .min(8)
 }
 
-/// Live counters for one event-loop shard.
-#[derive(Debug, Default)]
-pub struct ShardStats {
-    /// Completed responses (any status).
-    pub requests: AtomicU64,
-    /// Connections dealt to this shard by the acceptor.
-    pub accepted: AtomicU64,
-    /// Jobs this shard dispatched to the helper pool (content-cache
-    /// misses, after coalescing).
-    pub helper_jobs: AtomicU64,
-    /// Responses served from this shard's content cache.
-    pub cache_hits: AtomicU64,
-    /// Gathered `writev(2)` calls issued on the send path.
-    pub writev_calls: AtomicU64,
-    /// `sendfile(2)` calls issued on the large-body path.
-    pub sendfile_calls: AtomicU64,
-    /// Body bytes transmitted via `sendfile(2)` (page cache → socket,
-    /// never through userspace).
-    pub bytes_sendfile: AtomicU64,
-    /// Gauge: bytes currently resident in this shard's content cache
-    /// (refreshed after every insert).
-    pub cache_used_bytes: AtomicU64,
-    /// Readiness `wait` calls this shard has issued.
-    pub wait_calls: AtomicU64,
-    /// Readiness events those waits returned (the ratio
-    /// `wait_events / wait_calls` is the batching gauge exposed as
-    /// [`ServerStats::events_per_wait`]).
-    pub wait_events: AtomicU64,
-    /// Keep-alive connections closed by the idle deadline (no request
-    /// in flight).
-    pub idle_reaped: AtomicU64,
-    /// Connections closed by the header-read deadline (slow or silent
-    /// request senders).
-    pub read_timeouts: AtomicU64,
-    /// Connections closed by the write-progress deadline (peers that
-    /// stopped draining a response).
-    pub write_stall_timeouts: AtomicU64,
-    /// `304 Not Modified` responses served to conditional requests.
-    pub not_modified: AtomicU64,
-    /// Times this shard's reuseport listener was throttled by fd
-    /// exhaustion (`EMFILE`/`ENFILE`) or another accept failure — read
-    /// interest dropped, re-armed once a connection slot frees.
-    pub accept_backpressure: AtomicU64,
-    /// Cache hits past the revalidation TTL whose re-stat confirmed
-    /// the entry still matches the file (served, TTL clock restarted).
-    pub revalidations: AtomicU64,
-    /// Cache entries evicted because a revalidation re-stat saw a
-    /// different mtime or size (the file changed or vanished) — the
-    /// stale bytes were dropped instead of served.
-    pub stale_evicted: AtomicU64,
-    /// `Waiting` connections closed by the helper-completion deadline
-    /// ([`NetConfig::helper_wait_timeout`]) — their helper or disk
-    /// wedged; the late completion, if it ever arrives, is discarded.
-    pub helper_wait_timeouts: AtomicU64,
-    /// Gauge: 1 while this shard is in drain mode (listener quiesced,
-    /// serving out existing connections), 0 otherwise.
-    pub draining: AtomicU64,
-    /// Connections retired *by the drain*: idle keep-alive
-    /// connections closed at drain entry plus keep-alive connections
-    /// closed after their final response went out whole.
-    pub drained_conns: AtomicU64,
-}
-
 /// Counters for a running server: per-shard atomics, aggregated on
 /// read so the hot path never contends on a shared cacheline.
 #[derive(Debug)]
@@ -472,6 +438,15 @@ impl ServerStats {
         self.sum(|s| &s.helper_wait_timeouts)
     }
 
+    /// Helper jobs cancelled because their last waiter was reaped
+    /// before the completion landed, across shards: the job is skipped
+    /// if still queued, and a completion that already ran is dropped
+    /// by its stale token — neither populates the cache nor wakes a
+    /// reused slot.
+    pub fn jobs_cancelled(&self) -> u64 {
+        self.sum(|s| &s.jobs_cancelled)
+    }
+
     /// Gauge: how many shards are currently in drain mode.
     pub fn draining_shards(&self) -> u64 {
         self.sum(|s| &s.draining)
@@ -578,26 +553,30 @@ impl WakeHandle {
     }
 }
 
-/// What a helper does for a job: read the file, or merely re-stat it.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum JobKind {
-    /// Open and read (or open-for-`sendfile`) — a cache miss.
-    Load,
-    /// Open and `fstat` only — a cache hit past its revalidation TTL;
-    /// the shard compares the result against the cached entry.
-    Revalidate,
-}
-
+/// One queued unit of helper work: the protocol core's [`HelperJob`]
+/// plus the driver-side routing tag — which shard's done queue the
+/// completion goes back to.
 struct Job {
-    path: String,
-    fs_path: PathBuf,
     /// Which shard's done queue the completion routes back to.
     shard: usize,
-    kind: JobKind,
-    /// The dispatching shard's reload epoch; echoed back on the
-    /// [`Done`] so a completion that raced a SIGHUP reload can be
-    /// served to its waiters without poisoning the fresh cache.
-    epoch: u64,
+    job: HelperJob,
+}
+
+/// The real [`HelperPort`]: wraps each submitted job with its shard's
+/// routing tag and pushes it into that shard's lane of the shared
+/// [`JobQueue`].
+struct PoolPort {
+    jobs: Arc<JobQueue>,
+    shard: usize,
+}
+
+impl HelperPort for PoolPort {
+    fn submit(&mut self, job: HelperJob) {
+        self.jobs.push(Job {
+            shard: self.shard,
+            job,
+        });
+    }
 }
 
 /// The shared helper-pool queue: one FIFO lane per shard, popped
@@ -682,110 +661,6 @@ fn pop_round_robin(lanes: &mut JobLanes) -> Option<Job> {
         }
     }
     None
-}
-
-/// What a helper hands back for a readable file: either the bytes
-/// themselves (small file, destined for the content cache) or an open
-/// descriptor plus its stat'ed length (large file, destined for the
-/// `sendfile` path — the shard never sees the body at all). Both carry
-/// the fstat'ed mtime so responses advertise `Last-Modified` and
-/// conditional requests can be answered `304`.
-enum FileData {
-    Bytes {
-        body: Vec<u8>,
-        mtime: Option<i64>,
-    },
-    Fd {
-        file: Arc<File>,
-        len: u64,
-        mtime: Option<i64>,
-    },
-}
-
-/// A helper completion's payload, matching the job's [`JobKind`].
-enum DoneData {
-    /// `JobKind::Load`: the file's contents (or open fd), ready to
-    /// render and cache.
-    Loaded(io::Result<FileData>),
-    /// `JobKind::Revalidate`: the file's current (length, mtime) from
-    /// a bare open+`fstat` — no bytes read.
-    Stat(io::Result<(u64, Option<i64>)>),
-}
-
-struct Done {
-    path: String,
-    data: DoneData,
-    /// Echo of [`Job::epoch`] — see there.
-    epoch: u64,
-}
-
-enum ConnState {
-    Reading,
-    Waiting,
-    Writing,
-}
-
-/// Large-body transmission state: everything `sendfile(2)` needs to
-/// resume after a partial send, tracked per connection alongside
-/// `out`/`out_off`. The `File` is shared (`Arc`) among every
-/// connection currently streaming the same body — explicit offsets
-/// mean the kernel never touches the shared cursor.
-struct SendFileState {
-    file: Arc<File>,
-    offset: u64,
-    remaining: u64,
-}
-
-/// Which deadline class is currently armed in the shard's timing
-/// wheel for a connection — also the expiry's *cause*, mapped to the
-/// matching [`ShardStats`] counter when it fires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DeadlineKind {
-    /// No deadline armed (the state's class is disabled in
-    /// [`NetConfig`]).
-    None,
-    /// Keep-alive idle: between requests, nothing buffered.
-    Idle,
-    /// Header read: a request has started but not completed.
-    Header,
-    /// Write progress: a response is in flight.
-    WriteStall,
-    /// Helper wait: the request is owned by a helper, and a wedged
-    /// helper or stalled disk must not pin the fd and slot forever.
-    HelperWait,
-}
-
-struct Conn {
-    stream: TcpStream,
-    parser: flash_http::RequestParser,
-    state: ConnState,
-    /// Response segments pending transmission (header, body, ...) —
-    /// drained with gathered writes, never copied into one buffer.
-    out: VecDeque<Bytes>,
-    /// Bytes of `out.front()` already transmitted.
-    out_off: usize,
-    /// Large body pending transmission via `sendfile(2)`, sent after
-    /// `out` drains (the header always precedes the file bytes).
-    sendfile: Option<SendFileState>,
-    keep_alive: bool,
-    head_only: bool,
-    /// The in-flight request's `If-Modified-Since`, parsed to unix
-    /// seconds — carried here because the response may be rendered by
-    /// a helper completion long after the `Request` is gone.
-    if_modified_since: Option<i64>,
-    /// Interest currently armed in the shard's event backend; the loop
-    /// reconciles this against the state machine after every drive.
-    interest: Interest,
-    /// Deadline class currently armed in the shard's timing wheel;
-    /// reconciled alongside interest after every drive.
-    deadline: DeadlineKind,
-    /// Value of `progress` when the write-stall deadline was last
-    /// armed: any advance re-arms it (forward progress resets the
-    /// clock; a full stall does not).
-    deadline_progress: u64,
-    /// Cumulative response bytes transmitted (writev + sendfile) — the
-    /// write-progress deadline's odometer.
-    progress: u64,
 }
 
 /// Token for the shard's wake pipe (never a valid connection token:
@@ -948,7 +823,7 @@ impl Server {
             } else {
                 None
             };
-            let (done_tx, done_rx) = unbounded::<Done>();
+            let (done_tx, done_rx) = unbounded::<Done<Arc<File>>>();
             let (wake_tx, wake_rx) = UnixStream::pair()?;
             wake_rx.set_nonblocking(true)?;
             let wake = WakeHandle::new(wake_tx);
@@ -1003,18 +878,27 @@ impl Server {
                         break 'setup Err(e);
                     }
                 }
+                let proto = ProtoConfig {
+                    docroot: cfg.docroot.clone(),
+                    idle_timeout: cfg.idle_timeout,
+                    header_read_timeout: cfg.header_read_timeout,
+                    write_stall_timeout: cfg.write_stall_timeout,
+                    helper_wait_timeout: cfg.helper_wait_timeout,
+                    cache_revalidate_ttl: cfg.cache_revalidate_ttl,
+                };
                 let ctx = ShardCtx {
-                    shard: shard_id,
-                    cache: ContentCache::new(shard_cache_bytes),
-                    cache_capacity: shard_cache_bytes,
-                    waiters: HashMap::new(),
-                    pending_jobs: HashSet::new(),
-                    jobs: Arc::clone(&jobs),
+                    core: ShardCore::new(
+                        shard_id,
+                        shard_cache_bytes,
+                        proto,
+                        Arc::clone(&shard_stats[shard_id]),
+                    ),
+                    port: PoolPort {
+                        jobs: Arc::clone(&jobs),
+                        shard: shard_id,
+                    },
                     cfg: cfg.clone(),
-                    stats: Arc::clone(&shard_stats[shard_id]),
                     live_conns: 0,
-                    draining: false,
-                    epoch: 0,
                 };
                 let lifecycle2 = Arc::clone(&lifecycle);
                 let spawned = std::thread::Builder::new()
@@ -1348,23 +1232,29 @@ impl AcceptSink for ShardDealer {
 /// memory.
 fn helper_main(
     jobs: Arc<JobQueue>,
-    done_txs: Vec<Sender<Done>>,
+    done_txs: Vec<Sender<Done<Arc<File>>>>,
     wakes: Vec<WakeHandle>,
     sendfile_threshold: u64,
 ) {
     // `pop` rotates over the per-shard lanes; `None` means the server
     // closed the queue at shutdown.
-    while let Some(job) = jobs.pop() {
+    while let Some(Job { shard, job }) = jobs.pop() {
+        // A job whose last waiter was reaped while it sat in the queue
+        // needs no disk work and no completion: its pending entry is
+        // already gone, so a Done would die on token mismatch anyway.
+        if job.is_cancelled() {
+            continue;
+        }
         let data = match job.kind {
             JobKind::Load => DoneData::Loaded(load_file_checked(&job.fs_path, sendfile_threshold)),
             JobKind::Revalidate => DoneData::Stat(stat_file_checked(&job.fs_path)),
         };
-        let shard = job.shard;
         if done_txs[shard]
             .send(Done {
                 path: job.path,
                 data,
                 epoch: job.epoch,
+                token: job.token,
             })
             .is_err()
         {
@@ -1382,7 +1272,7 @@ fn helper_main(
 /// out — comes from the open descriptor (`fstat` semantics). The old
 /// `fs::metadata` + `fs::read` pair raced with path swaps: the
 /// metadata could describe one inode and the read return another.
-fn load_file_checked(p: &Path, sendfile_threshold: u64) -> io::Result<FileData> {
+fn load_file_checked(p: &Path, sendfile_threshold: u64) -> io::Result<FileData<Arc<File>>> {
     let file = File::open(p)?;
     let meta = file.metadata()?; // fstat on the open fd — no second path lookup
     if !meta.is_file() {
@@ -1430,46 +1320,18 @@ pub(crate) fn unix_mtime(meta: &std::fs::Metadata) -> Option<i64> {
     Some(d.as_secs() as i64)
 }
 
-/// Everything one shard owns: its cache, its miss-coalescing state,
-/// its statistics, and its link to the helper pool.
+/// One shard's driver-side state: the transport-agnostic protocol
+/// core plus everything only this driver owns — the helper-pool port,
+/// the full (driver-level) config, and the accept gate's odometer.
 struct ShardCtx {
-    shard: usize,
-    cache: ContentCache,
-    waiters: HashMap<String, Vec<usize>>,
-    pending_jobs: HashSet<String>,
-    jobs: Arc<JobQueue>,
+    core: ShardCore,
+    port: PoolPort,
     cfg: NetConfig,
-    stats: Arc<ShardStats>,
     /// Connections currently occupying slots — the accept gate's
     /// odometer: at [`NetConfig::max_conns_per_shard`] the shard's
     /// listener interest is dropped; any close below the cap re-arms
     /// it.
     live_conns: usize,
-    /// This shard's slice of the content-cache budget, kept so a
-    /// SIGHUP reload can build a replacement cache of the same size
-    /// (the cache itself has no capacity getter).
-    cache_capacity: u64,
-    /// Whether this shard has entered drain: accepting has stopped,
-    /// keep-alive connections close after their final response, and
-    /// the loop exits once the last connection finishes.
-    draining: bool,
-    /// Reload epoch, bumped on every SIGHUP docroot swap. Helper jobs
-    /// carry the epoch they were dispatched under; a completion from a
-    /// previous epoch still serves its waiters (their request predates
-    /// the reload) but is never inserted into the post-reload cache.
-    epoch: u64,
-}
-
-/// The interest the backend should have armed for a connection in this
-/// state: read while parsing, write only while a send is in flight,
-/// nothing while a helper owns the request (completions arrive on the
-/// wake pipe, not the socket).
-fn desired_interest(state: &ConnState) -> Interest {
-    match state {
-        ConnState::Reading => Interest::READ,
-        ConnState::Writing => Interest::WRITE,
-        ConnState::Waiting => Interest::NONE,
-    }
 }
 
 /// Bounded retry cadence while a shard's listener is throttled with
@@ -1502,7 +1364,7 @@ fn shard_loop(
     mut ctx: ShardCtx,
     // `Some` only in single-acceptor mode (the dealing channel).
     conn_rx: Option<Receiver<TcpStream>>,
-    done_rx: Receiver<Done>,
+    done_rx: Receiver<Done<Arc<File>>>,
     mut wake_rx: UnixStream,
     wake: WakeHandle,
     // `Some` only in reuseport mode: this shard's own listener, owned
@@ -1515,7 +1377,7 @@ fn shard_loop(
     mut backend: Box<dyn EventBackend>,
     lifecycle: Arc<LifecycleShared>,
 ) {
-    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut conns: Vec<Option<NetConn>> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
     let mut completed: Vec<usize> = Vec::new();
     // Per-state deadlines live in a hashed timing wheel keyed by the
@@ -1543,12 +1405,12 @@ fn shard_loop(
     loop {
         match lifecycle.phase() {
             PHASE_STOPPING => {
-                if ctx.draining {
-                    ctx.stats.draining.store(0, Ordering::Relaxed);
+                if ctx.core.draining {
+                    ctx.core.stats.draining.store(0, Ordering::Relaxed);
                 }
                 return;
             }
-            PHASE_DRAINING if !ctx.draining => {
+            PHASE_DRAINING if !ctx.core.draining => {
                 drain_deadline = lifecycle.drain_deadline();
                 // The listener CLOSES here, not merely quiesces: an
                 // open reuseport socket keeps its place in the
@@ -1565,15 +1427,23 @@ fn shard_loop(
             }
             _ => {}
         }
-        if ctx.draining
+        if ctx.core.draining
             && (ctx.live_conns == 0 || drain_deadline.is_some_and(|d| Instant::now() >= d))
         {
             // Drained clean — or the deadline severs whatever is left
             // (conns drop with the loop's locals on return).
-            ctx.stats.draining.store(0, Ordering::Relaxed);
+            ctx.core.stats.draining.store(0, Ordering::Relaxed);
             return;
         }
-        apply_reload(&mut ctx, &lifecycle);
+        // Apply a published SIGHUP reload the shard has not seen yet.
+        // The swap happens between drives, so in-flight requests
+        // finish undisturbed and the next request on every connection
+        // — including open keep-alives — sees the new root.
+        let generation = lifecycle.reload_gen();
+        if generation != ctx.core.epoch {
+            ctx.core
+                .apply_reload(lifecycle.reload_docroot(), generation);
+        }
         // Sleep until the next wheel tick could expire something; with
         // nothing armed, block — new work always arrives as a wake
         // byte or a readiness event. A throttled listener with room to
@@ -1583,7 +1453,7 @@ fn shard_loop(
         let mut wait_ms = wheel.next_timeout_ms(Instant::now()).unwrap_or(-1);
         if listener.is_some()
             && !listener_armed
-            && !ctx.draining
+            && !ctx.core.draining
             && ctx.live_conns < ctx.cfg.max_conns_per_shard
             && !(0..=ACCEPT_RETRY_MS).contains(&wait_ms)
         {
@@ -1605,8 +1475,9 @@ fn shard_loop(
         if backend.wait(&mut events, wait_ms).is_err() {
             continue;
         }
-        ctx.stats.wait_calls.fetch_add(1, Ordering::Relaxed);
-        ctx.stats
+        ctx.core.stats.wait_calls.fetch_add(1, Ordering::Relaxed);
+        ctx.core
+            .stats
             .wait_events
             .fetch_add(events.len() as u64, Ordering::Relaxed);
         let mut accept_ready = false;
@@ -1626,7 +1497,13 @@ fn shard_loop(
             }
             completed.clear();
             while let Ok(done) = done_rx.try_recv() {
-                complete_job(done, &mut conns, &mut ctx, &mut completed);
+                ctx.core.complete_job(
+                    done,
+                    &mut conns,
+                    &mut completed,
+                    &mut ctx.port,
+                    Instant::now(),
+                );
             }
             // Completions flipped their waiters to Writing with the
             // socket unarmed; drive them now — the socket is almost
@@ -1656,7 +1533,7 @@ fn shard_loop(
             let live = conns
                 .get(idx)
                 .and_then(|c| c.as_ref())
-                .is_some_and(|c| c.stream.as_raw_fd() == fd);
+                .is_some_and(|c| c.io.stream.as_raw_fd() == fd);
             if live {
                 drive_and_sync(idx, &mut conns, &mut ctx, &mut *backend, &mut wheel);
             }
@@ -1674,16 +1551,16 @@ fn shard_loop(
             let Some(conn) = conns
                 .get_mut(idx)
                 .and_then(|c| c.as_mut())
-                .filter(|c| c.stream.as_raw_fd() == fd)
+                .filter(|c| c.io.stream.as_raw_fd() == fd)
             else {
                 continue;
             };
             let kind = conn.deadline;
             let counter = match kind {
-                DeadlineKind::Idle => &ctx.stats.idle_reaped,
-                DeadlineKind::Header => &ctx.stats.read_timeouts,
-                DeadlineKind::WriteStall => &ctx.stats.write_stall_timeouts,
-                DeadlineKind::HelperWait => &ctx.stats.helper_wait_timeouts,
+                DeadlineKind::Idle => &ctx.core.stats.idle_reaped,
+                DeadlineKind::Header => &ctx.core.stats.read_timeouts,
+                DeadlineKind::WriteStall => &ctx.core.stats.write_stall_timeouts,
+                DeadlineKind::HelperWait => &ctx.core.stats.helper_wait_timeouts,
                 // An expiry for a conn with no armed class can only be
                 // a stale token that survived validation by fd reuse;
                 // leave the connection alone.
@@ -1695,10 +1572,11 @@ fn shard_loop(
             ctx.live_conns = ctx.live_conns.saturating_sub(1);
             if kind == DeadlineKind::HelperWait {
                 // The reaped connection was parked on a waiter list;
-                // remove it so the completion — which may still arrive
-                // — cannot be delivered to whatever connection reuses
+                // remove it (cancelling the job if it was the last
+                // waiter) so the completion — which may still arrive —
+                // cannot be delivered to whatever connection reuses
                 // this slot.
-                purge_waiter(&mut ctx, idx);
+                ctx.core.purge_waiter(idx);
             }
         }
         // Accept last: the drives and expiries above may have freed
@@ -1736,7 +1614,7 @@ fn shard_loop(
 /// listener interest is still armed.
 fn drain_accepts(
     listener: &TcpListener,
-    conns: &mut Vec<Option<Conn>>,
+    conns: &mut Vec<Option<NetConn>>,
     ctx: &mut ShardCtx,
     backend: &mut dyn EventBackend,
     wheel: &mut TimerWheel,
@@ -1750,7 +1628,7 @@ fn drain_accepts(
                 if sock::apply_conn_options(&stream).is_err() {
                     continue;
                 }
-                ctx.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                ctx.core.stats.accepted.fetch_add(1, Ordering::Relaxed);
                 admit_conn(stream, conns, ctx, backend, wheel);
             }
             Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return true,
@@ -1768,7 +1646,8 @@ fn drain_accepts(
                 // accepting again immediately would fail immediately.
                 // Count it and back off; the shard loop retries on the
                 // ACCEPT_RETRY_MS cadence and on every freed slot.
-                ctx.stats
+                ctx.core
+                    .stats
                     .accept_backpressure
                     .fetch_add(1, Ordering::Relaxed);
                 return !quiesce_listener(listener, backend);
@@ -1796,13 +1675,12 @@ fn quiesce_listener(listener: &TcpListener, backend: &mut dyn EventBackend) -> b
 /// response in flight, or so fresh no response has been produced yet)
 /// is left to finish under the drain deadline.
 fn enter_drain(
-    conns: &mut [Option<Conn>],
+    conns: &mut [Option<NetConn>],
     ctx: &mut ShardCtx,
     backend: &mut dyn EventBackend,
     wheel: &mut TimerWheel,
 ) {
-    ctx.draining = true;
-    ctx.stats.draining.store(1, Ordering::Relaxed);
+    ctx.core.begin_drain();
     for idx in 0..conns.len() {
         let reading = conns[idx]
             .as_ref()
@@ -1831,35 +1709,14 @@ fn enter_drain(
             && conn.sendfile.is_none()
             && conn.progress > 0;
         if idle {
-            let fd = conn.stream.as_raw_fd();
+            let fd = conn.io.stream.as_raw_fd();
             let _ = backend.deregister(fd);
             wheel.cancel(conn_token(idx, fd));
             conns[idx] = None;
             ctx.live_conns = ctx.live_conns.saturating_sub(1);
-            ctx.stats.drained_conns.fetch_add(1, Ordering::Relaxed);
+            ctx.core.stats.drained_conns.fetch_add(1, Ordering::Relaxed);
         }
     }
-}
-
-/// Applies a published SIGHUP reload the shard has not seen yet: the
-/// docroot swaps, the content cache is replaced wholesale (same
-/// budget — pre-reload bytes must not be served under the new root),
-/// and the shard's epoch advances so a completion from a job
-/// dispatched before the swap serves its parked waiters but is never
-/// inserted into the fresh cache. In-flight connections are untouched:
-/// the swap happens between drives, so the next request on every
-/// connection — including open keep-alives — sees the new root.
-fn apply_reload(ctx: &mut ShardCtx, lifecycle: &LifecycleShared) {
-    let generation = lifecycle.reload_gen();
-    if generation == ctx.epoch {
-        return;
-    }
-    if let Some(root) = lifecycle.reload_docroot() {
-        ctx.cfg.docroot = root;
-    }
-    ctx.cache = ContentCache::new(ctx.cache_capacity);
-    ctx.stats.cache_used_bytes.store(0, Ordering::Relaxed);
-    ctx.epoch = generation;
 }
 
 /// Places a freshly dealt connection in a slot, registers it with the
@@ -1868,27 +1725,13 @@ fn apply_reload(ctx: &mut ShardCtx, lifecycle: &LifecycleShared) {
 /// add a wait's latency for nothing.
 fn admit_conn(
     stream: TcpStream,
-    conns: &mut Vec<Option<Conn>>,
+    conns: &mut Vec<Option<NetConn>>,
     ctx: &mut ShardCtx,
     backend: &mut dyn EventBackend,
     wheel: &mut TimerWheel,
 ) {
     let fd = stream.as_raw_fd();
-    let conn = Conn {
-        stream,
-        parser: flash_http::RequestParser::new(),
-        state: ConnState::Reading,
-        out: VecDeque::new(),
-        out_off: 0,
-        sendfile: None,
-        keep_alive: false,
-        head_only: false,
-        if_modified_since: None,
-        interest: Interest::READ,
-        deadline: DeadlineKind::None,
-        deadline_progress: 0,
-        progress: 0,
-    };
+    let conn = Conn::new(SockIo { stream });
     let idx = match conns.iter_mut().position(|c| c.is_none()) {
         Some(i) => {
             conns[i] = Some(conn);
@@ -1911,76 +1754,6 @@ fn admit_conn(
     drive_and_sync(idx, conns, ctx, backend, wheel);
 }
 
-/// Reconciles the timing wheel with a connection's state machine after
-/// a drive — the deadline analogue of the interest reconcile:
-///
-/// * `Reading` with an empty parse buffer → the **idle** keep-alive
-///   deadline, armed on entry to the state;
-/// * `Reading` with request bytes buffered → the **header-read**
-///   deadline, armed once when the request starts and deliberately
-///   *not* re-armed by further trickled bytes (re-arming is exactly
-///   the slowloris hole);
-/// * `Writing` → the **write-progress** deadline, re-armed whenever
-///   `progress` advanced since the last arm — forward progress resets
-///   the clock, a stalled peer's does not;
-/// * `Waiting` → the **helper-wait** deadline: the helper owns the
-///   request, and a wedged helper or stalled disk must not pin the
-///   waiter's fd and slot forever. Expiry reaps the connection *and*
-///   purges its waiter registration, so a late completion arriving
-///   after the reap cannot be delivered to whatever connection has
-///   reused the slot.
-fn sync_deadline(conn: &mut Conn, token: u64, cfg: &NetConfig, wheel: &mut TimerWheel) {
-    let (kind, timeout) = match conn.state {
-        ConnState::Waiting => (DeadlineKind::HelperWait, cfg.helper_wait_timeout),
-        ConnState::Writing => (DeadlineKind::WriteStall, cfg.write_stall_timeout),
-        ConnState::Reading => {
-            if conn.parser.buffered() > 0 {
-                (DeadlineKind::Header, cfg.header_read_timeout)
-            } else {
-                (DeadlineKind::Idle, cfg.idle_timeout)
-            }
-        }
-    };
-    match timeout {
-        None => {
-            // State has no deadline (or its class is disabled).
-            if conn.deadline != DeadlineKind::None {
-                wheel.cancel(token);
-                conn.deadline = DeadlineKind::None;
-            }
-        }
-        Some(t) => {
-            // Re-arm when the class changed — OR when response bytes
-            // moved since the last arm. The progress check is what
-            // re-arms a stalled writer on forward progress, and it
-            // also covers transitions invisible to the kind compare:
-            // one drive can run Reading → Writing → Reading
-            // (request served, response flushed, back to idle), which
-            // must start a *fresh* idle period even though the class
-            // reads unchanged. Trickled request bytes advance nothing,
-            // so a slowloris sender never refreshes its own deadline.
-            if conn.deadline != kind || conn.progress != conn.deadline_progress {
-                wheel.arm(token, Instant::now() + t);
-                conn.deadline = kind;
-                conn.deadline_progress = conn.progress;
-            }
-        }
-    }
-}
-
-/// How far one call to [`drive_conn`] got.
-enum Drive {
-    /// The slot is now empty (connection finished or died).
-    Closed,
-    /// Progress stopped on genuine backpressure or pending work; the
-    /// next readiness event or completion resumes it.
-    Blocked,
-    /// The connection *chose* to stop mid-send (fairness budget) while
-    /// its socket may still be writable — the consumed edge must be
-    /// re-armed or an edge-triggered backend never speaks again.
-    Yielded,
-}
-
 /// Drives one connection, then reconciles the backend *and* the
 /// timing wheel with the result: deregisters and disarms a closed
 /// connection, re-arms interest when the state machine moved, syncs
@@ -1988,7 +1761,7 @@ enum Drive {
 /// voluntary yield.
 fn drive_and_sync(
     idx: usize,
-    conns: &mut [Option<Conn>],
+    conns: &mut [Option<NetConn>],
     ctx: &mut ShardCtx,
     backend: &mut dyn EventBackend,
     wheel: &mut TimerWheel,
@@ -1996,11 +1769,13 @@ fn drive_and_sync(
     let Some(fd) = conns
         .get(idx)
         .and_then(|c| c.as_ref())
-        .map(|c| c.stream.as_raw_fd())
+        .map(|c| c.io.stream.as_raw_fd())
     else {
         return;
     };
-    let outcome = drive_conn(idx, conns, ctx);
+    let outcome = ctx
+        .core
+        .drive_conn(idx, conns, &mut ctx.port, Instant::now());
     let token = conn_token(idx, fd);
     match conns.get(idx).and_then(|c| c.as_ref()) {
         None => {
@@ -2014,7 +1789,7 @@ fn drive_and_sync(
             ctx.live_conns = ctx.live_conns.saturating_sub(1);
         }
         Some(conn) => {
-            let want = desired_interest(&conn.state);
+            let want = crate::conn::machine::desired_interest(&conn.state);
             if want != conn.interest {
                 if backend.modify(fd, token, want).is_ok() {
                     if let Some(c) = conns[idx].as_mut() {
@@ -2030,7 +1805,7 @@ fn drive_and_sync(
                     wheel.cancel(token);
                     ctx.live_conns = ctx.live_conns.saturating_sub(1);
                     if want == Interest::NONE {
-                        purge_waiter(ctx, idx);
+                        ctx.core.purge_waiter(idx);
                     }
                     return;
                 }
@@ -2046,573 +1821,15 @@ fn drive_and_sync(
                 return;
             }
             if let Some(conn) = conns[idx].as_mut() {
-                sync_deadline(conn, token, &ctx.cfg, wheel);
+                sync_deadline(conn, token, &ctx.core.cfg, wheel, Instant::now());
             }
         }
     }
-}
-
-/// Removes a dropped connection's index from every waiter list, so a
-/// helper completion can never be delivered to a recycled slot.
-fn purge_waiter(ctx: &mut ShardCtx, idx: usize) {
-    ctx.waiters.retain(|_, list| {
-        list.retain(|&w| w != idx);
-        !list.is_empty()
-    });
-}
-
-/// A finished helper job, rendered into whatever each waiting
-/// connection needs queued.
-enum Completion {
-    /// Small body: a cached (or at least cacheable) in-memory entry.
-    Small(Arc<Entry>),
-    /// Large body: a shared fd for `sendfile`, with both header forms
-    /// pre-rendered once for the whole waiter list.
-    Large {
-        file: Arc<File>,
-        len: u64,
-        mtime: Option<i64>,
-        header_keep: Bytes,
-        header_close: Bytes,
-    },
-    Fail(Status, Bytes),
-}
-
-/// Renders a helper completion into every waiter's output queue,
-/// flipping them to `Writing` and appending their indices to
-/// `completed` for the caller to drive.
-fn complete_job(
-    done: Done,
-    conns: &mut [Option<Conn>],
-    ctx: &mut ShardCtx,
-    completed: &mut Vec<usize>,
-) {
-    ctx.pending_jobs.remove(&done.path);
-    let result = match done.data {
-        DoneData::Stat(stat) => {
-            return complete_revalidation(done.path, stat, conns, ctx, completed);
-        }
-        DoneData::Loaded(result) => result,
-    };
-    let completion = match result {
-        Ok(FileData::Bytes { body, mtime }) => {
-            let entry = Entry::build_with_mtime(&done.path, body, mtime);
-            // Oversized-for-this-cache entries are refused by the
-            // admission check; the waiters below are still served from
-            // the entry directly. A completion from before a SIGHUP
-            // reload (stale epoch) also serves its waiters — their
-            // requests predate the reload — but is NOT inserted:
-            // pre-reload bytes must not poison the post-reload cache.
-            if done.epoch == ctx.epoch {
-                ctx.cache.insert(done.path.clone(), Arc::clone(&entry));
-                ctx.stats
-                    .cache_used_bytes
-                    .store(ctx.cache.used_bytes(), Ordering::Relaxed);
-            }
-            Completion::Small(entry)
-        }
-        Ok(FileData::Fd { file, len, mtime }) => {
-            let (header_keep, header_close) = crate::cache::header_pair(&done.path, len, mtime);
-            Completion::Large {
-                file,
-                len,
-                mtime,
-                header_keep,
-                header_close,
-            }
-        }
-        Err(e) => {
-            let status = match e.kind() {
-                io::ErrorKind::NotFound => Status::NotFound,
-                io::ErrorKind::PermissionDenied => Status::Forbidden,
-                _ => Status::InternalError,
-            };
-            Completion::Fail(status, Bytes::from(error_body(status)))
-        }
-    };
-    deliver_completion(&completion, &done.path, conns, ctx, completed);
-}
-
-/// Handles a revalidation re-stat completion: if the cached entry
-/// still matches the file's (length, mtime), its TTL clock restarts
-/// and the waiters are served straight from memory; otherwise the
-/// stale entry is evicted and a full load is requeued — the waiters
-/// stay parked and the `Load` completion serves them the fresh bytes
-/// (or the error the reload produces).
-fn complete_revalidation(
-    path: String,
-    stat: io::Result<(u64, Option<i64>)>,
-    conns: &mut [Option<Conn>],
-    ctx: &mut ShardCtx,
-    completed: &mut Vec<usize>,
-) {
-    if let (Some(entry), Ok((len, mtime))) = (ctx.cache.peek(&path), &stat) {
-        if entry.mtime == *mtime && entry.body.len() as u64 == *len {
-            ctx.cache.refresh(&path);
-            ctx.stats.revalidations.fetch_add(1, Ordering::Relaxed);
-            deliver_completion(&Completion::Small(entry), &path, conns, ctx, completed);
-            return;
-        }
-    }
-    // Changed, vanished, or evicted in the meantime: the resident
-    // bytes can no longer be trusted.
-    if ctx.cache.invalidate(&path) {
-        ctx.stats.stale_evicted.fetch_add(1, Ordering::Relaxed);
-        ctx.stats
-            .cache_used_bytes
-            .store(ctx.cache.used_bytes(), Ordering::Relaxed);
-    }
-    let fs_path = ctx.cfg.docroot.join(path.trim_start_matches('/'));
-    if ctx.pending_jobs.insert(path.clone()) {
-        ctx.stats.helper_jobs.fetch_add(1, Ordering::Relaxed);
-        let shard = ctx.shard;
-        ctx.jobs.push(Job {
-            path,
-            fs_path,
-            shard,
-            kind: JobKind::Load,
-            epoch: ctx.epoch,
-        });
-    }
-}
-
-/// Renders a completion into every waiter's output queue, flipping
-/// them to `Writing` and appending their indices to `completed` for
-/// the caller to drive.
-fn deliver_completion(
-    completion: &Completion,
-    path: &str,
-    conns: &mut [Option<Conn>],
-    ctx: &mut ShardCtx,
-    completed: &mut Vec<usize>,
-) {
-    for idx in ctx.waiters.remove(path).unwrap_or_default() {
-        let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
-            continue;
-        };
-        match &completion {
-            Completion::Small(entry) => {
-                if entry.not_modified_since(conn.if_modified_since) {
-                    queue_not_modified(conn, entry.mtime, &ctx.stats);
-                } else {
-                    queue_entry(conn, entry);
-                }
-            }
-            Completion::Large {
-                file,
-                len,
-                mtime,
-                header_keep,
-                header_close,
-            } => {
-                if crate::cache::not_modified_since(*mtime, conn.if_modified_since) {
-                    queue_not_modified(conn, *mtime, &ctx.stats);
-                } else {
-                    queue_sendfile(conn, file, *len, header_keep, header_close);
-                }
-            }
-            Completion::Fail(status, body) => queue_error(conn, *status, body.clone()),
-        }
-        conn.state = ConnState::Writing;
-        completed.push(idx);
-    }
-}
-
-fn queue_entry(conn: &mut Conn, entry: &Arc<Entry>) {
-    // The header goes out as slices around a current Date segment (a
-    // cached entry may be hours old; its baked-in date is not the
-    // response's date) — still one writev, just more iovecs.
-    entry.push_header(conn.keep_alive, &mut conn.out);
-    if !conn.head_only {
-        conn.out.push_back(entry.body.clone());
-    }
-}
-
-/// Queues a bodyless `304 Not Modified` answering a conditional
-/// request whose validator is still current. 304s are rare enough
-/// that the header is rendered on demand rather than cached.
-fn queue_not_modified(conn: &mut Conn, mtime: Option<i64>, stats: &ShardStats) {
-    let hdr = ResponseHeader::not_modified(conn.keep_alive, mtime);
-    conn.out.push_back(Bytes::from(hdr.as_bytes().to_vec()));
-    stats.not_modified.fetch_add(1, Ordering::Relaxed);
-}
-
-/// Queues a large-body response: the pre-rendered header goes through
-/// the ordinary `writev` queue; the body rides as a [`SendFileState`]
-/// transmitted after the queue drains. HEAD gets the header (with the
-/// true `Content-Length`) and no file state at all.
-fn queue_sendfile(conn: &mut Conn, file: &Arc<File>, len: u64, keep: &Bytes, close: &Bytes) {
-    let hdr = if conn.keep_alive { keep } else { close };
-    conn.out.push_back(hdr.clone());
-    if !conn.head_only {
-        conn.sendfile = Some(SendFileState {
-            file: Arc::clone(file),
-            offset: 0,
-            remaining: len,
-        });
-    }
-}
-
-fn queue_error(conn: &mut Conn, status: Status, body: Bytes) {
-    let hdr = ResponseHeader::build(status, "text/html", body.len() as u64, false, true);
-    conn.out.push_back(Bytes::from(hdr.as_bytes().to_vec()));
-    if !conn.head_only {
-        conn.out.push_back(body);
-    }
-    conn.keep_alive = false;
-}
-
-/// Collects up to [`MAX_IOV`] non-empty segment views starting at
-/// `out_off` into `bufs`; returns the number collected.
-fn gather_out<'a>(
-    out: &'a VecDeque<Bytes>,
-    out_off: usize,
-    bufs: &mut [&'a [u8]; MAX_IOV],
-) -> usize {
-    let mut cnt = 0;
-    for (i, seg) in out.iter().enumerate() {
-        if cnt == MAX_IOV {
-            break;
-        }
-        let view = if i == 0 { &seg[out_off..] } else { &seg[..] };
-        if !view.is_empty() {
-            bufs[cnt] = view;
-            cnt += 1;
-        }
-    }
-    cnt
-}
-
-/// Consumes `n` transmitted bytes from the front of the queue,
-/// tracking resumption across segment boundaries and discarding
-/// zero-length segments.
-fn advance_out(out: &mut VecDeque<Bytes>, out_off: &mut usize, mut n: usize) {
-    while let Some(front) = out.front() {
-        let remaining = front.len() - *out_off;
-        if n >= remaining {
-            n -= remaining;
-            out.pop_front();
-            *out_off = 0;
-            // Keep popping: this also clears zero-length segments so
-            // the queue can never stall on an empty front.
-            if n == 0 && out.front().is_some_and(|f| !f.is_empty()) {
-                break;
-            }
-        } else {
-            *out_off += n;
-            break;
-        }
-    }
-    debug_assert!(out.front().is_none() || out.front().is_some_and(|f| *out_off < f.len()));
-}
-
-/// Outcome of one attempt to flush a connection's output queue.
-enum FlushResult {
-    /// Everything queued was transmitted.
-    Flushed,
-    /// The socket backpressured; retry when writable.
-    WouldBlock,
-    /// The fairness budget ran out with the socket still accepting —
-    /// the caller must re-arm the (consumed) writability edge.
-    Yielded,
-    /// The connection is dead.
-    Error,
-}
-
-/// Drains `conn.out` with gathered writes — the happy path (cached
-/// header + body fitting the socket buffer) is exactly one `writev` —
-/// then streams any pending large body with `sendfile(2)`.
-fn flush_out(conn: &mut Conn, stats: &ShardStats) -> FlushResult {
-    while !conn.out.is_empty() {
-        let mut bufs: [&[u8]; MAX_IOV] = [&[]; MAX_IOV];
-        let cnt = gather_out(&conn.out, conn.out_off, &mut bufs);
-        if cnt == 0 {
-            // Only zero-length segments remain (e.g. an empty file's
-            // body): discard them without a syscall.
-            conn.out.clear();
-            conn.out_off = 0;
-            break;
-        }
-        match writev_fd(conn.stream.as_raw_fd(), &bufs[..cnt]) {
-            Ok(n) => {
-                stats.writev_calls.fetch_add(1, Ordering::Relaxed);
-                conn.progress += n as u64;
-                advance_out(&mut conn.out, &mut conn.out_off, n);
-            }
-            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return FlushResult::WouldBlock,
-            Err(_) => return FlushResult::Error,
-        }
-    }
-    // Header out; now the body, page cache → socket. On backpressure
-    // the state (offset/remaining) goes back on the connection and the
-    // event loop retries when the socket is writable again.
-    //
-    // Fairness: a fast consumer of a huge file could keep `send_file`
-    // succeeding for seconds, monopolizing the shard's event loop. A
-    // per-visit byte budget bounds each connection's turn; an
-    // exhausted budget reports Yielded — distinct from WouldBlock,
-    // because the socket is typically STILL writable, so under an
-    // edge-triggered backend no fresh edge would ever arrive: the
-    // caller re-arms the registration to get the event redelivered,
-    // and every other connection gets serviced in between.
-    const SENDFILE_VISIT_BUDGET: u64 = 1024 * 1024;
-    if let Some(mut sf) = conn.sendfile.take() {
-        let fd = conn.stream.as_raw_fd();
-        let mut budget = SENDFILE_VISIT_BUDGET;
-        while sf.remaining > 0 {
-            if budget == 0 {
-                conn.sendfile = Some(sf);
-                return FlushResult::Yielded;
-            }
-            match send_file(fd, &sf.file, &mut sf.offset, sf.remaining.min(budget)) {
-                // The file shrank after fstat: the promised
-                // Content-Length can no longer be honoured, so the
-                // only correct HTTP/1.x signal is a dropped connection.
-                Ok(0) => return FlushResult::Error,
-                Ok(n) => {
-                    stats.sendfile_calls.fetch_add(1, Ordering::Relaxed);
-                    stats.bytes_sendfile.fetch_add(n as u64, Ordering::Relaxed);
-                    conn.progress += n as u64;
-                    sf.remaining -= n as u64;
-                    budget -= n as u64;
-                }
-                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    conn.sendfile = Some(sf);
-                    return FlushResult::WouldBlock;
-                }
-                Err(_) => return FlushResult::Error,
-            }
-        }
-    }
-    FlushResult::Flushed
-}
-
-/// Runs one connection's state machine as far as it will go without
-/// blocking — reads drained to `EWOULDBLOCK`, writes until
-/// backpressure — and reports why it stopped.
-fn drive_conn(idx: usize, conns: &mut [Option<Conn>], ctx: &mut ShardCtx) -> Drive {
-    loop {
-        let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
-            return Drive::Closed;
-        };
-        match conn.state {
-            ConnState::Reading => {
-                // Serve any request already buffered (keep-alive
-                // pipelining) before asking the socket for more.
-                match conn.parser.feed(&[]) {
-                    ParseStatus::Done(req) => {
-                        handle_request(idx, conn, req, ctx);
-                        if matches!(conn.state, ConnState::Waiting) {
-                            return Drive::Blocked;
-                        }
-                        continue;
-                    }
-                    ParseStatus::Error(_) => {
-                        let body = Bytes::from(error_body(Status::BadRequest));
-                        queue_error(conn, Status::BadRequest, body);
-                        conn.state = ConnState::Writing;
-                        continue;
-                    }
-                    ParseStatus::Incomplete => {}
-                }
-                let mut buf = [0u8; 4096];
-                match conn.stream.read(&mut buf) {
-                    Ok(0) => {
-                        conns[idx] = None;
-                        return Drive::Closed;
-                    }
-                    Ok(n) => match conn.parser.feed(&buf[..n]) {
-                        ParseStatus::Done(req) => {
-                            handle_request(idx, conn, req, ctx);
-                            if matches!(conn.state, ConnState::Waiting) {
-                                return Drive::Blocked;
-                            }
-                        }
-                        ParseStatus::Incomplete => {}
-                        ParseStatus::Error(_) => {
-                            let body = Bytes::from(error_body(Status::BadRequest));
-                            queue_error(conn, Status::BadRequest, body);
-                            conn.state = ConnState::Writing;
-                        }
-                    },
-                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return Drive::Blocked,
-                    Err(_) => {
-                        conns[idx] = None;
-                        return Drive::Closed;
-                    }
-                }
-            }
-            ConnState::Writing => match flush_out(conn, &ctx.stats) {
-                FlushResult::Flushed => {
-                    ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
-                    // Under drain a keep-alive connection closes after
-                    // its final response — unless pipelined request
-                    // bytes are already buffered, which are honoured
-                    // before the close (the loop continues Reading and
-                    // serves them without touching the socket).
-                    if conn.keep_alive && !(ctx.draining && conn.parser.buffered() == 0) {
-                        conn.state = ConnState::Reading;
-                    } else {
-                        if ctx.draining {
-                            ctx.stats.drained_conns.fetch_add(1, Ordering::Relaxed);
-                        }
-                        conns[idx] = None;
-                        return Drive::Closed;
-                    }
-                }
-                FlushResult::WouldBlock => return Drive::Blocked,
-                FlushResult::Yielded => return Drive::Yielded,
-                FlushResult::Error => {
-                    conns[idx] = None;
-                    return Drive::Closed;
-                }
-            },
-            ConnState::Waiting => return Drive::Blocked,
-        }
-    }
-}
-
-fn handle_request(idx: usize, conn: &mut Conn, req: Request, ctx: &mut ShardCtx) {
-    conn.keep_alive = req.keep_alive();
-    conn.head_only = req.method == Method::Head;
-    // Parsed once here; an unparseable date simply makes the request
-    // unconditional. Carried on the connection because the response
-    // may be rendered by a helper completion after `req` is dropped.
-    conn.if_modified_since = req
-        .if_modified_since
-        .as_deref()
-        .and_then(flash_http::date::parse_imf);
-    if req.method == Method::Post {
-        let body = Bytes::from(error_body(Status::NotImplemented));
-        queue_error(conn, Status::NotImplemented, body);
-        conn.state = ConnState::Writing;
-        return;
-    }
-    let mut path = req.path.clone();
-    if path.ends_with('/') {
-        path.push_str("index.html");
-    }
-    let kind = match ctx.cache.lookup(&path, ctx.cfg.cache_revalidate_ttl) {
-        Lookup::Hit(entry) => {
-            ctx.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            if entry.not_modified_since(conn.if_modified_since) {
-                queue_not_modified(conn, entry.mtime, &ctx.stats);
-            } else {
-                queue_entry(conn, &entry);
-            }
-            conn.state = ConnState::Writing;
-            return;
-        }
-        // Resident but past the revalidation TTL: the bytes cannot be
-        // trusted until a helper re-stats the file — a cheap
-        // open+fstat, no read — so the connection parks exactly like a
-        // miss and is served by the completion (from memory if the
-        // stat matches, from a reload if not).
-        Lookup::Stale(_) => JobKind::Revalidate,
-        // Miss: hand the disk work to a helper.
-        Lookup::Miss => JobKind::Load,
-    };
-    // Coalesce concurrent misses (and revalidations) per path. The
-    // request parser has already normalized away any `..`, so joining
-    // the relative remainder cannot escape the docroot.
-    let fs_path = ctx.cfg.docroot.join(path.trim_start_matches('/'));
-    ctx.waiters.entry(path.clone()).or_default().push(idx);
-    if ctx.pending_jobs.insert(path.clone()) {
-        ctx.stats.helper_jobs.fetch_add(1, Ordering::Relaxed);
-        ctx.jobs.push(Job {
-            path,
-            fs_path,
-            shard: ctx.shard,
-            kind,
-            epoch: ctx.epoch,
-        });
-    }
-    conn.state = ConnState::Waiting;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn bytes_of(s: &str) -> Bytes {
-        Bytes::from(s.as_bytes().to_vec())
-    }
-
-    /// Simulates a sink that accepts `k` bytes per call against the
-    /// gather/advance pair, verifying the reassembled stream is exact
-    /// no matter where partial writes land — including mid-iovec.
-    fn drain_with_chunk_size(segments: &[&str], k: usize) -> Vec<u8> {
-        let mut out: VecDeque<Bytes> = segments.iter().map(|s| bytes_of(s)).collect();
-        let mut out_off = 0usize;
-        let mut sink = Vec::new();
-        let mut guard = 0;
-        while !out.is_empty() {
-            let mut bufs: [&[u8]; MAX_IOV] = [&[]; MAX_IOV];
-            let cnt = gather_out(&out, out_off, &mut bufs);
-            if cnt == 0 {
-                out.clear();
-                break;
-            }
-            let total: usize = bufs[..cnt].iter().map(|b| b.len()).sum();
-            let n = k.min(total);
-            let mut left = n;
-            for b in &bufs[..cnt] {
-                let take = left.min(b.len());
-                sink.extend_from_slice(&b[..take]);
-                left -= take;
-                if left == 0 {
-                    break;
-                }
-            }
-            advance_out(&mut out, &mut out_off, n);
-            guard += 1;
-            assert!(guard < 10_000, "drain must terminate");
-        }
-        sink
-    }
-
-    #[test]
-    fn partial_write_resumption_is_byte_exact_for_every_split() {
-        let segments = [
-            "HEADER-32-bytes-of-padding-data!",
-            "body: hello world",
-            "",
-            "tail",
-        ];
-        let expect: Vec<u8> = segments.concat().into_bytes();
-        // Every chunk size from 1 byte (worst case: every write lands
-        // mid-iovec) to larger than the whole queue.
-        for k in 1..expect.len() + 4 {
-            let got = drain_with_chunk_size(&segments, k);
-            assert_eq!(got, expect, "chunk size {k}");
-        }
-    }
-
-    #[test]
-    fn advance_out_discards_empty_segments() {
-        let mut out: VecDeque<Bytes> = [bytes_of(""), bytes_of(""), bytes_of("x")]
-            .into_iter()
-            .collect();
-        let mut off = 0;
-        advance_out(&mut out, &mut off, 0);
-        assert_eq!(out.len(), 1, "empty fronts must be popped");
-        assert_eq!(&out[0][..], b"x");
-        advance_out(&mut out, &mut off, 1);
-        assert!(out.is_empty());
-        assert_eq!(off, 0);
-    }
-
-    #[test]
-    fn gather_out_skips_empties_and_respects_offset() {
-        let out: VecDeque<Bytes> = [bytes_of("abcdef"), bytes_of(""), bytes_of("gh")]
-            .into_iter()
-            .collect();
-        let mut bufs: [&[u8]; MAX_IOV] = [&[]; MAX_IOV];
-        let cnt = gather_out(&out, 4, &mut bufs);
-        assert_eq!(cnt, 2);
-        assert_eq!(bufs[0], b"ef");
-        assert_eq!(bufs[1], b"gh");
-    }
 
     #[test]
     fn default_event_loops_bounded() {
@@ -2632,11 +1849,15 @@ mod tests {
 
     fn job_for(shard: usize) -> Job {
         Job {
-            path: format!("/{shard}"),
-            fs_path: PathBuf::new(),
             shard,
-            kind: JobKind::Load,
-            epoch: 0,
+            job: HelperJob {
+                path: format!("/{shard}"),
+                fs_path: PathBuf::new(),
+                kind: JobKind::Load,
+                epoch: 0,
+                token: 0,
+                cancel: Arc::new(AtomicBool::new(false)),
+            },
         }
     }
 
@@ -2667,16 +1888,20 @@ mod tests {
         let q = JobQueue::new(2);
         for i in 0..3 {
             q.push(Job {
-                path: format!("/a{i}"),
-                fs_path: PathBuf::new(),
                 shard: 0,
-                kind: JobKind::Load,
-                epoch: 0,
+                job: HelperJob {
+                    path: format!("/a{i}"),
+                    fs_path: PathBuf::new(),
+                    kind: JobKind::Load,
+                    epoch: 0,
+                    token: i as u64,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                },
             });
         }
         let mut lanes = q.lanes.lock().unwrap();
         let paths: Vec<String> = std::iter::from_fn(|| pop_round_robin(&mut lanes))
-            .map(|j| j.path)
+            .map(|j| j.job.path)
             .collect();
         assert_eq!(paths, vec!["/a0", "/a1", "/a2"]);
     }
@@ -2693,122 +1918,5 @@ mod tests {
         // And pushes after close are refused.
         q.push(job_for(0));
         assert!(q.pop().is_none());
-    }
-
-    #[test]
-    fn desired_interest_tracks_state_machine() {
-        assert_eq!(desired_interest(&ConnState::Reading), Interest::READ);
-        assert_eq!(desired_interest(&ConnState::Writing), Interest::WRITE);
-        assert_eq!(desired_interest(&ConnState::Waiting), Interest::NONE);
-    }
-
-    /// A real loopback TcpStream pair (Conn holds a TcpStream; the
-    /// deadline logic never actually touches the socket).
-    fn stream_pair() -> (TcpStream, TcpStream) {
-        let l = TcpListener::bind("127.0.0.1:0").unwrap();
-        let a = TcpStream::connect(l.local_addr().unwrap()).unwrap();
-        let (b, _) = l.accept().unwrap();
-        (a, b)
-    }
-
-    fn test_conn(stream: TcpStream) -> Conn {
-        Conn {
-            stream,
-            parser: flash_http::RequestParser::new(),
-            state: ConnState::Reading,
-            out: VecDeque::new(),
-            out_off: 0,
-            sendfile: None,
-            keep_alive: false,
-            head_only: false,
-            if_modified_since: None,
-            interest: Interest::READ,
-            deadline: DeadlineKind::None,
-            deadline_progress: 0,
-            progress: 0,
-        }
-    }
-
-    #[test]
-    fn sync_deadline_maps_states_to_classes() {
-        let (a, _b) = stream_pair();
-        let mut conn = test_conn(a);
-        let cfg = NetConfig::new("/tmp");
-        let mut wheel = TimerWheel::new(Duration::from_millis(10));
-        let token = 42;
-
-        // Reading + empty buffer → idle class.
-        sync_deadline(&mut conn, token, &cfg, &mut wheel);
-        assert_eq!(conn.deadline, DeadlineKind::Idle);
-        assert_eq!(wheel.pending(), 1);
-
-        // Request bytes buffered → header class (fresh arm).
-        let _ = conn.parser.feed(b"GET /slow");
-        sync_deadline(&mut conn, token, &cfg, &mut wheel);
-        assert_eq!(conn.deadline, DeadlineKind::Header);
-
-        // Helper owns the request → the helper-wait class, so a wedged
-        // helper cannot pin the slot forever.
-        conn.state = ConnState::Waiting;
-        sync_deadline(&mut conn, token, &cfg, &mut wheel);
-        assert_eq!(conn.deadline, DeadlineKind::HelperWait);
-        assert_eq!(wheel.pending(), 1, "Waiting arms the helper-wait class");
-
-        // Response in flight → write-stall class.
-        conn.state = ConnState::Writing;
-        sync_deadline(&mut conn, token, &cfg, &mut wheel);
-        assert_eq!(conn.deadline, DeadlineKind::WriteStall);
-        assert_eq!(wheel.pending(), 1);
-
-        // The class honours its disable switch like the others.
-        let no_hw = NetConfig::new("/tmp").with_helper_wait_timeout(None);
-        conn.state = ConnState::Waiting;
-        sync_deadline(&mut conn, token, &no_hw, &mut wheel);
-        assert_eq!(conn.deadline, DeadlineKind::None);
-        assert_eq!(wheel.pending(), 0, "disabled helper-wait disarms");
-    }
-
-    #[test]
-    fn sync_deadline_rearms_on_forward_progress_only() {
-        let (a, _b) = stream_pair();
-        let mut conn = test_conn(a);
-        let cfg = NetConfig::new("/tmp");
-        let mut wheel = TimerWheel::new(Duration::from_millis(10));
-        conn.state = ConnState::Writing;
-        sync_deadline(&mut conn, 7, &cfg, &mut wheel);
-        let armed_at = conn.deadline_progress;
-
-        // No progress: the arm point must not move (a stalled peer
-        // must not refresh its own deadline).
-        sync_deadline(&mut conn, 7, &cfg, &mut wheel);
-        assert_eq!(conn.deadline_progress, armed_at);
-
-        // Forward progress: the arm point follows the odometer.
-        conn.progress += 4096;
-        sync_deadline(&mut conn, 7, &cfg, &mut wheel);
-        assert_eq!(conn.deadline_progress, conn.progress);
-        assert_eq!(wheel.pending(), 1, "re-arm replaces, never duplicates");
-    }
-
-    #[test]
-    fn sync_deadline_honours_disabled_classes() {
-        let (a, _b) = stream_pair();
-        let mut conn = test_conn(a);
-        let cfg = NetConfig::new("/tmp")
-            .with_idle_timeout(None)
-            .with_header_read_timeout(None)
-            .with_write_stall_timeout(None)
-            .with_helper_wait_timeout(None);
-        let mut wheel = TimerWheel::new(Duration::from_millis(10));
-        for state in [ConnState::Reading, ConnState::Writing, ConnState::Waiting] {
-            conn.state = state;
-            sync_deadline(&mut conn, 9, &cfg, &mut wheel);
-            assert_eq!(conn.deadline, DeadlineKind::None);
-        }
-        assert_eq!(
-            wheel.pending(),
-            0,
-            "every class disabled: wheel stays empty"
-        );
     }
 }

@@ -85,14 +85,29 @@ where
 impl TimerWheel {
     /// An empty wheel ticking at `tick` granularity, starting now.
     pub fn new(tick: Duration) -> TimerWheel {
+        TimerWheel::new_at(tick, Instant::now())
+    }
+
+    /// An empty wheel with an explicit epoch — the seam the
+    /// deterministic sim driver uses: every `arm`/`expire` instant is
+    /// derived from one base `Instant` plus simulated nanoseconds, so
+    /// the wheel's behavior is a pure function of the simulation.
+    pub fn new_at(tick: Duration, start: Instant) -> TimerWheel {
         TimerWheel {
             tick: tick.max(Duration::from_millis(1)),
-            start: Instant::now(),
+            start,
             cur: 0,
             slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
             armed: HashMap::new(),
             gen: 0,
         }
+    }
+
+    /// Whether `key` currently has a live (armed) timer — the
+    /// invariant checkers' view, so "every conn with a deadline class
+    /// has a wheel entry and vice versa" is directly assertable.
+    pub fn is_armed(&self, key: u64) -> bool {
+        self.armed.contains_key(&key)
     }
 
     /// The tick granularity.

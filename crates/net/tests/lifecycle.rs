@@ -474,3 +474,86 @@ fn mt_connection_opened_after_reload_serves_new_root() {
     let _ = std::fs::remove_dir_all(root_a);
     let _ = std::fs::remove_dir_all(root_b);
 }
+
+/// Reaping the **last waiter** of an in-flight job must cancel the job
+/// itself: the pending entry drops, the cancel flag is raised, and a
+/// completion that arrives anyway dies on the token gate — never
+/// populating the cache, never waking whatever reuses the slot. Two
+/// jobs sit behind one wedged helper: the wedged job (started, past
+/// its cancel check) and a queued one (never started — skipped by the
+/// flag alone).
+#[cfg(target_os = "linux")]
+#[test]
+fn reaping_last_waiter_cancels_inflight_jobs() {
+    let root = docroot("job-cancel");
+    let fifo = root.join("wedge.fifo");
+    mkfifo_at(&fifo);
+    std::fs::write(root.join("queued.html"), b"served after cancel").unwrap();
+
+    let mut cfg = NetConfig::new(&root)
+        .with_event_loops(1)
+        .with_helper_wait_timeout(Some(Duration::from_millis(300)));
+    cfg.helpers = 1; // one lane: the queued job sits behind the wedge
+    let server = Server::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.addr();
+
+    // Waiter 1 wedges the only helper on the FIFO open.
+    let mut wedged = TcpStream::connect(addr).unwrap();
+    wedged
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    wedged
+        .write_all(b"GET /wedge.fifo HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    thread::sleep(Duration::from_millis(50));
+
+    // Waiter 2's job is dispatched but only ever queued.
+    let mut parked = TcpStream::connect(addr).unwrap();
+    parked
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    parked
+        .write_all(b"GET /queued.html HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+
+    // Both waiters are reaped at the helper-wait deadline (EOF, no
+    // bytes), and — each being its path's only waiter — both jobs are
+    // cancelled with them.
+    let mut buf = [0u8; 256];
+    assert_eq!(wedged.read(&mut buf).unwrap_or(0), 0, "waiter 1 reaped");
+    assert_eq!(parked.read(&mut buf).unwrap_or(0), 0, "waiter 2 reaped");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().jobs_cancelled() < 2 {
+        assert!(
+            Instant::now() < deadline,
+            "expected 2 cancelled jobs, saw {} (reaps: {})",
+            server.stats().jobs_cancelled(),
+            server.stats().helper_wait_timeouts()
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.stats().helper_wait_timeouts(), 2);
+    assert_eq!(server.stats().requests(), 0, "nobody was answered");
+
+    // Unwedge. The helper's open() returns and its completion must be
+    // dropped (stale token); the queued job must be skipped entirely
+    // (cancel flag). Then the helper serves fresh work — including the
+    // very path whose job was cancelled while queued, proving the
+    // cancellation didn't poison the path's future.
+    drop(std::fs::OpenOptions::new().write(true).open(&fifo).unwrap());
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        s.write_all(b"GET /queued.html HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (text, body) = read_response(&mut s);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        if body == b"served after cancel" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "helper never recovered");
+    }
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}

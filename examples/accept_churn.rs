@@ -14,18 +14,24 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use flash_repro::net::report::percentile;
 use flash_repro::net::{AcceptMode, AcceptModeKind, BenchReport, NetConfig, Server};
 
 const CLIENT_THREADS: usize = 8;
 const CONNS_PER_THREAD: usize = 250;
 const TOTAL_CONNS: usize = CLIENT_THREADS * CONNS_PER_THREAD;
 
-fn churn(addr: std::net::SocketAddr) -> Duration {
+/// Hammers the server; returns the wall time, every connection's
+/// connect-to-close latency in milliseconds, and total response bytes.
+fn churn(addr: std::net::SocketAddr) -> (Duration, Vec<f64>, u64) {
     let start = Instant::now();
     let threads: Vec<_> = (0..CLIENT_THREADS)
         .map(|_| {
             std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(CONNS_PER_THREAD);
+                let mut bytes = 0u64;
                 for _ in 0..CONNS_PER_THREAD {
+                    let conn_start = Instant::now();
                     let mut s = TcpStream::connect(addr).expect("connect");
                     s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
                     s.write_all(b"GET /index.html HTTP/1.0\r\n\r\n")
@@ -36,14 +42,21 @@ fn churn(addr: std::net::SocketAddr) -> Duration {
                         resp.starts_with(b"HTTP/1.1 200 OK\r\n"),
                         "short-lived connection not served"
                     );
+                    latencies.push(conn_start.elapsed().as_secs_f64() * 1e3);
+                    bytes += resp.len() as u64;
                 }
+                (latencies, bytes)
             })
         })
         .collect();
+    let mut latencies = Vec::with_capacity(TOTAL_CONNS);
+    let mut bytes = 0u64;
     for t in threads {
-        t.join().expect("client thread");
+        let (l, b) = t.join().expect("client thread");
+        latencies.extend(l);
+        bytes += b;
     }
-    start.elapsed()
+    (start.elapsed(), latencies, bytes)
 }
 
 fn main() {
@@ -62,7 +75,7 @@ fn main() {
         )
         .unwrap();
         let resolved = server.accept_mode();
-        let elapsed = churn(server.addr());
+        let (elapsed, latencies_ms, bytes) = churn(server.addr());
         let stats = server.stats();
         assert_eq!(
             stats.requests(),
@@ -91,11 +104,16 @@ fn main() {
             TOTAL_CONNS as f64 / elapsed.as_secs_f64(),
             stats.accept_backpressure(),
         );
-        report.record(
+        let mut sorted = latencies_ms;
+        sorted.sort_by(f64::total_cmp);
+        report.record_full(
             &format!("accept_churn/{}", resolved.name()),
             TOTAL_CONNS as u64,
             elapsed.as_secs_f64(),
             true,
+            Some(bytes),
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.99),
         );
         server.stop();
     }
