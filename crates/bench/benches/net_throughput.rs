@@ -18,10 +18,26 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use flash_net::event::{ensure_fd_limit, resolve, BackendChoice, BackendKind};
-use flash_net::{AcceptMode, AcceptModeKind, MtServer, NetConfig, Server};
+use flash_net::{
+    AcceptMode, AcceptModeKind, BenchReport, MtServer, NetConfig, Server, ServerStats,
+};
 
 const CLIENTS: usize = 8;
 const REQS_PER_CLIENT: usize = 50;
+
+/// p50/p99 request latency in milliseconds, read off the server's own
+/// log-bucketed histogram rather than client-side sampling — the same
+/// numbers `/.flash/metrics` exports.
+fn latency_percentiles(stats: &ServerStats) -> (Option<f64>, Option<f64>) {
+    let s = stats.request_latency().summary();
+    if s.count == 0 {
+        return (None, None);
+    }
+    (
+        Some(s.p50_nanos as f64 / 1e6),
+        Some(s.p99_nanos as f64 / 1e6),
+    )
+}
 
 /// Builds a docroot of a few small cacheable files.
 fn docroot(tag: &str) -> std::path::PathBuf {
@@ -99,11 +115,23 @@ fn bench_net_throughput(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(5));
     g.throughput(Throughput::Elements((CLIENTS * REQS_PER_CLIENT) as u64));
+    let mut report = BenchReport::new();
 
     let root = docroot("amped1");
     let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(1)).unwrap();
     let addr = server.addr();
+    let t0 = std::time::Instant::now();
     g.bench_function("amped_1_shard", |b| b.iter(|| storm(addr)));
+    let (p50, p99) = latency_percentiles(server.stats());
+    report.record_full(
+        "net_throughput/amped_1_shard",
+        server.stats().requests(),
+        t0.elapsed().as_secs_f64(),
+        false,
+        None,
+        p50,
+        p99,
+    );
     server.stop();
     let _ = std::fs::remove_dir_all(&root);
 
@@ -115,9 +143,20 @@ fn bench_net_throughput(c: &mut Criterion) {
     )
     .unwrap();
     let addr = server.addr();
+    let t0 = std::time::Instant::now();
     g.bench_function(&format!("amped_{shards}_shards"), |b| {
         b.iter(|| storm(addr))
     });
+    let (p50, p99) = latency_percentiles(server.stats());
+    report.record_full(
+        &format!("net_throughput/amped_{shards}_shards"),
+        server.stats().requests(),
+        t0.elapsed().as_secs_f64(),
+        false,
+        None,
+        p50,
+        p99,
+    );
     let spread: Vec<u64> = server
         .stats()
         .per_shard()
@@ -131,11 +170,26 @@ fn bench_net_throughput(c: &mut Criterion) {
     let root = docroot("mt");
     let server = MtServer::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
     let addr = server.addr();
+    let t0 = std::time::Instant::now();
     g.bench_function("mt_thread_per_conn", |b| b.iter(|| storm(addr)));
+    let (p50, p99) = latency_percentiles(server.stats());
+    report.record_full(
+        "net_throughput/mt_thread_per_conn",
+        server.stats().requests(),
+        t0.elapsed().as_secs_f64(),
+        false,
+        None,
+        p50,
+        p99,
+    );
     server.stop();
     let _ = std::fs::remove_dir_all(&root);
 
     g.finish();
+    match report.write() {
+        Ok(path) => println!("recorded net_throughput scenarios to {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }
 
 const LARGE_FILE_BYTES: usize = 1024 * 1024;
@@ -256,6 +310,7 @@ fn bench_accept_rate(c: &mut Criterion) {
     g.throughput(Throughput::Elements(
         (CHURN_CLIENTS * CHURN_CONNS_PER_CLIENT) as u64,
     ));
+    let mut report = BenchReport::new();
 
     for mode in [AcceptMode::Single, AcceptMode::ReusePort] {
         let root = docroot("accept-rate");
@@ -275,9 +330,20 @@ fn bench_accept_rate(c: &mut Criterion) {
             continue;
         }
         let addr = server.addr();
+        let t0 = std::time::Instant::now();
         g.bench_function(&format!("short_conns_4_shards_{}", resolved.name()), |b| {
             b.iter(|| storm_churn(addr))
         });
+        let (p50, p99) = latency_percentiles(server.stats());
+        report.record_full(
+            &format!("net_accept_rate/short_conns_4_shards_{}", resolved.name()),
+            server.stats().requests(),
+            t0.elapsed().as_secs_f64(),
+            true,
+            None,
+            p50,
+            p99,
+        );
         println!(
             "accept mode {}: {} accepted, backpressure events {}",
             resolved.name(),
@@ -288,6 +354,10 @@ fn bench_accept_rate(c: &mut Criterion) {
         let _ = std::fs::remove_dir_all(&root);
     }
     g.finish();
+    match report.write() {
+        Ok(path) => println!("recorded net_accept_rate scenarios to {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 }
 
 const IDLE_CONNS: usize = 960;

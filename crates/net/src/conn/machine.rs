@@ -92,6 +92,30 @@ pub struct Conn<Io: ConnIo> {
     /// Cumulative response bytes transmitted (writev + sendfile) — the
     /// write-progress deadline's odometer.
     pub progress: u64,
+    /// When the driver accepted this connection — source of the
+    /// connection-lifetime histogram, recorded at whichever close site
+    /// retires the slot. `None` until the driver stamps it.
+    pub opened_at: Option<Instant>,
+    /// When the in-flight request finished parsing — source of the
+    /// request-latency histogram, taken at response completion.
+    /// `/.flash/` endpoint responses never stamp it.
+    pub req_start: Option<Instant>,
+    /// True from request parse until the response's first byte is
+    /// accepted by the transport (the TTFB record point).
+    pub ttfb_pending: bool,
+    /// `progress` at request parse — the subtrahend for this
+    /// response's transmitted-bytes figure in the access log.
+    pub progress_at_req: u64,
+    /// When this connection parked `Waiting` on a helper job — source
+    /// of the helper-wait histogram, taken at completion delivery.
+    pub wait_start: Option<Instant>,
+    /// True while the queued response came from the `/.flash/`
+    /// endpoints: counted under `metrics_requests`, excluded from the
+    /// latency histograms and the access log.
+    pub metrics_response: bool,
+    /// Access-log metadata staged for the in-flight response (only
+    /// when access logging is on).
+    pub pending_log: Option<crate::stats::PendingLog>,
 }
 
 impl<Io: ConnIo> Conn<Io> {
@@ -111,6 +135,13 @@ impl<Io: ConnIo> Conn<Io> {
             deadline: DeadlineKind::None,
             deadline_progress: 0,
             progress: 0,
+            opened_at: None,
+            req_start: None,
+            ttfb_pending: false,
+            progress_at_req: 0,
+            wait_start: None,
+            metrics_response: false,
+            pending_log: None,
         }
     }
 }
@@ -452,6 +483,8 @@ mod tests {
             write_stall_timeout: Some(Duration::from_secs(30)),
             helper_wait_timeout: Some(Duration::from_secs(60)),
             cache_revalidate_ttl: Some(Duration::from_secs(2)),
+            metrics_endpoint: false,
+            access_log: false,
         }
     }
 

@@ -43,6 +43,8 @@ use std::time::Duration;
 pub use machine::{Conn, ConnState, DeadlineKind, Drive};
 pub use shard::ShardCore;
 
+use crate::stats::Histogram;
+
 /// The transport seam: every I/O operation the connection state
 /// machine performs, with nonblocking semantics — `WouldBlock` means
 /// "retry when the driver says so", exactly as on a nonblocking
@@ -174,6 +176,14 @@ pub struct ProtoConfig {
     pub helper_wait_timeout: Option<Duration>,
     /// Content-cache revalidation TTL (`None` trusts entries forever).
     pub cache_revalidate_ttl: Option<Duration>,
+    /// Serve `GET /.flash/metrics` (Prometheus text) and
+    /// `/.flash/stats` (JSON) in-band on the normal parse/respond
+    /// path. Off by default; endpoint responses count under
+    /// [`ShardStats::metrics_requests`], not `requests`.
+    pub metrics_endpoint: bool,
+    /// Stage an [`crate::stats::AccessRecord`] per completed response
+    /// in [`ShardCore::access_log`] for the driver to drain and write.
+    pub access_log: bool,
 }
 
 /// Live counters for one event-loop shard (real or simulated —
@@ -245,4 +255,39 @@ pub struct ShardStats {
     /// connections closed at drain entry plus keep-alive connections
     /// closed after their final response went out whole.
     pub drained_conns: AtomicU64,
+    /// Responses served by the `/.flash/metrics` and `/.flash/stats`
+    /// endpoints (kept out of `requests` so workload counters stay
+    /// exact under scraping).
+    pub metrics_requests: AtomicU64,
+    /// Event-loop iterations whose non-wait time exceeded the
+    /// configured `loop_stall_threshold` — the direct "did the AMPED
+    /// loop block?" probe.
+    pub loop_stalls: AtomicU64,
+    /// Gauge (max-merged): high-water mark of per-iteration non-wait
+    /// loop time, in microseconds.
+    pub loop_stall_max_us: AtomicU64,
+    /// Cumulative microseconds the loop spent blocked in readiness
+    /// wait (the only phase *allowed* to block).
+    pub phase_wait_us: AtomicU64,
+    /// Cumulative microseconds spent accepting connections.
+    pub phase_accept_us: AtomicU64,
+    /// Cumulative microseconds spent driving readiness events.
+    pub phase_read_us: AtomicU64,
+    /// Cumulative microseconds spent driving connections whose helper
+    /// completion just arrived.
+    pub phase_respond_us: AtomicU64,
+    /// Cumulative microseconds spent applying helper completions.
+    pub phase_completions_us: AtomicU64,
+    /// Cumulative microseconds spent expiring deadline timers.
+    pub phase_timers_us: AtomicU64,
+    /// Request latency: request parsed → final response byte queued.
+    pub hist_request: Histogram,
+    /// Time to first byte: request parsed → first response byte
+    /// accepted by the transport.
+    pub hist_ttfb: Histogram,
+    /// Helper-job wait: connection parked `Waiting` → completion
+    /// delivered.
+    pub hist_helper_wait: Histogram,
+    /// Connection lifetime: accept → close, any close reason.
+    pub hist_lifetime: Histogram,
 }

@@ -18,6 +18,7 @@ use flash_http::response::{error_body, ResponseHeader, Status};
 use flash_http::Method;
 
 use crate::cache::{ContentCache, Entry, Lookup};
+use crate::stats::{self, AccessRecord, PendingLog, Tier};
 use crate::timer::TimerWheel;
 
 use super::machine::{flush_out, Conn, ConnState, DeadlineKind, Drive, FlushResult, SendFileState};
@@ -63,6 +64,15 @@ pub struct ShardCore {
     /// previous epoch still serves its waiters (their request predates
     /// the reload) but is never inserted into the post-reload cache.
     pub epoch: u64,
+    /// Every shard's stats, for rendering the `/.flash/` endpoints
+    /// server-wide (set by the driver; when empty — the sim, tests —
+    /// the endpoint renders this shard's stats alone).
+    pub export: Vec<Arc<ShardStats>>,
+    /// Access records staged by completed responses (only when
+    /// [`ProtoConfig::access_log`] is on); the driver drains this
+    /// every loop iteration and writes the lines, stamping wall time
+    /// itself so the core stays clock-free.
+    pub access_log: Vec<AccessRecord>,
 }
 
 impl ShardCore {
@@ -79,6 +89,8 @@ impl ShardCore {
             stats,
             draining: false,
             epoch: 0,
+            export: Vec::new(),
+            access_log: Vec::new(),
         }
     }
 
@@ -102,6 +114,79 @@ impl ShardCore {
     pub fn begin_drain(&mut self) {
         self.draining = true;
         self.stats.draining.store(1, Ordering::Relaxed);
+    }
+
+    /// Records a closing connection's lifetime. The core calls it on
+    /// its own close paths; drivers call it wherever *they* retire a
+    /// slot (deadline expiry, drain sweeps, registration failures).
+    pub fn note_close<Io: ConnIo>(&self, conn: &Conn<Io>, now: Instant) {
+        if let Some(t0) = conn.opened_at {
+            self.stats.hist_lifetime.record(stats::nanos_since(t0, now));
+        }
+    }
+
+    /// Per-response accounting at the moment the last byte is queued
+    /// out: the `requests` counter (or `metrics_requests` for
+    /// `/.flash/` responses), the request-latency histogram, and the
+    /// staged access-log record.
+    fn finish_response<Io: ConnIo>(&mut self, conn: &mut Conn<Io>, now: Instant) {
+        conn.ttfb_pending = false;
+        if conn.metrics_response {
+            conn.metrics_response = false;
+            self.stats.metrics_requests.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let latency_nanos = conn.req_start.take().map(|t0| stats::nanos_since(t0, now));
+        if let Some(ns) = latency_nanos {
+            self.stats.hist_request.record(ns);
+        }
+        if let Some(log) = conn.pending_log.take() {
+            self.access_log.push(AccessRecord {
+                host: log.host,
+                method: log.method,
+                path: log.path,
+                status: log.status,
+                bytes: conn.progress - conn.progress_at_req,
+                latency_us: latency_nanos.unwrap_or(0) / 1_000,
+                tier: log.tier,
+            });
+        }
+    }
+
+    /// Serves the in-band observability endpoints: the registry
+    /// rendered as Prometheus text (`/.flash/metrics`) or JSON
+    /// (`/.flash/stats`), aggregated over every shard the driver
+    /// exported. Rides the normal respond path — no sidecar thread —
+    /// and counts under `metrics_requests`, never `requests`.
+    fn serve_metrics<Io: ConnIo>(&mut self, conn: &mut Conn<Io>, path: &str) {
+        conn.metrics_response = true;
+        let shards: &[Arc<ShardStats>] = if self.export.is_empty() {
+            std::slice::from_ref(&self.stats)
+        } else {
+            &self.export
+        };
+        let (ctype, body) = match path {
+            "/.flash/metrics" => (
+                "text/plain; version=0.0.4",
+                stats::render_prometheus(shards),
+            ),
+            "/.flash/stats" => ("application/json", stats::render_json(shards)),
+            _ => {
+                let body = Bytes::from(error_body(Status::NotFound));
+                queue_error(conn, Status::NotFound, body);
+                conn.state = ConnState::Writing;
+                return;
+            }
+        };
+        let body = Bytes::from(body.into_bytes());
+        let hdr =
+            ResponseHeader::build(Status::Ok, ctype, body.len() as u64, conn.keep_alive, true);
+        conn.out.push_back(Bytes::from(hdr.as_bytes().to_vec()));
+        if !conn.head_only {
+            conn.out.push_back(body);
+        }
+        conn.state = ConnState::Writing;
     }
 
     /// Runs one connection's state machine as far as it will go
@@ -142,6 +227,7 @@ impl ShardCore {
                     let mut buf = [0u8; 4096];
                     match conn.io.read(&mut buf) {
                         Ok(0) => {
+                            self.note_close(conn, now);
                             conns[idx] = None;
                             return Drive::Closed;
                         }
@@ -163,37 +249,53 @@ impl ShardCore {
                             return Drive::Blocked
                         }
                         Err(_) => {
+                            self.note_close(conn, now);
                             conns[idx] = None;
                             return Drive::Closed;
                         }
                     }
                 }
-                ConnState::Writing => match flush_out(conn, &self.stats) {
-                    FlushResult::Flushed => {
-                        self.stats.requests.fetch_add(1, Ordering::Relaxed);
-                        // Under drain a keep-alive connection closes
-                        // after its final response — unless pipelined
-                        // request bytes are already buffered, which are
-                        // honoured before the close (the loop continues
-                        // Reading and serves them without touching the
-                        // transport).
-                        if conn.keep_alive && !(self.draining && conn.parser.buffered() == 0) {
-                            conn.state = ConnState::Reading;
-                        } else {
-                            if self.draining {
-                                self.stats.drained_conns.fetch_add(1, Ordering::Relaxed);
+                ConnState::Writing => {
+                    let progress_before = conn.progress;
+                    let flushed = flush_out(conn, &self.stats);
+                    // First response byte accepted by the transport
+                    // since the request parsed: that's TTFB, whatever
+                    // the flush outcome.
+                    if conn.ttfb_pending && conn.progress > progress_before {
+                        conn.ttfb_pending = false;
+                        if let Some(t0) = conn.req_start {
+                            self.stats.hist_ttfb.record(stats::nanos_since(t0, now));
+                        }
+                    }
+                    match flushed {
+                        FlushResult::Flushed => {
+                            self.finish_response(conn, now);
+                            // Under drain a keep-alive connection closes
+                            // after its final response — unless pipelined
+                            // request bytes are already buffered, which are
+                            // honoured before the close (the loop continues
+                            // Reading and serves them without touching the
+                            // transport).
+                            if conn.keep_alive && !(self.draining && conn.parser.buffered() == 0) {
+                                conn.state = ConnState::Reading;
+                            } else {
+                                if self.draining {
+                                    self.stats.drained_conns.fetch_add(1, Ordering::Relaxed);
+                                }
+                                self.note_close(conn, now);
+                                conns[idx] = None;
+                                return Drive::Closed;
                             }
+                        }
+                        FlushResult::WouldBlock => return Drive::Blocked,
+                        FlushResult::Yielded => return Drive::Yielded,
+                        FlushResult::Error => {
+                            self.note_close(conn, now);
                             conns[idx] = None;
                             return Drive::Closed;
                         }
                     }
-                    FlushResult::WouldBlock => return Drive::Blocked,
-                    FlushResult::Yielded => return Drive::Yielded,
-                    FlushResult::Error => {
-                        conns[idx] = None;
-                        return Drive::Closed;
-                    }
-                },
+                }
                 ConnState::Waiting => return Drive::Blocked,
             }
         }
@@ -217,9 +319,34 @@ impl ShardCore {
             .if_modified_since
             .as_deref()
             .and_then(flash_http::date::parse_imf);
+        // The observability endpoints answer before any workload
+        // accounting: no `req_start`, no access-log record, counted
+        // under `metrics_requests` — scraping never skews the numbers
+        // it reports.
+        if self.cfg.metrics_endpoint && req.path.starts_with("/.flash/") {
+            self.serve_metrics(conn, &req.path);
+            return;
+        }
+        conn.req_start = Some(now);
+        conn.ttfb_pending = true;
+        conn.progress_at_req = conn.progress;
+        if self.cfg.access_log {
+            conn.pending_log = Some(PendingLog {
+                host: req.host.clone().unwrap_or_default(),
+                method: match req.method {
+                    Method::Get => "GET",
+                    Method::Head => "HEAD",
+                    Method::Post => "POST",
+                },
+                path: req.path.clone(),
+                status: 0,
+                tier: Tier::Error,
+            });
+        }
         if req.method == Method::Post {
             let body = Bytes::from(error_body(Status::NotImplemented));
             queue_error(conn, Status::NotImplemented, body);
+            set_log(conn, Status::NotImplemented.code(), Tier::Error);
             conn.state = ConnState::Writing;
             return;
         }
@@ -235,8 +362,10 @@ impl ShardCore {
                 self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                 if entry.not_modified_since(conn.if_modified_since) {
                     queue_not_modified(conn, entry.mtime, &self.stats);
+                    set_log(conn, Status::NotModified.code(), Tier::NotModified);
                 } else {
                     queue_entry(conn, &entry);
+                    set_log(conn, Status::Ok.code(), Tier::Hit);
                 }
                 conn.state = ConnState::Writing;
                 return;
@@ -255,6 +384,7 @@ impl ShardCore {
         // joining the relative remainder cannot escape the docroot.
         self.waiters.entry(path.clone()).or_default().push(idx);
         self.dispatch_job(path, kind, port);
+        conn.wait_start = Some(now);
         conn.state = ConnState::Waiting;
     }
 
@@ -377,7 +507,7 @@ impl ShardCore {
                 Completion::Fail(status, Bytes::from(error_body(status)))
             }
         };
-        self.deliver_completion(&completion, &done.path, conns, completed);
+        self.deliver_completion(&completion, &done.path, conns, completed, Tier::Miss, now);
     }
 
     /// Handles a revalidation re-stat completion: if the cached entry
@@ -399,7 +529,14 @@ impl ShardCore {
             if entry.mtime == *mtime && entry.body.len() as u64 == *len {
                 self.cache.refresh_at(&path, now);
                 self.stats.revalidations.fetch_add(1, Ordering::Relaxed);
-                self.deliver_completion(&Completion::Small(entry), &path, conns, completed);
+                self.deliver_completion(
+                    &Completion::Small(entry),
+                    &path,
+                    conns,
+                    completed,
+                    Tier::Hit,
+                    now,
+                );
                 return;
             }
         }
@@ -416,24 +553,36 @@ impl ShardCore {
 
     /// Renders a completion into every waiter's output queue, flipping
     /// them to `Writing` and appending their indices to `completed`
-    /// for the driver to drive.
+    /// for the driver to drive. `served_tier` is the access-log tier a
+    /// body-bearing small response reports (miss for a fresh load, hit
+    /// for a confirmed revalidation); `now` closes out each waiter's
+    /// helper-wait interval.
     fn deliver_completion<Io: ConnIo>(
         &mut self,
         completion: &Completion<Io::FileRef>,
         path: &str,
         conns: &mut [Option<Conn<Io>>],
         completed: &mut Vec<usize>,
+        served_tier: Tier,
+        now: Instant,
     ) {
         for idx in self.waiters.remove(path).unwrap_or_default() {
             let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
                 continue;
             };
+            if let Some(t0) = conn.wait_start.take() {
+                self.stats
+                    .hist_helper_wait
+                    .record(stats::nanos_since(t0, now));
+            }
             match &completion {
                 Completion::Small(entry) => {
                     if entry.not_modified_since(conn.if_modified_since) {
                         queue_not_modified(conn, entry.mtime, &self.stats);
+                        set_log(conn, Status::NotModified.code(), Tier::NotModified);
                     } else {
                         queue_entry(conn, entry);
+                        set_log(conn, Status::Ok.code(), served_tier);
                     }
                 }
                 Completion::Large {
@@ -445,11 +594,16 @@ impl ShardCore {
                 } => {
                     if crate::cache::not_modified_since(*mtime, conn.if_modified_since) {
                         queue_not_modified(conn, *mtime, &self.stats);
+                        set_log(conn, Status::NotModified.code(), Tier::NotModified);
                     } else {
                         queue_sendfile(conn, file, *len, header_keep, header_close);
+                        set_log(conn, Status::Ok.code(), Tier::Sendfile);
                     }
                 }
-                Completion::Fail(status, body) => queue_error(conn, *status, body.clone()),
+                Completion::Fail(status, body) => {
+                    queue_error(conn, *status, body.clone());
+                    set_log(conn, status.code(), Tier::Error);
+                }
             }
             conn.state = ConnState::Writing;
             completed.push(idx);
@@ -579,6 +733,15 @@ pub(crate) fn queue_sendfile<Io: ConnIo>(
             offset: 0,
             remaining: len,
         });
+    }
+}
+
+/// Fills in the staged access-log record's outcome fields (no-op when
+/// access logging is off — `pending_log` is `None`).
+fn set_log<Io: ConnIo>(conn: &mut Conn<Io>, status: u16, tier: Tier) {
+    if let Some(log) = conn.pending_log.as_mut() {
+        log.status = status;
+        log.tier = tier;
     }
 }
 

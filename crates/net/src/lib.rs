@@ -204,6 +204,113 @@
 //! `examples/graceful_restart.rs` for the full choreography under
 //! load.
 //!
+//! # Observability: the flight recorder
+//!
+//! Every number the server knows about itself lives in one place: the
+//! metrics **registry** in [`stats`]. Each per-shard `AtomicU64` on
+//! [`ShardStats`] has exactly one [`stats::Desc`] (name, kind, merge
+//! rule, help), each latency histogram one [`stats::HistDesc`] — the
+//! [`ServerStats`] getters, the Prometheus exposition, and the JSON
+//! document all read through the same descriptors, so an exported
+//! metric can never drift from its getter. Shards write with relaxed
+//! atomics on their own cache lines (no locks, no contention on the
+//! request path); readers merge per-shard values on demand (counters
+//! sum, `loop_stall_max_us` takes the max).
+//!
+//! Latency is recorded in **log-bucketed histograms**
+//! ([`Histogram`]: 64 power-of-two nanosecond buckets, so a quantile
+//! read off a merged snapshot is within one bucket — ≤ 2× relative
+//! error — of the exact sample quantile, and bucket-wise merging of
+//! per-shard snapshots equals the histogram of the merged stream).
+//! Recording happens inside the sans-IO core with `Instant`s passed in
+//! as parameters, so the real shards, the MT server, and the
+//! deterministic sim produce the *same* histograms — the sim in
+//! simulated time, bit-identical per seed, with the four
+//! [`HistSummary`] digests folded into its fingerprinted report.
+//!
+//! ## Scalar metrics
+//!
+//! | Metric | Kind | What it counts |
+//! |---|---|---|
+//! | `requests` | counter | Completed responses (any status), excluding `/.flash/` responses |
+//! | `metrics_requests` | counter | Responses served by the `/.flash/*` endpoints |
+//! | `accepted` | counter | Connections accepted and dealt to shards |
+//! | `helper_jobs` | counter | Disk jobs dispatched after miss coalescing |
+//! | `cache_hits` | counter | Responses served from the content cache |
+//! | `writev_calls` | counter | Gathered `writev(2)` calls on the send path |
+//! | `sendfile_calls` | counter | `sendfile(2)` calls on the large-body path |
+//! | `bytes_sendfile` | counter | Body bytes transmitted via `sendfile(2)` |
+//! | `cache_used_bytes` | gauge | Bytes resident in the content caches |
+//! | `wait_calls` / `wait_events` | counter | Readiness waits and the events they returned |
+//! | `idle_reaped` | counter | Keep-alives closed by the idle deadline |
+//! | `read_timeouts` | counter | Connections closed by the header-read deadline |
+//! | `write_stall_timeouts` | counter | Connections closed by the write-progress deadline |
+//! | `not_modified` | counter | `304 Not Modified` responses |
+//! | `accept_backpressure` | counter | Accept throttles (fd exhaustion / accept failure) |
+//! | `revalidations` | counter | Re-stats confirming a past-TTL entry unchanged |
+//! | `stale_evicted` | counter | Entries evicted because a re-stat saw them change |
+//! | `helper_wait_timeouts` | counter | Waiters closed by the helper-completion deadline |
+//! | `jobs_cancelled` | counter | In-flight jobs cancelled after their last waiter left |
+//! | `draining` | gauge | Shards currently in drain mode |
+//! | `drained_conns` | counter | Connections retired by a drain |
+//! | `loop_stalls` | counter | Iterations whose non-wait time exceeded [`server::NetConfig::loop_stall_threshold`] |
+//! | `loop_stall_max_us` | gauge (max) | High-water per-iteration non-wait time, µs |
+//! | `phase_{wait,accept,read,respond,completions,timers}_us` | counter | Cumulative µs per event-loop phase |
+//!
+//! Histograms (nanoseconds): `request_latency_nanos` (request parsed →
+//! final response byte queued), `ttfb_nanos` (request parsed → first
+//! byte accepted by the transport), `helper_wait_nanos` (parked
+//! `Waiting` → completion delivered), `conn_lifetime_nanos` (accept →
+//! close, any reason).
+//!
+//! The `phase_*` counters and the **stall watchdog** are the direct
+//! probe of the AMPED contract that the event loop never blocks: each
+//! iteration's non-wait time is split across the six phases, its
+//! maximum is kept in `loop_stall_max_us`, and any iteration busier
+//! than `loop_stall_threshold` (default 100 ms) increments
+//! `loop_stalls` — a nonzero value means some phase performed blocking
+//! work on the event thread.
+//!
+//! ## Endpoints
+//!
+//! With [`server::NetConfig::metrics_endpoint`] enabled (builder:
+//! `with_metrics_endpoint(true)`), both servers answer two reserved
+//! paths in-band on every shard, served from the counters without
+//! touching cache or helpers:
+//!
+//! * `GET /.flash/metrics` — Prometheus text exposition
+//!   (`text/plain; version=0.0.4`): every scalar as
+//!   `flash_<name> <value>` with `# HELP`/`# TYPE`, every histogram as
+//!   cumulative `flash_<name>_bucket{le="<nanos>"}` lines plus `_sum`
+//!   and `_count`.
+//! * `GET /.flash/stats` — the same registry as one JSON document:
+//!   `{"counters": {...}, "gauges": {...}, "histograms": {"<name>":
+//!   {"count", "sum_nanos", "p50_nanos", "p99_nanos"}}}`.
+//!
+//! These responses count only `metrics_requests`, never `requests` —
+//! scrapes don't perturb the workload numbers they report.
+//!
+//! ## Access log
+//!
+//! [`server::NetConfig::access_log_path`] (builder:
+//! `with_access_log(path)`) turns on a structured per-response log,
+//! one line per completed response in common-log field order with
+//! latency and serving tier appended:
+//!
+//! ```text
+//! host - - [unix_ts] "METHOD path" status bytes latency_us tier
+//! ```
+//!
+//! where `tier` is `hit`, `miss`, `sendfile`, `not_modified`, or
+//! `error`. The core stages records clock-free; each shard batches
+//! them into a single `write_all` against an `O_APPEND` descriptor at
+//! the end of its loop iteration, so concurrent shards (or MT worker
+//! threads) interleave whole batches — never fragments of a line. The
+//! logrotate handshake is
+//! [`Server::rotate_access_logs`](server::Server::rotate_access_logs)
+//! (typically mapped from `SIGHUP` alongside the reload): rename the
+//! file, signal, and every writer reopens the configured path.
+//!
 //! # Quick start
 //!
 //! ```no_run
@@ -228,6 +335,7 @@ pub mod sendfile;
 pub mod server;
 pub mod sim;
 pub mod sock;
+pub mod stats;
 pub mod timer;
 pub mod writev;
 
@@ -239,3 +347,4 @@ pub use mt::MtServer;
 pub use report::BenchReport;
 pub use server::{NetConfig, Server, ServerStats, ShardStats};
 pub use sock::{AcceptMode, AcceptModeKind};
+pub use stats::{HistSnapshot, HistSummary, Histogram};

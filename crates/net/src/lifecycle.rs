@@ -297,6 +297,11 @@ pub(crate) struct LifecycleShared {
     /// nothing changed.
     reload_gen: AtomicU64,
     reload_docroot: Mutex<Option<PathBuf>>,
+    /// Bumped on every access-log rotation request; shards compare
+    /// against their last-seen value and reopen their log file at the
+    /// configured path — the logrotate handshake, same polling shape
+    /// as the reload generation.
+    log_gen: AtomicU64,
 }
 
 impl LifecycleShared {
@@ -306,6 +311,7 @@ impl LifecycleShared {
             drain_deadline: Mutex::new(None),
             reload_gen: AtomicU64::new(0),
             reload_docroot: Mutex::new(None),
+            log_gen: AtomicU64::new(0),
         }
     }
 
@@ -360,6 +366,15 @@ impl LifecycleShared {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
+    }
+
+    /// Asks every access-log owner to reopen its file.
+    pub fn rotate_logs(&self) {
+        self.log_gen.fetch_add(1, Ordering::Release);
+    }
+
+    pub fn log_gen(&self) -> u64 {
+        self.log_gen.load(Ordering::Acquire)
     }
 }
 

@@ -31,7 +31,7 @@
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -43,9 +43,11 @@ use flash_http::Method;
 use parking_lot::Mutex;
 
 use crate::cache::{ContentCache, Entry, Lookup};
+use crate::conn::ShardStats;
 use crate::lifecycle::{LifecycleShared, PHASE_DRAINING, PHASE_STOPPING};
-use crate::server::{prepare_accept_backend, run_accept_loop, AcceptSink, NetConfig};
+use crate::server::{prepare_accept_backend, run_accept_loop, AcceptSink, NetConfig, ServerStats};
 use crate::sock;
+use crate::stats::{self as metrics, AccessLogWriter, AccessRecord, Tier};
 
 /// The shared content cache plus the reload generation its entries
 /// were loaded under — one lock covers both, so a SIGHUP flush and
@@ -54,6 +56,16 @@ use crate::sock;
 struct SharedCache {
     cache: ContentCache,
     generation: u64,
+}
+
+/// The MT access log: one writer shared by every worker, each
+/// completed response appended under the lock as a single `write_all`
+/// — whole lines, never fragments. `gen_seen` is the last rotation
+/// generation any worker applied (the first to observe a bump
+/// reopens).
+struct MtLog {
+    writer: Mutex<AccessLogWriter>,
+    gen_seen: AtomicU64,
 }
 
 /// Handle to a running MT server.
@@ -67,6 +79,10 @@ pub struct MtServer {
     handoff: Vec<TcpListener>,
     stop_tx: UnixStream,
     accept_thread: Option<JoinHandle<()>>,
+    /// One "shard" of counters and histograms — the same registry the
+    /// AMPED server exports, so both architectures are compared with
+    /// identical instruments.
+    stats: ServerStats,
 }
 
 impl MtServer {
@@ -113,6 +129,14 @@ impl MtServer {
         // acceptor — the loop itself is shared).
         let backend = prepare_accept_backend(cfg.backend, &listener, &stop_rx)?;
         let drain_timeout = cfg.drain_timeout;
+        let shard = Arc::new(ShardStats::default());
+        let shard2 = Arc::clone(&shard);
+        let log = cfg.access_log_path.clone().map(|p| {
+            Arc::new(MtLog {
+                writer: Mutex::new(AccessLogWriter::open(p)),
+                gen_seen: AtomicU64::new(0),
+            })
+        });
         let accept_thread = std::thread::Builder::new()
             .name("flash-mt-accept".into())
             .spawn(move || {
@@ -121,6 +145,8 @@ impl MtServer {
                     cache,
                     cfg,
                     lifecycle: lifecycle2,
+                    shard: shard2,
+                    log,
                 };
                 run_accept_loop(&listener, backend, &accept_stop2, &mut spawner);
                 drop(stop_rx); // keep the read side alive until exit
@@ -136,7 +162,16 @@ impl MtServer {
             handoff,
             stop_tx,
             accept_thread: Some(accept_thread),
+            stats: ServerStats::new(vec![shard]),
         })
+    }
+
+    /// The server's counters and latency histograms — the same
+    /// registry-backed [`ServerStats`] surface the AMPED server
+    /// exposes (one shard here: every worker thread writes the same
+    /// atomics).
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
     }
 
     /// The bound address.
@@ -214,6 +249,15 @@ impl MtServer {
         self.lifecycle.publish_reload(docroot.into());
     }
 
+    /// Asks the workers to reopen the access log at its configured
+    /// path (the logrotate handshake — see
+    /// [`crate::server::Server::rotate_access_logs`]). Applied by the
+    /// first worker to observe the bump, within its 200 ms read
+    /// cadence. A no-op unless [`NetConfig::access_log_path`] is set.
+    pub fn rotate_access_logs(&self) {
+        self.lifecycle.rotate_logs();
+    }
+
     fn halt_accept_and_join(&mut self) {
         self.accept_stop.store(true, Ordering::SeqCst);
         let _ = (&self.stop_tx).write_all(b"q");
@@ -230,6 +274,8 @@ struct WorkerSpawner {
     cache: Arc<Mutex<SharedCache>>,
     cfg: NetConfig,
     lifecycle: Arc<LifecycleShared>,
+    shard: Arc<ShardStats>,
+    log: Option<Arc<MtLog>>,
 }
 
 impl AcceptSink for WorkerSpawner {
@@ -238,9 +284,12 @@ impl AcceptSink for WorkerSpawner {
         let cache = Arc::clone(&self.cache);
         let cfg = self.cfg.clone();
         let lifecycle = Arc::clone(&self.lifecycle);
+        let shard = Arc::clone(&self.shard);
+        let log = self.log.clone();
+        shard.accepted.fetch_add(1, Ordering::Relaxed);
         if let Ok(h) = std::thread::Builder::new()
             .name("flash-mt-conn".into())
-            .spawn(move || serve_conn(stream, cache, cfg, lifecycle))
+            .spawn(move || serve_conn(stream, cache, cfg, lifecycle, shard, log))
         {
             self.workers.push(h);
         }
@@ -251,11 +300,31 @@ impl AcceptSink for WorkerSpawner {
     }
 }
 
+/// Lifetime wrapper around [`serve_conn_inner`]: however the worker
+/// exits — clean close, deadline, error — the connection's accept-to-
+/// close span lands in the lifetime histogram.
 fn serve_conn(
+    stream: TcpStream,
+    cache: Arc<Mutex<SharedCache>>,
+    cfg: NetConfig,
+    lifecycle: Arc<LifecycleShared>,
+    shard: Arc<ShardStats>,
+    log: Option<Arc<MtLog>>,
+) {
+    let opened = Instant::now();
+    serve_conn_inner(stream, cache, cfg, lifecycle, &shard, &log);
+    shard
+        .hist_lifetime
+        .record(metrics::nanos_since(opened, Instant::now()));
+}
+
+fn serve_conn_inner(
     mut stream: TcpStream,
     cache: Arc<Mutex<SharedCache>>,
     mut cfg: NetConfig,
     lifecycle: Arc<LifecycleShared>,
+    shard: &Arc<ShardStats>,
+    log: &Option<Arc<MtLog>>,
 ) {
     // The blocking read is capped at 200 ms so shutdown and the phase
     // deadlines below are checked on that cadence even when the peer
@@ -312,6 +381,15 @@ fn serve_conn(
             drop(locked);
             epoch = generation;
         }
+        // Apply a pending access-log rotation: the first worker to
+        // observe the bump wins the swap and reopens the shared
+        // writer; the rest see the generation already applied.
+        if let Some(l) = log {
+            let g = lifecycle.log_gen();
+            if l.gen_seen.swap(g, Ordering::AcqRel) != g {
+                l.writer.lock().reopen();
+            }
+        }
         // Serve any request already buffered (keep-alive pipelining)
         // before blocking on the socket for more bytes.
         let req = match parser.feed(&[]) {
@@ -359,6 +437,21 @@ fn serve_conn(
         };
         let keep = req.keep_alive();
         let head_only = req.method == Method::Head;
+        let req_start = Instant::now();
+        // The in-band observability endpoints, same contract as the
+        // AMPED shards: counted under `metrics_requests`, never
+        // `requests`, so scraping cannot perturb what it reports.
+        if cfg.metrics_endpoint && req.path.starts_with("/.flash/") {
+            let ok = serve_metrics_mt(&mut stream, shard, &req.path, keep, head_only);
+            shard.metrics_requests.fetch_add(1, Ordering::Relaxed);
+            if !ok || !keep {
+                return;
+            }
+            served += 1;
+            phase_start = Instant::now();
+            in_header = parser.buffered() > 0;
+            continue;
+        }
         if req.method == Method::Post {
             let _ = respond_error(&mut stream, Status::NotImplemented, head_only);
             return;
@@ -384,16 +477,22 @@ fn serve_conn(
                 match crate::server::stat_file_checked(&fs_path) {
                     Ok((len, mtime)) if e.mtime == mtime && e.body.len() as u64 == len => {
                         cache.lock().cache.refresh(&path);
+                        shard.revalidations.fetch_add(1, Ordering::Relaxed);
                         Some(e)
                     }
                     _ => {
                         cache.lock().cache.invalidate(&path);
+                        shard.stale_evicted.fetch_add(1, Ordering::Relaxed);
                         None
                     }
                 }
             }
             Lookup::Miss => None,
         };
+        let was_hit = cached.is_some();
+        if was_hit {
+            shard.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
         let entry = match cached {
             Some(e) => Ok(e),
             None => match read_file_with_mtime(&cfg.docroot.join(path.trim_start_matches('/'))) {
@@ -421,25 +520,108 @@ fn serve_conn(
             .if_modified_since
             .as_deref()
             .and_then(flash_http::date::parse_imf);
-        let ok = match entry {
+        // Each arm writes the header first and records TTFB on its
+        // success — with blocking sockets that write IS the first
+        // response byte on the wire.
+        let ttfb = || {
+            shard
+                .hist_ttfb
+                .record(metrics::nanos_since(req_start, Instant::now()));
+        };
+        let (ok, status_code, bytes_out, tier) = match entry {
             Ok(e) if e.not_modified_since(ims) => {
                 let hdr = ResponseHeader::not_modified(keep, e.mtime);
-                stream.write_all(hdr.as_bytes()).is_ok()
+                let ok = stream.write_all(hdr.as_bytes()).is_ok();
+                if ok {
+                    ttfb();
+                    shard.not_modified.fetch_add(1, Ordering::Relaxed);
+                }
+                (
+                    ok,
+                    Status::NotModified.code(),
+                    hdr.as_bytes().len() as u64,
+                    Tier::NotModified,
+                )
             }
             Ok(e) => {
                 // Re-date the pre-rendered header: a shared-cache hit
                 // may be long past the second it was rendered in.
                 let hdr = e.header_with_current_date(keep);
-                stream.write_all(&hdr).is_ok() && (head_only || stream.write_all(&e.body).is_ok())
+                let mut ok = stream.write_all(&hdr).is_ok();
+                if ok {
+                    ttfb();
+                }
+                let mut n = hdr.len() as u64;
+                if ok && !head_only {
+                    ok = stream.write_all(&e.body).is_ok();
+                    if ok {
+                        n += e.body.len() as u64;
+                    }
+                }
+                let tier = if was_hit { Tier::Hit } else { Tier::Miss };
+                (ok, Status::Ok.code(), n, tier)
             }
-            Err(status) => respond_error(&mut stream, status, head_only).is_ok(),
+            Err(status) => match respond_error(&mut stream, status, head_only) {
+                Ok(n) => {
+                    ttfb();
+                    (true, status.code(), n, Tier::Error)
+                }
+                Err(_) => (false, status.code(), 0, Tier::Error),
+            },
         };
+        if ok {
+            let latency = metrics::nanos_since(req_start, Instant::now());
+            shard.requests.fetch_add(1, Ordering::Relaxed);
+            shard.hist_request.record(latency);
+            if let Some(l) = log {
+                let mut batch = vec![AccessRecord {
+                    host: req.host.clone().unwrap_or_default(),
+                    method: match req.method {
+                        Method::Get => "GET",
+                        Method::Head => "HEAD",
+                        Method::Post => "POST",
+                    },
+                    path: req.path.clone(),
+                    status: status_code,
+                    bytes: bytes_out,
+                    latency_us: latency / 1_000,
+                    tier,
+                }];
+                l.writer.lock().drain(&mut batch);
+            }
+        }
         if !ok || !keep {
             return;
         }
         served += 1;
         phase_start = Instant::now();
         in_header = parser.buffered() > 0;
+    }
+}
+
+/// Serves `GET /.flash/metrics` (Prometheus text) or `/.flash/stats`
+/// (JSON) from the MT worker's own thread; any other `/.flash/` path
+/// is a 404. Returns whether the write succeeded.
+fn serve_metrics_mt(
+    stream: &mut TcpStream,
+    shard: &Arc<ShardStats>,
+    path: &str,
+    keep: bool,
+    head_only: bool,
+) -> bool {
+    let one = std::slice::from_ref(shard);
+    let payload = match path {
+        "/.flash/metrics" => Some(("text/plain; version=0.0.4", metrics::render_prometheus(one))),
+        "/.flash/stats" => Some(("application/json", metrics::render_json(one))),
+        _ => None,
+    };
+    match payload {
+        Some((ctype, body)) => {
+            let hdr = ResponseHeader::build(Status::Ok, ctype, body.len() as u64, keep, true);
+            stream.write_all(hdr.as_bytes()).is_ok()
+                && (head_only || stream.write_all(body.as_bytes()).is_ok())
+        }
+        None => respond_error(stream, Status::NotFound, head_only).is_ok(),
     }
 }
 
@@ -460,12 +642,16 @@ fn read_file_with_mtime(p: &std::path::Path) -> io::Result<(Vec<u8>, Option<i64>
     Ok((body, crate::server::unix_mtime(&meta)))
 }
 
-fn respond_error(stream: &mut TcpStream, status: Status, head_only: bool) -> io::Result<()> {
+/// Writes an error response; returns the bytes put on the wire (for
+/// the access log).
+fn respond_error(stream: &mut TcpStream, status: Status, head_only: bool) -> io::Result<u64> {
     let body = Bytes::from(error_body(status));
     let hdr = ResponseHeader::build(status, "text/html", body.len() as u64, false, true);
     stream.write_all(hdr.as_bytes())?;
+    let mut n = hdr.as_bytes().len() as u64;
     if !head_only {
         stream.write_all(&body)?;
+        n += body.len() as u64;
     }
-    Ok(())
+    Ok(n)
 }

@@ -84,7 +84,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -100,6 +100,7 @@ use crate::event::{new_backend, BackendChoice, BackendKind, Event, EventBackend,
 use crate::lifecycle::{LifecycleShared, PHASE_DRAINING, PHASE_STOPPING};
 use crate::sendfile::send_file;
 use crate::sock::{self, AcceptMode, AcceptModeKind};
+use crate::stats::{self as metrics, AccessLogWriter, HistSnapshot};
 use crate::timer::{tick_for, TimerWheel};
 use crate::writev::writev_fd;
 
@@ -214,6 +215,25 @@ pub struct NetConfig {
     /// Default 60 s — deliberately above every disk-latency spike a
     /// healthy system produces.
     pub helper_wait_timeout: Option<Duration>,
+    /// Serve `GET /.flash/metrics` (Prometheus text exposition) and
+    /// `GET /.flash/stats` (JSON) from the shards themselves — no
+    /// sidecar thread; the scrape rides the normal parse/respond path
+    /// and counts under `metrics_requests`, never `requests`. Off by
+    /// default (the `/.flash/` prefix stays ordinary docroot space
+    /// until opted in).
+    pub metrics_endpoint: bool,
+    /// Event-loop stall watchdog threshold: a loop iteration whose
+    /// **non-wait** time (accept + read + respond + completions +
+    /// timers) exceeds this counts as a `loop_stalls` event, and the
+    /// `loop_stall_max_us` gauge tracks the high-water mark either
+    /// way. This is the direct probe for the one pathology AMPED
+    /// exists to prevent — a blocked event loop. Default 100 ms.
+    pub loop_stall_threshold: Duration,
+    /// Structured access log: each shard buffers one record per
+    /// completed response and appends batched lines to this file
+    /// (`None` disables logging). Reopened on SIGHUP via
+    /// [`Server::rotate_access_logs`] and on every docroot reload.
+    pub access_log_path: Option<PathBuf>,
 }
 
 impl NetConfig {
@@ -234,6 +254,9 @@ impl NetConfig {
             cache_revalidate_ttl: Some(Duration::from_secs(2)),
             drain_timeout: Duration::from_secs(30),
             helper_wait_timeout: Some(Duration::from_secs(60)),
+            metrics_endpoint: false,
+            loop_stall_threshold: Duration::from_millis(100),
+            access_log_path: None,
         }
     }
 
@@ -306,6 +329,25 @@ impl NetConfig {
         self.helper_wait_timeout = timeout;
         self
     }
+
+    /// Same config with the in-band `/.flash/metrics` + `/.flash/stats`
+    /// endpoints switched on or off.
+    pub fn with_metrics_endpoint(mut self, on: bool) -> Self {
+        self.metrics_endpoint = on;
+        self
+    }
+
+    /// Same config with the event-loop stall watchdog threshold.
+    pub fn with_loop_stall_threshold(mut self, threshold: Duration) -> Self {
+        self.loop_stall_threshold = threshold;
+        self
+    }
+
+    /// Same config writing a structured access log to `path`.
+    pub fn with_access_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.access_log_path = Some(path.into());
+        self
+    }
 }
 
 /// `min(available cores, 8)` — beyond 8 loops the acceptor itself
@@ -319,68 +361,78 @@ pub fn default_event_loops() -> usize {
 
 /// Counters for a running server: per-shard atomics, aggregated on
 /// read so the hot path never contends on a shared cacheline.
+///
+/// Every getter delegates to the same [`crate::stats`] registry
+/// descriptor the exporters ([`Self::render_prometheus`],
+/// [`Self::render_json`]) iterate, so a counter cannot exist here
+/// without appearing in the scrape output (or vice versa).
 #[derive(Debug)]
 pub struct ServerStats {
     shards: Vec<Arc<ShardStats>>,
 }
 
 impl ServerStats {
-    fn sum(&self, f: impl Fn(&ShardStats) -> &AtomicU64) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| f(s).load(Ordering::Relaxed))
-            .sum()
+    pub(crate) fn new(shards: Vec<Arc<ShardStats>>) -> Self {
+        ServerStats { shards }
     }
 
-    /// Completed responses across all shards.
+    /// Completed responses across all shards (excludes `/.flash/*`
+    /// scrapes — those count under [`Self::metrics_requests`]).
     pub fn requests(&self) -> u64 {
-        self.sum(|s| &s.requests)
+        metrics::REQUESTS.merged(&self.shards)
+    }
+
+    /// `/.flash/metrics` + `/.flash/stats` responses served, across
+    /// shards — kept out of `requests` so scraping never perturbs the
+    /// workload counters it reports.
+    pub fn metrics_requests(&self) -> u64 {
+        metrics::METRICS_REQUESTS.merged(&self.shards)
     }
 
     /// Connections accepted across all shards.
     pub fn accepted(&self) -> u64 {
-        self.sum(|s| &s.accepted)
+        metrics::ACCEPTED.merged(&self.shards)
     }
 
     /// Helper jobs dispatched across all shards.
     pub fn helper_jobs(&self) -> u64 {
-        self.sum(|s| &s.helper_jobs)
+        metrics::HELPER_JOBS.merged(&self.shards)
     }
 
     /// Content-cache hits across all shards.
     pub fn cache_hits(&self) -> u64 {
-        self.sum(|s| &s.cache_hits)
+        metrics::CACHE_HITS.merged(&self.shards)
     }
 
     /// Gathered writes issued across all shards.
     pub fn writev_calls(&self) -> u64 {
-        self.sum(|s| &s.writev_calls)
+        metrics::WRITEV_CALLS.merged(&self.shards)
     }
 
     /// `sendfile(2)` calls issued across all shards.
     pub fn sendfile_calls(&self) -> u64 {
-        self.sum(|s| &s.sendfile_calls)
+        metrics::SENDFILE_CALLS.merged(&self.shards)
     }
 
     /// Body bytes served via `sendfile(2)` across all shards.
     pub fn bytes_sendfile(&self) -> u64 {
-        self.sum(|s| &s.bytes_sendfile)
+        metrics::BYTES_SENDFILE.merged(&self.shards)
     }
 
     /// Bytes currently resident in the content caches, summed over
     /// shards. Large-body responses must leave this untouched.
     pub fn cache_used_bytes(&self) -> u64 {
-        self.sum(|s| &s.cache_used_bytes)
+        metrics::CACHE_USED_BYTES.merged(&self.shards)
     }
 
     /// Readiness `wait` calls across all shards.
     pub fn wait_calls(&self) -> u64 {
-        self.sum(|s| &s.wait_calls)
+        metrics::WAIT_CALLS.merged(&self.shards)
     }
 
     /// Readiness events delivered across all shards.
     pub fn wait_events(&self) -> u64 {
-        self.sum(|s| &s.wait_events)
+        metrics::WAIT_EVENTS.merged(&self.shards)
     }
 
     /// Gauge: mean readiness events per `wait` call — how much work
@@ -397,45 +449,45 @@ impl ServerStats {
 
     /// Keep-alive connections closed by the idle deadline, across shards.
     pub fn idle_reaped(&self) -> u64 {
-        self.sum(|s| &s.idle_reaped)
+        metrics::IDLE_REAPED.merged(&self.shards)
     }
 
     /// Connections closed by the header-read deadline, across shards.
     pub fn read_timeouts(&self) -> u64 {
-        self.sum(|s| &s.read_timeouts)
+        metrics::READ_TIMEOUTS.merged(&self.shards)
     }
 
     /// Connections closed by the write-progress deadline, across shards.
     pub fn write_stall_timeouts(&self) -> u64 {
-        self.sum(|s| &s.write_stall_timeouts)
+        metrics::WRITE_STALL_TIMEOUTS.merged(&self.shards)
     }
 
     /// `304 Not Modified` responses served, across shards.
     pub fn not_modified(&self) -> u64 {
-        self.sum(|s| &s.not_modified)
+        metrics::NOT_MODIFIED.merged(&self.shards)
     }
 
     /// Accept-path backpressure events (listener throttled on
     /// `EMFILE`/`ENFILE` or accept failure), across shards.
     pub fn accept_backpressure(&self) -> u64 {
-        self.sum(|s| &s.accept_backpressure)
+        metrics::ACCEPT_BACKPRESSURE.merged(&self.shards)
     }
 
     /// Successful cache revalidations (re-stat matched), across shards.
     pub fn revalidations(&self) -> u64 {
-        self.sum(|s| &s.revalidations)
+        metrics::REVALIDATIONS.merged(&self.shards)
     }
 
     /// Cache entries evicted as stale by a revalidation re-stat,
     /// across shards.
     pub fn stale_evicted(&self) -> u64 {
-        self.sum(|s| &s.stale_evicted)
+        metrics::STALE_EVICTED.merged(&self.shards)
     }
 
     /// `Waiting` connections closed by the helper-completion deadline,
     /// across shards.
     pub fn helper_wait_timeouts(&self) -> u64 {
-        self.sum(|s| &s.helper_wait_timeouts)
+        metrics::HELPER_WAIT_TIMEOUTS.merged(&self.shards)
     }
 
     /// Helper jobs cancelled because their last waiter was reaped
@@ -444,19 +496,68 @@ impl ServerStats {
     /// by its stale token — neither populates the cache nor wakes a
     /// reused slot.
     pub fn jobs_cancelled(&self) -> u64 {
-        self.sum(|s| &s.jobs_cancelled)
+        metrics::JOBS_CANCELLED.merged(&self.shards)
     }
 
     /// Gauge: how many shards are currently in drain mode.
     pub fn draining_shards(&self) -> u64 {
-        self.sum(|s| &s.draining)
+        metrics::DRAINING.merged(&self.shards)
     }
 
     /// Connections retired by drains (idle keep-alives closed at
     /// drain entry + keep-alives closed after their final response),
     /// across shards.
     pub fn drained_conns(&self) -> u64 {
-        self.sum(|s| &s.drained_conns)
+        metrics::DRAINED_CONNS.merged(&self.shards)
+    }
+
+    /// Event-loop iterations whose non-wait time exceeded
+    /// [`NetConfig::loop_stall_threshold`], across shards — the AMPED
+    /// "the event loop must never block" invariant, measured.
+    pub fn loop_stalls(&self) -> u64 {
+        metrics::LOOP_STALLS.merged(&self.shards)
+    }
+
+    /// Gauge: worst single-iteration non-wait time observed by any
+    /// shard, in microseconds (high-water mark, max over shards).
+    pub fn loop_stall_max_us(&self) -> u64 {
+        metrics::LOOP_STALL_MAX_US.merged(&self.shards)
+    }
+
+    /// Request latency histogram (first request byte → response fully
+    /// flushed), merged across shards.
+    pub fn request_latency(&self) -> HistSnapshot {
+        metrics::HIST_REQUEST.merged(&self.shards)
+    }
+
+    /// Time-to-first-byte histogram (first request byte → first
+    /// response byte accepted by the socket), merged across shards.
+    pub fn ttfb(&self) -> HistSnapshot {
+        metrics::HIST_TTFB.merged(&self.shards)
+    }
+
+    /// Helper-job wait histogram (parked in `Waiting` → completion
+    /// delivered), merged across shards.
+    pub fn helper_wait(&self) -> HistSnapshot {
+        metrics::HIST_HELPER_WAIT.merged(&self.shards)
+    }
+
+    /// Connection lifetime histogram (accept → close), merged across
+    /// shards.
+    pub fn conn_lifetime(&self) -> HistSnapshot {
+        metrics::HIST_LIFETIME.merged(&self.shards)
+    }
+
+    /// The full Prometheus text exposition — exactly what
+    /// `GET /.flash/metrics` serves.
+    pub fn render_prometheus(&self) -> String {
+        metrics::render_prometheus(&self.shards)
+    }
+
+    /// The full JSON stats document — exactly what
+    /// `GET /.flash/stats` serves.
+    pub fn render_json(&self) -> String {
+        metrics::render_json(&self.shards)
     }
 
     /// The per-shard counters (index = shard id).
@@ -885,14 +986,21 @@ impl Server {
                     write_stall_timeout: cfg.write_stall_timeout,
                     helper_wait_timeout: cfg.helper_wait_timeout,
                     cache_revalidate_ttl: cfg.cache_revalidate_ttl,
+                    metrics_endpoint: cfg.metrics_endpoint,
+                    access_log: cfg.access_log_path.is_some(),
                 };
+                let mut core = ShardCore::new(
+                    shard_id,
+                    shard_cache_bytes,
+                    proto,
+                    Arc::clone(&shard_stats[shard_id]),
+                );
+                // Every shard can see its siblings' counters, so a
+                // `/.flash/metrics` scrape answered by any one shard
+                // reports the whole server.
+                core.export = shard_stats.clone();
                 let ctx = ShardCtx {
-                    core: ShardCore::new(
-                        shard_id,
-                        shard_cache_bytes,
-                        proto,
-                        Arc::clone(&shard_stats[shard_id]),
-                    ),
+                    core,
                     port: PoolPort {
                         jobs: Arc::clone(&jobs),
                         shard: shard_id,
@@ -1089,6 +1197,20 @@ impl Server {
     /// poison the post-reload cache.
     pub fn reload_docroot(&self, docroot: impl Into<PathBuf>) {
         self.lifecycle.publish_reload(docroot.into());
+        for wake in &self.shard_wakes {
+            wake.wake();
+        }
+    }
+
+    /// Asks every shard to reopen its access-log file at the
+    /// configured path — the logrotate handshake: rename the file,
+    /// send SIGHUP (or call this), and the shards close the renamed
+    /// inode and append to a fresh one. Records are batched per loop
+    /// iteration and written with a single `O_APPEND` write each, so
+    /// no line is lost or torn across the swap. A no-op unless
+    /// [`NetConfig::access_log_path`] is set.
+    pub fn rotate_access_logs(&self) {
+        self.lifecycle.rotate_logs();
         for wake in &self.shard_wakes {
             wake.wake();
         }
@@ -1401,12 +1523,20 @@ fn shard_loop(
     // draining phase (begin_drain stores it before flipping the
     // phase, so it is always visible here).
     let mut drain_deadline: Option<Instant> = None;
+    // Flight-recorder state: the access-log writer (None unless
+    // configured) and the rotation generation last applied.
+    let mut access_log = ctx.cfg.access_log_path.clone().map(AccessLogWriter::open);
+    let mut log_gen_seen = lifecycle.log_gen();
+    let stall_threshold = ctx.cfg.loop_stall_threshold;
 
     loop {
         match lifecycle.phase() {
             PHASE_STOPPING => {
                 if ctx.core.draining {
                     ctx.core.stats.draining.store(0, Ordering::Relaxed);
+                }
+                if let Some(w) = access_log.as_mut() {
+                    w.drain(&mut ctx.core.access_log);
                 }
                 return;
             }
@@ -1433,6 +1563,9 @@ fn shard_loop(
             // Drained clean — or the deadline severs whatever is left
             // (conns drop with the loop's locals on return).
             ctx.core.stats.draining.store(0, Ordering::Relaxed);
+            if let Some(w) = access_log.as_mut() {
+                w.drain(&mut ctx.core.access_log);
+            }
             return;
         }
         // Apply a published SIGHUP reload the shard has not seen yet.
@@ -1443,6 +1576,20 @@ fn shard_loop(
         if generation != ctx.core.epoch {
             ctx.core
                 .apply_reload(lifecycle.reload_docroot(), generation);
+            // A docroot reload is also a log boundary: reopen so a
+            // rotation bundled with the SIGHUP takes effect here too.
+            if let Some(w) = access_log.as_mut() {
+                w.reopen();
+            }
+        }
+        // Apply a pending access-log rotation (logrotate renamed the
+        // file, then asked us to reopen the path).
+        let log_gen = lifecycle.log_gen();
+        if log_gen != log_gen_seen {
+            log_gen_seen = log_gen;
+            if let Some(w) = access_log.as_mut() {
+                w.reopen();
+            }
         }
         // Sleep until the next wheel tick could expire something; with
         // nothing armed, block — new work always arrives as a wake
@@ -1472,9 +1619,18 @@ fn shard_loop(
                 wait_ms = left;
             }
         }
+        let wait_begin = Instant::now();
         if backend.wait(&mut events, wait_ms).is_err() {
             continue;
         }
+        // Everything from here to the bottom of the loop is non-wait
+        // time — the span the stall watchdog measures, phase by phase.
+        let loop_start = Instant::now();
+        ctx.core.stats.phase_wait_us.fetch_add(
+            loop_start.duration_since(wait_begin).as_micros() as u64,
+            Ordering::Relaxed,
+        );
+        let mut mark = loop_start;
         ctx.core.stats.wait_calls.fetch_add(1, Ordering::Relaxed);
         ctx.core
             .stats
@@ -1495,6 +1651,7 @@ fn shard_loop(
                     admit_conn(stream, &mut conns, &mut ctx, &mut *backend, &mut wheel);
                 }
             }
+            lap(&ctx.core.stats.phase_accept_us, &mut mark);
             completed.clear();
             while let Ok(done) = done_rx.try_recv() {
                 ctx.core.complete_job(
@@ -1505,6 +1662,7 @@ fn shard_loop(
                     Instant::now(),
                 );
             }
+            lap(&ctx.core.stats.phase_completions_us, &mut mark);
             // Completions flipped their waiters to Writing with the
             // socket unarmed; drive them now — the socket is almost
             // always writable, so the common case finishes here
@@ -1512,6 +1670,7 @@ fn shard_loop(
             for idx in completed.drain(..) {
                 drive_and_sync(idx, &mut conns, &mut ctx, &mut *backend, &mut wheel);
             }
+            lap(&ctx.core.stats.phase_respond_us, &mut mark);
         }
         for ev in &events {
             if ev.token == WAKE_TOKEN {
@@ -1538,6 +1697,7 @@ fn shard_loop(
                 drive_and_sync(idx, &mut conns, &mut ctx, &mut *backend, &mut wheel);
             }
         }
+        lap(&ctx.core.stats.phase_read_us, &mut mark);
         // Expire deadlines last: anything the drives above just
         // re-armed is already accounted for (single-threaded, so the
         // wheel is exactly consistent with the connection table here).
@@ -1567,6 +1727,7 @@ fn shard_loop(
                 DeadlineKind::None => continue,
             };
             counter.fetch_add(1, Ordering::Relaxed);
+            ctx.core.note_close(conn, Instant::now());
             let _ = backend.deregister(fd);
             conns[idx] = None;
             ctx.live_conns = ctx.live_conns.saturating_sub(1);
@@ -1579,6 +1740,7 @@ fn shard_loop(
                 ctx.core.purge_waiter(idx);
             }
         }
+        lap(&ctx.core.stats.phase_timers_us, &mut mark);
         // Accept last: the drives and expiries above may have freed
         // slots, so the gate decision below sees this iteration's
         // final occupancy.
@@ -1601,7 +1763,34 @@ fn shard_loop(
                 listener_armed = drain_accepts(l, &mut conns, &mut ctx, &mut *backend, &mut wheel);
             }
         }
+        lap(&ctx.core.stats.phase_accept_us, &mut mark);
+        // Flush this iteration's access records in one append, then
+        // close the watchdog ledger: everything since the wait
+        // returned was time the event loop spent NOT listening — the
+        // one quantity AMPED exists to keep small.
+        if let Some(w) = access_log.as_mut() {
+            w.drain(&mut ctx.core.access_log);
+        }
+        let busy = Instant::now().duration_since(loop_start);
+        ctx.core
+            .stats
+            .loop_stall_max_us
+            .fetch_max(busy.as_micros() as u64, Ordering::Relaxed);
+        if busy >= stall_threshold {
+            ctx.core.stats.loop_stalls.fetch_add(1, Ordering::Relaxed);
+        }
     }
+}
+
+/// Adds the time since `*mark` to `counter` and advances the mark —
+/// the per-phase ledger behind the event-loop stall watchdog.
+fn lap(counter: &std::sync::atomic::AtomicU64, mark: &mut Instant) {
+    let now = Instant::now();
+    counter.fetch_add(
+        now.duration_since(*mark).as_micros() as u64,
+        Ordering::Relaxed,
+    );
+    *mark = now;
 }
 
 /// Drains a shard's own listener to `EWOULDBLOCK` under the ET
@@ -1710,6 +1899,7 @@ fn enter_drain(
             && conn.progress > 0;
         if idle {
             let fd = conn.io.stream.as_raw_fd();
+            ctx.core.note_close(conn, Instant::now());
             let _ = backend.deregister(fd);
             wheel.cancel(conn_token(idx, fd));
             conns[idx] = None;
@@ -1731,7 +1921,8 @@ fn admit_conn(
     wheel: &mut TimerWheel,
 ) {
     let fd = stream.as_raw_fd();
-    let conn = Conn::new(SockIo { stream });
+    let mut conn = Conn::new(SockIo { stream });
+    conn.opened_at = Some(Instant::now());
     let idx = match conns.iter_mut().position(|c| c.is_none()) {
         Some(i) => {
             conns[i] = Some(conn);
@@ -1800,6 +1991,7 @@ fn drive_and_sync(
                     // just went Waiting, its waiter index must go too —
                     // the inbound helper completion would otherwise be
                     // served to whatever connection reuses the slot.
+                    ctx.core.note_close(conn, Instant::now());
                     conns[idx] = None;
                     let _ = backend.deregister(fd);
                     wheel.cancel(token);
@@ -1814,6 +2006,7 @@ fn drive_and_sync(
                 // permanent stall under ET: the connection can never
                 // progress, so close it rather than pin its fd and
                 // slot forever.
+                ctx.core.note_close(conn, Instant::now());
                 conns[idx] = None;
                 let _ = backend.deregister(fd);
                 wheel.cancel(token);

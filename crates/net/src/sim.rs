@@ -53,6 +53,7 @@ use crate::conn::{
     ConnIo, DeadlineKind, Done, DoneData, Drive, FileData, HelperJob, HelperPort, JobKind,
     ProtoConfig, ShardCore, ShardStats,
 };
+use crate::stats::HistSummary;
 use crate::timer::TimerWheel;
 
 /// Fault-injection probabilities, all independent. `none()` is a
@@ -176,6 +177,14 @@ pub struct SimReport {
     pub sim_elapsed_nanos: u64,
     /// Calendar events processed.
     pub events: u64,
+    /// Summaries of the same per-shard latency histograms the real
+    /// drivers record ([`crate::stats`]), fed simulated time through
+    /// the identical instrumentation path — and, via this report's
+    /// `Eq`, part of the bit-identical-per-seed guarantee.
+    pub hist_request: HistSummary,
+    pub hist_ttfb: HistSummary,
+    pub hist_helper_wait: HistSummary,
+    pub hist_lifetime: HistSummary,
 }
 
 /// A simulated file: identity and metadata only — body bytes are the
@@ -402,6 +411,8 @@ impl Sim {
             write_stall_timeout: Some(Duration::from_millis(150)),
             helper_wait_timeout: Some(Duration::from_millis(20)),
             cache_revalidate_ttl: Some(Duration::from_millis(5)),
+            metrics_endpoint: false,
+            access_log: false,
         };
         let stats = Arc::new(ShardStats::default());
         Sim {
@@ -526,7 +537,7 @@ impl Sim {
         let script = self.build_script(trickle);
         let cap = Rc::new(RefCell::new(Capture::new(self.queue.now())));
         let first_delay = script.front().map(|(d, _)| *d);
-        self.conns[slot] = Some(Conn::new(SimIo {
+        let mut conn = Conn::new(SimIo {
             uid,
             inbox: VecDeque::new(),
             window,
@@ -534,7 +545,11 @@ impl Sim {
             script,
             partial,
             cap: Rc::clone(&cap),
-        }));
+        });
+        // Simulated accept instant: the lifetime histogram ticks in
+        // simulated time, exactly like the real driver's wall clock.
+        conn.opened_at = Some(self.now_i());
+        self.conns[slot] = Some(conn);
         self.caps[slot] = Some(cap);
         self.uids[slot] = uid;
         self.live += 1;
@@ -688,6 +703,9 @@ impl Sim {
                 DeadlineKind::None => continue,
             };
             counter.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = self.conns[slot].as_ref() {
+                self.core.note_close(c, now);
+            }
             self.conns[slot] = None;
             if kind == DeadlineKind::HelperWait {
                 self.core.purge_waiter(slot);
@@ -824,6 +842,10 @@ impl Sim {
                             .stats
                             .drained_conns
                             .fetch_add(1, Ordering::Relaxed);
+                        if let Some(c) = self.conns[slot].as_ref() {
+                            let now = self.now_i();
+                            self.core.note_close(c, now);
+                        }
                         self.conns[slot] = None;
                         self.finalize(slot);
                     }
@@ -902,6 +924,10 @@ pub fn run(cfg: &SimConfig, specs: &[FileSpec]) -> Result<SimReport, String> {
         p99_conn_nanos: pct(0.99),
         sim_elapsed_nanos: sim.queue.now().as_nanos(),
         events: sim.queue.events_processed(),
+        hist_request: s.hist_request.snapshot().summary(),
+        hist_ttfb: s.hist_ttfb.snapshot().summary(),
+        hist_helper_wait: s.hist_helper_wait.snapshot().summary(),
+        hist_lifetime: s.hist_lifetime.snapshot().summary(),
     })
 }
 
@@ -954,6 +980,14 @@ mod tests {
             "current-validator IMS requests must 304: {report:?}"
         );
         assert!(report.drained_conns > 0, "drain must retire idle conns");
+        // The histograms ride the same drive path: every completed
+        // response has a latency sample, every admitted connection a
+        // lifetime sample, and parked waiters a helper-wait sample.
+        assert_eq!(report.hist_request.count, report.requests, "{report:?}");
+        assert_eq!(report.hist_lifetime.count, report.connections, "{report:?}");
+        assert!(report.hist_helper_wait.count > 0, "{report:?}");
+        assert!(report.hist_ttfb.count > 0, "{report:?}");
+        assert!(report.hist_request.p99_nanos >= report.hist_request.p50_nanos);
     }
 
     /// The acceptance bar: same seed ⇒ byte-identical report (the

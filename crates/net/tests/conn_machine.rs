@@ -130,6 +130,8 @@ fn core() -> ShardCore {
         write_stall_timeout: None,
         helper_wait_timeout: None,
         cache_revalidate_ttl: None,
+        metrics_endpoint: false,
+        access_log: false,
     };
     ShardCore::new(0, 1024 * 1024, cfg, Arc::new(ShardStats::default()))
 }

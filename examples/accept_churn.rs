@@ -9,6 +9,13 @@
 //! CI runs this on every push; it exits non-zero on any violation.
 //! Appends both modes' numbers to the `BENCH_net.json` perf
 //! trajectory (destination overridable with `FLASH_BENCH_JSON`).
+//!
+//! Doubles as the `/.flash/metrics` smoke: the endpoint is scraped
+//! before and after the churn, every exposition line must parse,
+//! counters must be monotone across the two scrapes, and the final
+//! `flash_requests` must agree exactly with the example's own count —
+//! which also proves scrapes land in `flash_metrics_requests`, never
+//! in `flash_requests`.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -59,6 +66,70 @@ fn churn(addr: std::net::SocketAddr) -> (Duration, Vec<f64>, u64) {
     (start.elapsed(), latencies, bytes)
 }
 
+/// One scrape of `GET /.flash/metrics`: asserts the response is 200
+/// and every exposition line parses, then returns the samples (metric
+/// name — with any `{le="..."}` label intact — to value) and the
+/// `# TYPE` map.
+fn scrape(
+    addr: std::net::SocketAddr,
+) -> (
+    std::collections::HashMap<String, u64>,
+    std::collections::HashMap<String, String>,
+) {
+    let mut s = TcpStream::connect(addr).expect("connect for scrape");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"GET /.flash/metrics HTTP/1.0\r\n\r\n")
+        .expect("send scrape");
+    let mut resp = Vec::new();
+    s.read_to_end(&mut resp).expect("read scrape");
+    let text = String::from_utf8(resp).expect("metrics must be UTF-8");
+    assert!(
+        text.starts_with("HTTP/1.1 200 OK\r\n"),
+        "metrics endpoint refused the scrape: {}",
+        text.lines().next().unwrap_or("")
+    );
+    let body = text.split_once("\r\n\r\n").expect("header terminator").1;
+    let mut samples = std::collections::HashMap::new();
+    let mut types = std::collections::HashMap::new();
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE line shape");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown type in {line:?}"
+            );
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(' ').expect("sample line shape");
+        assert!(name.starts_with("flash_"), "unprefixed metric: {line:?}");
+        let value: u64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+        assert!(
+            samples.insert(name.to_string(), value).is_none(),
+            "duplicate sample {name}"
+        );
+    }
+    assert!(!samples.is_empty(), "empty exposition");
+    (samples, types)
+}
+
+/// The base (unlabelled, unsuffixed) metric name a sample belongs to,
+/// for the `# TYPE` lookup: `flash_x_bucket{le="8"}` → `flash_x`.
+fn base_name(sample: &str) -> &str {
+    let name = sample.split('{').next().unwrap();
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    name
+}
+
 fn main() {
     let root = std::env::temp_dir().join(format!("flash-accept-churn-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
@@ -71,20 +142,56 @@ fn main() {
             "127.0.0.1:0",
             NetConfig::new(&root)
                 .with_event_loops(4)
-                .with_accept_mode(mode),
+                .with_accept_mode(mode)
+                .with_metrics_endpoint(true),
         )
         .unwrap();
         let resolved = server.accept_mode();
+        let (before, _) = scrape(server.addr());
         let (elapsed, latencies_ms, bytes) = churn(server.addr());
+        let (after, types) = scrape(server.addr());
+        // Counters never go backwards between scrapes (gauges may;
+        // histogram buckets, sums and counts are cumulative, so they
+        // are held to the same bar). Zero buckets are omitted from the
+        // exposition, so only keys present in both scrapes compare.
+        for (name, &was) in &before {
+            let kind = types
+                .get(base_name(name))
+                .unwrap_or_else(|| panic!("sample {name} has no TYPE"));
+            if kind == "gauge" {
+                continue;
+            }
+            if let Some(&now) = after.get(name) {
+                assert!(now >= was, "counter {name} went backwards: {was} -> {now}");
+            }
+        }
+        assert_eq!(
+            after["flash_requests"], TOTAL_CONNS as u64,
+            "scraped flash_requests must agree with the churn count \
+             (and scrapes must not inflate it)"
+        );
+        // The counter increments when the response's last byte is
+        // queued, so a scrape's body can only show *earlier* scrapes:
+        // the second scrape must see at least the first one.
+        assert!(
+            after["flash_metrics_requests"] >= 1,
+            "scrapes must be counted as metrics requests"
+        );
+        assert_eq!(
+            after["flash_request_latency_nanos_count"], TOTAL_CONNS as u64,
+            "every served request must land in the latency histogram"
+        );
         let stats = server.stats();
         assert_eq!(
             stats.requests(),
             TOTAL_CONNS as u64,
             "every connection must be served exactly once"
         );
+        // + 2: the metrics scrapes bracketing the churn are real
+        // connections too.
         assert_eq!(
             stats.accepted(),
-            TOTAL_CONNS as u64,
+            TOTAL_CONNS as u64 + 2,
             "every connection must be accepted"
         );
         if resolved == AcceptModeKind::ReusePort {
