@@ -4,7 +4,9 @@
 //! scenario (short-lived connections, the single acceptor thread vs.
 //! per-shard `SO_REUSEPORT` listeners), a large-file scenario pitting
 //! the `sendfile(2)` tier against forcing the same body through the
-//! in-memory cache + `writev` tier, and a many-idle-connections
+//! in-memory cache + `writev` tier, a send-plane scenario (ranged 206
+//! windows over the sendfile tier and precompressed `.gz` variants out
+//! of the content cache), and a many-idle-connections
 //! scenario (64 active among 1024 registered) pitting the
 //! edge-triggered `epoll` backend's O(ready fds) waits against the
 //! `poll` backend's O(watched fds) scans.
@@ -54,9 +56,10 @@ fn docroot(tag: &str) -> std::path::PathBuf {
     dir
 }
 
-/// Reads one keep-alive response off `reader` — status asserted 200,
-/// headers scanned for `Content-Length`, body read into `body` — and
-/// returns the body length. The one place bench clients parse HTTP.
+/// Reads one keep-alive response off `reader` — status asserted 200
+/// or 206 (the range scenario streams windows), headers scanned for
+/// `Content-Length`, body read into `body` — and returns the body
+/// length. The one place bench clients parse HTTP.
 fn read_keepalive_response(reader: &mut impl std::io::BufRead, body: &mut Vec<u8>) -> usize {
     let mut len: usize = 0;
     let mut line = String::new();
@@ -65,7 +68,11 @@ fn read_keepalive_response(reader: &mut impl std::io::BufRead, body: &mut Vec<u8
         line.clear();
         reader.read_line(&mut line).expect("read header line");
         if first {
-            assert!(line.starts_with("HTTP/1.1 200 OK"), "{line}");
+            assert!(
+                line.starts_with("HTTP/1.1 200 OK")
+                    || line.starts_with("HTTP/1.1 206 Partial Content"),
+                "{line}"
+            );
             first = false;
         }
         if let Some(v) = line.strip_prefix("Content-Length: ") {
@@ -271,6 +278,164 @@ fn bench_large_file(c: &mut Criterion) {
     g.finish();
 }
 
+const PLANE_CLIENTS: usize = 8;
+const PLANE_REQS: usize = 40;
+const RANGE_WINDOW: usize = 64 * 1024;
+const GZ_BODY_BYTES: usize = 1024;
+
+/// Docroot for the send-plane scenarios: the 1 MiB file for ranged
+/// sendfile windows plus small pages with precompressed `.gz`
+/// siblings. The gzip bytes are opaque to the server — it negotiates
+/// and serves the sibling, it never inflates it — so a fixed pattern
+/// of a known length stands in for real compressor output.
+fn docroot_plane(tag: &str) -> std::path::PathBuf {
+    let dir = docroot_large(tag);
+    for i in 0..8 {
+        std::fs::write(dir.join(format!("f{i}.html")), vec![b'a' + i as u8; 4096]).unwrap();
+        std::fs::write(
+            dir.join(format!("f{i}.html.gz")),
+            vec![b'A' + i as u8; GZ_BODY_BYTES],
+        )
+        .unwrap();
+    }
+    dir
+}
+
+/// One keep-alive client issuing 64 KiB `Range` windows that march
+/// around the 1 MiB file; every response must be a 206 of exactly the
+/// requested window.
+fn client_range(addr: SocketAddr, id: usize, requests: usize) {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.set_nodelay(true).ok();
+    let mut writer = s.try_clone().expect("clone");
+    let mut reader = std::io::BufReader::with_capacity(64 * 1024, s);
+    let mut body = vec![0u8; RANGE_WINDOW];
+    let windows = LARGE_FILE_BYTES / RANGE_WINDOW;
+    for r in 0..requests {
+        let start = ((id * 7 + r) % windows) * RANGE_WINDOW;
+        let end = start + RANGE_WINDOW - 1;
+        writer
+            .write_all(
+                format!("GET /large.bin HTTP/1.1\r\nHost: b\r\nRange: bytes={start}-{end}\r\n\r\n")
+                    .as_bytes(),
+            )
+            .expect("send");
+        let len = read_keepalive_response(&mut reader, &mut body);
+        assert_eq!(len, RANGE_WINDOW);
+    }
+}
+
+/// One keep-alive client fetching small pages with
+/// `Accept-Encoding: gzip`; every response must be the precompressed
+/// sibling (its exact length proves the variant was served).
+fn client_gz(addr: SocketAddr, id: usize, requests: usize) {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.set_nodelay(true).ok();
+    let mut writer = s.try_clone().expect("clone");
+    let mut reader = std::io::BufReader::with_capacity(16 * 1024, s);
+    let mut body = Vec::with_capacity(GZ_BODY_BYTES);
+    for r in 0..requests {
+        let path = format!("/f{}.html", (id + r) % 8);
+        writer
+            .write_all(
+                format!("GET {path} HTTP/1.1\r\nHost: b\r\nAccept-Encoding: gzip\r\n\r\n")
+                    .as_bytes(),
+            )
+            .expect("send");
+        let len = read_keepalive_response(&mut reader, &mut body);
+        assert_eq!(len, GZ_BODY_BYTES);
+    }
+}
+
+/// The send plane under its two new body shapes: 64 KiB `Range`
+/// windows carved out of a 1 MiB file — each 206 rides the sendfile
+/// tier, because the *representation*, not the window, picks the tier
+/// — and precompressed `.gz` variants served out of the content cache
+/// to `Accept-Encoding: gzip` clients.
+fn bench_send_plane(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_send_plane");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    let mut report = BenchReport::new();
+
+    let root = docroot_plane("range-sendfile");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(1)).unwrap();
+    let addr = server.addr();
+    g.throughput(Throughput::Bytes(
+        (PLANE_CLIENTS * PLANE_REQS * RANGE_WINDOW) as u64,
+    ));
+    let t0 = std::time::Instant::now();
+    g.bench_function("range_sendfile", |b| {
+        b.iter(|| {
+            let threads: Vec<_> = (0..PLANE_CLIENTS)
+                .map(|id| std::thread::spawn(move || client_range(addr, id, PLANE_REQS)))
+                .collect();
+            for t in threads {
+                t.join().expect("range client");
+            }
+        })
+    });
+    assert!(
+        server.stats().sendfile_calls() > 0,
+        "ranged windows of a 1 MiB file must ride the sendfile tier"
+    );
+    assert!(server.stats().range_requests() > 0);
+    assert_eq!(server.stats().range_unsatisfiable(), 0);
+    let (p50, p99) = latency_percentiles(server.stats());
+    report.record_full(
+        "net_send_plane/range_sendfile",
+        server.stats().requests(),
+        t0.elapsed().as_secs_f64(),
+        false,
+        None,
+        p50,
+        p99,
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+
+    let root = docroot_plane("precompressed");
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(1)).unwrap();
+    let addr = server.addr();
+    g.throughput(Throughput::Elements((PLANE_CLIENTS * PLANE_REQS) as u64));
+    let t0 = std::time::Instant::now();
+    g.bench_function("precompressed_hit", |b| {
+        b.iter(|| {
+            let threads: Vec<_> = (0..PLANE_CLIENTS)
+                .map(|id| std::thread::spawn(move || client_gz(addr, id, PLANE_REQS)))
+                .collect();
+            for t in threads {
+                t.join().expect("gzip client");
+            }
+        })
+    });
+    assert!(
+        server.stats().cache_hits() > 0,
+        "repeat gzip fetches must hit the variant cache"
+    );
+    let (p50, p99) = latency_percentiles(server.stats());
+    report.record_full(
+        "net_send_plane/precompressed_hit",
+        server.stats().requests(),
+        t0.elapsed().as_secs_f64(),
+        false,
+        None,
+        p50,
+        p99,
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+
+    g.finish();
+    match report.write() {
+        Ok(path) => println!("recorded net_send_plane scenarios to {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
+}
+
 const CHURN_CLIENTS: usize = 8;
 const CHURN_CONNS_PER_CLIENT: usize = 40;
 
@@ -455,6 +620,7 @@ criterion_group!(
     bench_net_throughput,
     bench_accept_rate,
     bench_large_file,
+    bench_send_plane,
     bench_many_idle_connections
 );
 criterion_main!(net_throughput);

@@ -17,5 +17,7 @@ pub mod mime;
 pub mod request;
 pub mod response;
 
-pub use request::{Method, ParseError, Request, RequestParser, Version};
-pub use response::{ResponseHeader, Status, ALIGN};
+pub use request::{
+    etag_matches, IfRange, Method, ParseError, RangeSpec, Request, RequestParser, Version,
+};
+pub use response::{etag_value, ContentRange, HeaderExtras, ResponseHeader, Status, ALIGN};

@@ -83,6 +83,136 @@ pub struct Request {
     pub host: Option<String>,
     /// Value of the `If-Modified-Since` header, if present (verbatim).
     pub if_modified_since: Option<String>,
+    /// Parsed single-range `Range` header. `None` both when the header
+    /// is absent and when it is malformed or multi-range — RFC 9110
+    /// §14.2 says an unintelligible `Range` is simply ignored (full
+    /// 200), never an error.
+    pub range: Option<RangeSpec>,
+    /// Parsed `If-Range` validator (ETag or exact HTTP-date), if
+    /// present. Gates `range`: on mismatch the range is ignored.
+    pub if_range: Option<IfRange>,
+    /// Value of the `If-None-Match` header, if present (verbatim) —
+    /// takes precedence over `If-Modified-Since` (RFC 9110 §13.1.2).
+    pub if_none_match: Option<String>,
+    /// Whether `Accept-Encoding` admits gzip (a `gzip` or `*` token
+    /// with nonzero q). False when the header is absent.
+    pub accept_gzip: bool,
+}
+
+/// One parsed `Range: bytes=…` spec (single-range only), before it is
+/// resolved against a representation length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeSpec {
+    /// `bytes=a-b`: the inclusive window `[a, b]` (parse guarantees
+    /// `a <= b`).
+    FromTo(u64, u64),
+    /// `bytes=a-`: from `a` through the end.
+    From(u64),
+    /// `bytes=-n`: the final `n` bytes.
+    Suffix(u64),
+}
+
+impl RangeSpec {
+    /// Parses a `Range` header value. Returns `None` for anything other
+    /// than a well-formed **single** `bytes` range — multi-range sets,
+    /// other units, inverted or unparseable bounds — which callers must
+    /// treat as "no Range header" (RFC 9110 §14.2).
+    pub fn parse(value: &str) -> Option<RangeSpec> {
+        let rest = value.trim();
+        let rest = rest
+            .strip_prefix("bytes=")
+            .or_else(|| rest.strip_prefix("Bytes="))?;
+        if rest.contains(',') {
+            return None; // multi-range: serve the full representation
+        }
+        let rest = rest.trim();
+        let (a, b) = rest.split_once('-')?;
+        match (a.is_empty(), b.is_empty()) {
+            (true, true) => None,
+            (true, false) => b.parse().ok().map(RangeSpec::Suffix),
+            (false, true) => a.parse().ok().map(RangeSpec::From),
+            (false, false) => match (a.parse().ok()?, b.parse().ok()?) {
+                (a, b) if a <= b => Some(RangeSpec::FromTo(a, b)),
+                _ => None, // inverted bounds: malformed, ignore
+            },
+        }
+    }
+
+    /// Resolves the spec against a representation of `total` bytes into
+    /// an inclusive `(start, end)` window, or `None` when the range is
+    /// unsatisfiable (→ `416` with `Content-Range: bytes */total`).
+    pub fn resolve(&self, total: u64) -> Option<(u64, u64)> {
+        match *self {
+            RangeSpec::FromTo(a, b) if a < total => Some((a, b.min(total - 1))),
+            RangeSpec::From(a) if a < total => Some((a, total - 1)),
+            RangeSpec::Suffix(n) if n > 0 && total > 0 => Some((total - n.min(total), total - 1)),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed `If-Range` validator: the range applies only while the
+/// selected representation still matches it (RFC 9110 §13.1.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IfRange {
+    /// An entity tag (verbatim, including quotes / `W/` prefix).
+    Tag(String),
+    /// An HTTP-date, as unix seconds; must equal `Last-Modified`
+    /// exactly (dates are only weak validators otherwise).
+    Date(i64),
+}
+
+impl IfRange {
+    fn parse(value: &str) -> Option<IfRange> {
+        let v = value.trim();
+        if v.starts_with('"') || v.starts_with("W/") {
+            Some(IfRange::Tag(v.to_string()))
+        } else {
+            // An unparseable date can never match a validator, but it
+            // must still *gate* the range — report it as a date that
+            // matches nothing rather than dropping the header.
+            Some(IfRange::Date(crate::date::parse_imf(v).unwrap_or(i64::MIN)))
+        }
+    }
+
+    /// Whether the validator matches the selected representation
+    /// (strong comparison only — `W/` tags and inexact dates never
+    /// match, so the range is ignored and the full body served).
+    pub fn matches(&self, etag: &str, last_modified_unix: Option<i64>) -> bool {
+        match self {
+            IfRange::Tag(t) => t == etag,
+            IfRange::Date(d) => last_modified_unix == Some(*d),
+        }
+    }
+}
+
+/// Whether an `If-None-Match` header value matches `etag` (weak
+/// comparison: a `W/` prefix on either side is ignored, per RFC 9110
+/// §8.8.3.2 — correct for cache validation). `*` matches any
+/// representation.
+pub fn etag_matches(header_value: &str, etag: &str) -> bool {
+    header_value.split(',').any(|t| {
+        let t = t.trim();
+        t == "*" || t.strip_prefix("W/").unwrap_or(t) == etag.strip_prefix("W/").unwrap_or(etag)
+    })
+}
+
+/// Whether an `Accept-Encoding` value admits gzip: a `gzip` (or `*`)
+/// token whose qvalue is not zero.
+fn accepts_gzip(value: &str) -> bool {
+    value.split(',').any(|part| {
+        let mut it = part.split(';');
+        let token = it.next().unwrap_or("").trim();
+        if !(token.eq_ignore_ascii_case("gzip") || token == "*") {
+            return false;
+        }
+        !it.any(|p| {
+            p.trim()
+                .strip_prefix("q=")
+                .and_then(|v| v.trim().parse::<f32>().ok())
+                .is_some_and(|q| q == 0.0)
+        })
+    })
 }
 
 impl Request {
@@ -267,6 +397,10 @@ fn parse_header(raw: &[u8]) -> Result<Request, ParseError> {
     let mut connection = None;
     let mut host = None;
     let mut if_modified_since = None;
+    let mut range = None;
+    let mut if_range = None;
+    let mut if_none_match = None;
+    let mut accept_gzip = false;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -277,6 +411,10 @@ fn parse_header(raw: &[u8]) -> Result<Request, ParseError> {
             "connection" => connection = Some(value.to_ascii_lowercase()),
             "host" => host = Some(value.to_string()),
             "if-modified-since" => if_modified_since = Some(value.to_string()),
+            "range" => range = RangeSpec::parse(value),
+            "if-range" => if_range = IfRange::parse(value),
+            "if-none-match" => if_none_match = Some(value.to_string()),
+            "accept-encoding" => accept_gzip = accepts_gzip(value),
             _ => {}
         }
     }
@@ -288,6 +426,10 @@ fn parse_header(raw: &[u8]) -> Result<Request, ParseError> {
         connection,
         host,
         if_modified_since,
+        range,
+        if_range,
+        if_none_match,
+        accept_gzip,
     })
 }
 
@@ -295,6 +437,13 @@ fn parse_header(raw: &[u8]) -> Result<Request, ParseError> {
 /// outside the document root.
 fn normalize_path(raw: &str) -> Result<String, ParseError> {
     let decoded = percent_decode(raw);
+    // A NUL can only arrive via %00 and is a filename-smuggling vector
+    // on C-string filesystems; rejecting it also guarantees decoded
+    // paths never collide with the server's NUL-separated internal
+    // variant-cache keys.
+    if decoded.contains('\u{0}') {
+        return Err(ParseError::PathTraversal);
+    }
     let mut out: Vec<&str> = Vec::new();
     for seg in decoded.split('/') {
         match seg {
@@ -550,5 +699,93 @@ mod tests {
     fn trailing_slash_preserved() {
         assert_eq!(done("GET /dir/ HTTP/1.0\r\n\r\n").path, "/dir/");
         assert_eq!(done("GET / HTTP/1.0\r\n\r\n").path, "/");
+    }
+
+    #[test]
+    fn nul_in_path_is_rejected() {
+        assert_eq!(
+            parse("GET /a%00.html HTTP/1.0\r\n\r\n"),
+            ParseStatus::Error(ParseError::PathTraversal)
+        );
+    }
+
+    #[test]
+    fn range_header_parses_single_specs() {
+        let r = done("GET /f HTTP/1.1\r\nRange: bytes=10-19\r\n\r\n");
+        assert_eq!(r.range, Some(RangeSpec::FromTo(10, 19)));
+        let r = done("GET /f HTTP/1.1\r\nRange: bytes=100-\r\n\r\n");
+        assert_eq!(r.range, Some(RangeSpec::From(100)));
+        let r = done("GET /f HTTP/1.1\r\nRange: bytes=-500\r\n\r\n");
+        assert_eq!(r.range, Some(RangeSpec::Suffix(500)));
+    }
+
+    #[test]
+    fn malformed_or_multi_range_is_ignored() {
+        for v in [
+            "bytes=19-10",   // inverted
+            "bytes=a-b",     // not numbers
+            "bytes=-",       // empty both sides
+            "bytes=0-5,7-9", // multi-range: full body
+            "chars=0-5",     // unknown unit
+            "0-5",           // missing unit
+        ] {
+            let r = done(&format!("GET /f HTTP/1.1\r\nRange: {v}\r\n\r\n"));
+            assert_eq!(r.range, None, "{v} must be ignored");
+        }
+    }
+
+    #[test]
+    fn range_resolution_clamps_and_rejects() {
+        assert_eq!(RangeSpec::FromTo(0, 9).resolve(100), Some((0, 9)));
+        assert_eq!(RangeSpec::FromTo(90, 200).resolve(100), Some((90, 99)));
+        assert_eq!(RangeSpec::FromTo(100, 200).resolve(100), None);
+        assert_eq!(RangeSpec::From(40).resolve(100), Some((40, 99)));
+        assert_eq!(RangeSpec::From(100).resolve(100), None);
+        assert_eq!(RangeSpec::Suffix(10).resolve(100), Some((90, 99)));
+        assert_eq!(RangeSpec::Suffix(500).resolve(100), Some((0, 99)));
+        assert_eq!(RangeSpec::Suffix(0).resolve(100), None);
+        // Empty representation: nothing is satisfiable.
+        assert_eq!(RangeSpec::From(0).resolve(0), None);
+        assert_eq!(RangeSpec::Suffix(5).resolve(0), None);
+    }
+
+    #[test]
+    fn if_range_gates_by_strong_validator() {
+        let r = done("GET /f HTTP/1.1\r\nIf-Range: \"abc-12\"\r\n\r\n");
+        let ir = r.if_range.unwrap();
+        assert!(ir.matches("\"abc-12\"", None));
+        assert!(!ir.matches("\"abc-13\"", None));
+        let r = done("GET /f HTTP/1.1\r\nIf-Range: Sun, 06 Nov 1994 08:49:37 GMT\r\n\r\n");
+        let ir = r.if_range.unwrap();
+        assert!(ir.matches("\"x\"", Some(784_111_777)));
+        assert!(
+            !ir.matches("\"x\"", Some(784_111_778)),
+            "dates must match exactly"
+        );
+        assert!(!ir.matches("\"x\"", None));
+        // A weak tag never strong-matches.
+        let r = done("GET /f HTTP/1.1\r\nIf-Range: W/\"abc-12\"\r\n\r\n");
+        assert!(!r.if_range.unwrap().matches("\"abc-12\"", None));
+    }
+
+    #[test]
+    fn if_none_match_uses_weak_comparison_and_star() {
+        assert!(etag_matches("\"a-1\"", "\"a-1\""));
+        assert!(etag_matches("W/\"a-1\"", "\"a-1\""));
+        assert!(etag_matches("\"x\", \"a-1\"", "\"a-1\""));
+        assert!(etag_matches("*", "\"anything\""));
+        assert!(!etag_matches("\"a-2\"", "\"a-1\""));
+        let r = done("GET /f HTTP/1.1\r\nIf-None-Match: \"a-1\"\r\n\r\n");
+        assert_eq!(r.if_none_match.as_deref(), Some("\"a-1\""));
+    }
+
+    #[test]
+    fn accept_encoding_gzip_detection() {
+        assert!(done("GET / HTTP/1.1\r\nAccept-Encoding: gzip\r\n\r\n").accept_gzip);
+        assert!(done("GET / HTTP/1.1\r\nAccept-Encoding: br, gzip;q=0.5\r\n\r\n").accept_gzip);
+        assert!(done("GET / HTTP/1.1\r\nAccept-Encoding: *\r\n\r\n").accept_gzip);
+        assert!(!done("GET / HTTP/1.1\r\nAccept-Encoding: gzip;q=0\r\n\r\n").accept_gzip);
+        assert!(!done("GET / HTTP/1.1\r\nAccept-Encoding: br\r\n\r\n").accept_gzip);
+        assert!(!done("GET / HTTP/1.1\r\n\r\n").accept_gzip);
     }
 }

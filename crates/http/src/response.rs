@@ -25,6 +25,8 @@ pub const ALIGN: usize = 32;
 pub enum Status {
     /// 200 OK.
     Ok,
+    /// 206 Partial Content.
+    PartialContent,
     /// 304 Not Modified.
     NotModified,
     /// 400 Bad Request.
@@ -33,6 +35,8 @@ pub enum Status {
     Forbidden,
     /// 404 Not Found.
     NotFound,
+    /// 416 Range Not Satisfiable.
+    RangeNotSatisfiable,
     /// 500 Internal Server Error.
     InternalError,
     /// 501 Not Implemented.
@@ -44,10 +48,12 @@ impl Status {
     pub fn code(self) -> u16 {
         match self {
             Status::Ok => 200,
+            Status::PartialContent => 206,
             Status::NotModified => 304,
             Status::BadRequest => 400,
             Status::Forbidden => 403,
             Status::NotFound => 404,
+            Status::RangeNotSatisfiable => 416,
             Status::InternalError => 500,
             Status::NotImplemented => 501,
         }
@@ -57,13 +63,62 @@ impl Status {
     pub fn reason(self) -> &'static str {
         match self {
             Status::Ok => "OK",
+            Status::PartialContent => "Partial Content",
             Status::NotModified => "Not Modified",
             Status::BadRequest => "Bad Request",
             Status::Forbidden => "Forbidden",
             Status::NotFound => "Not Found",
+            Status::RangeNotSatisfiable => "Range Not Satisfiable",
             Status::InternalError => "Internal Server Error",
             Status::NotImplemented => "Not Implemented",
         }
+    }
+}
+
+/// A `Content-Range` field value (RFC 9110 §14.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentRange {
+    /// `bytes start-end/total` on a `206`.
+    Span {
+        /// First byte position (inclusive).
+        start: u64,
+        /// Last byte position (inclusive).
+        end: u64,
+        /// Complete representation length.
+        total: u64,
+    },
+    /// `bytes */total` on a `416`.
+    Unsatisfiable {
+        /// Complete representation length.
+        total: u64,
+    },
+}
+
+/// Optional response fields for the conditional/range/variant surface,
+/// emitted between `Connection` and `Content-Type` so the pre-rendered
+/// header prefix through the `Date` line stays layout-stable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeaderExtras<'a> {
+    /// `ETag: <value>` (the value carries its own quotes).
+    pub etag: Option<&'a str>,
+    /// `Content-Range` on 206/416 responses.
+    pub content_range: Option<ContentRange>,
+    /// Emit `Content-Encoding: gzip` (precompressed variant).
+    pub gzip: bool,
+    /// Emit `Vary: Accept-Encoding` (the resource negotiates variants,
+    /// whichever one this response carries).
+    pub vary_accept_encoding: bool,
+}
+
+/// Renders the strong entity tag for a representation: hex mtime and
+/// length (the same pair the cache revalidates by), with a `-gz` marker
+/// so the gzip variant's tag can never collide with identity's.
+pub fn etag_value(mtime: Option<i64>, len: u64, gzip: bool) -> String {
+    let m = mtime.unwrap_or(0);
+    if gzip {
+        format!("\"{m:x}-{len:x}-gz\"")
+    } else {
+        format!("\"{m:x}-{len:x}\"")
     }
 }
 
@@ -117,6 +172,27 @@ impl ResponseHeader {
         )
     }
 
+    /// The fully general builder: [`ResponseHeader::build`] plus an
+    /// optional `Last-Modified` and the [`HeaderExtras`] surface
+    /// (ETag, `Content-Range`, content encoding, `Vary`).
+    pub fn build_full(
+        status: Status,
+        content: Option<(&str, u64)>,
+        keep_alive: bool,
+        pad_align: bool,
+        last_modified_unix: Option<i64>,
+        extras: HeaderExtras<'_>,
+    ) -> ResponseHeader {
+        Self::render_full(
+            status,
+            content,
+            keep_alive,
+            pad_align,
+            last_modified_unix,
+            extras,
+        )
+    }
+
     /// A bodyless `304 Not Modified` header: no `Content-Type` or
     /// `Content-Length` (the response carries no payload by
     /// definition), `Last-Modified` echoed when known so caches can
@@ -131,12 +207,51 @@ impl ResponseHeader {
         )
     }
 
+    /// [`ResponseHeader::not_modified`] plus the representation's
+    /// `ETag`, so `If-None-Match` revalidations refresh both
+    /// validators.
+    pub fn not_modified_full(
+        keep_alive: bool,
+        last_modified_unix: Option<i64>,
+        etag: Option<&str>,
+    ) -> ResponseHeader {
+        Self::render_full(
+            Status::NotModified,
+            None,
+            keep_alive,
+            true,
+            last_modified_unix,
+            HeaderExtras {
+                etag,
+                ..HeaderExtras::default()
+            },
+        )
+    }
+
     fn render(
         status: Status,
         content: Option<(&str, u64)>,
         keep_alive: bool,
         pad_align: bool,
         last_modified_unix: Option<i64>,
+    ) -> ResponseHeader {
+        Self::render_full(
+            status,
+            content,
+            keep_alive,
+            pad_align,
+            last_modified_unix,
+            HeaderExtras::default(),
+        )
+    }
+
+    fn render_full(
+        status: Status,
+        content: Option<(&str, u64)>,
+        keep_alive: bool,
+        pad_align: bool,
+        last_modified_unix: Option<i64>,
+        extras: HeaderExtras<'_>,
     ) -> ResponseHeader {
         let mut h = String::with_capacity(224);
         let _ = write!(h, "HTTP/1.1 {} {}\r\n", status.code(), status.reason());
@@ -155,6 +270,24 @@ impl ResponseHeader {
         }
         if let Some(lm) = last_modified_unix {
             let _ = write!(h, "Last-Modified: {}\r\n", date::format_imf(lm));
+        }
+        if let Some(etag) = extras.etag {
+            let _ = write!(h, "ETag: {etag}\r\n");
+        }
+        match extras.content_range {
+            Some(ContentRange::Span { start, end, total }) => {
+                let _ = write!(h, "Content-Range: bytes {start}-{end}/{total}\r\n");
+            }
+            Some(ContentRange::Unsatisfiable { total }) => {
+                let _ = write!(h, "Content-Range: bytes */{total}\r\n");
+            }
+            None => {}
+        }
+        if extras.gzip {
+            h.push_str("Content-Encoding: gzip\r\n");
+        }
+        if extras.vary_accept_encoding {
+            h.push_str("Vary: Accept-Encoding\r\n");
         }
         if let Some((content_type, content_length)) = content {
             let _ = write!(h, "Content-Type: {content_type}\r\n");
@@ -317,6 +450,77 @@ mod tests {
         let s = String::from_utf8(h.as_bytes().to_vec()).unwrap();
         assert!(s.contains("Last-Modified: Sun, 06 Nov 1994 08:49:37 GMT\r\n"));
         assert_eq!(h.len() % ALIGN, 0);
+    }
+
+    #[test]
+    fn extras_render_between_connection_and_content() {
+        let h = ResponseHeader::build_full(
+            Status::PartialContent,
+            Some(("text/html", 10)),
+            true,
+            true,
+            Some(784_111_777),
+            HeaderExtras {
+                etag: Some("\"2ebd1ca1-2a\""),
+                content_range: Some(ContentRange::Span {
+                    start: 5,
+                    end: 14,
+                    total: 42,
+                }),
+                gzip: true,
+                vary_accept_encoding: true,
+            },
+        );
+        let s = String::from_utf8(h.as_bytes().to_vec()).unwrap();
+        assert!(s.starts_with("HTTP/1.1 206 Partial Content\r\n"), "{s}");
+        assert!(s.contains("ETag: \"2ebd1ca1-2a\"\r\n"));
+        assert!(s.contains("Content-Range: bytes 5-14/42\r\n"));
+        assert!(s.contains("Content-Encoding: gzip\r\n"));
+        assert!(s.contains("Vary: Accept-Encoding\r\n"));
+        assert!(s.contains("Content-Length: 10\r\n"));
+        assert_eq!(h.len() % ALIGN, 0, "extras must not break alignment");
+        // Date stays the second line regardless of extras — the cache's
+        // zero-copy date splice depends on that layout.
+        assert!(s.lines().nth(1).unwrap().starts_with("Date: "));
+    }
+
+    #[test]
+    fn unsatisfiable_content_range_renders_star_form() {
+        let h = ResponseHeader::build_full(
+            Status::RangeNotSatisfiable,
+            Some(("text/html", 0)),
+            false,
+            true,
+            None,
+            HeaderExtras {
+                content_range: Some(ContentRange::Unsatisfiable { total: 42 }),
+                ..HeaderExtras::default()
+            },
+        );
+        let s = String::from_utf8(h.as_bytes().to_vec()).unwrap();
+        assert!(
+            s.starts_with("HTTP/1.1 416 Range Not Satisfiable\r\n"),
+            "{s}"
+        );
+        assert!(s.contains("Content-Range: bytes */42\r\n"));
+    }
+
+    #[test]
+    fn etag_value_is_strong_and_variant_distinct() {
+        let id = etag_value(Some(784_111_777), 42, false);
+        let gz = etag_value(Some(784_111_777), 42, true);
+        assert!(id.starts_with('"') && id.ends_with('"'));
+        assert_ne!(id, gz, "variants must never share a tag");
+        assert_eq!(etag_value(None, 7, false), "\"0-7\"");
+    }
+
+    #[test]
+    fn not_modified_full_carries_etag() {
+        let h = ResponseHeader::not_modified_full(true, Some(784_111_777), Some("\"aa-1\""));
+        let s = String::from_utf8(h.as_bytes().to_vec()).unwrap();
+        assert!(s.starts_with("HTTP/1.1 304 Not Modified\r\n"));
+        assert!(s.contains("ETag: \"aa-1\"\r\n"));
+        assert!(!s.contains("Content-Length"));
     }
 
     #[test]

@@ -14,7 +14,48 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use flash_core::caches::LruCache;
 use flash_http::mime;
-use flash_http::response::{ResponseHeader, Status};
+use flash_http::response::{etag_value, HeaderExtras, ResponseHeader, Status};
+
+/// Which representation of a resource an entry (or helper load) holds.
+/// The content cache is keyed by `(path, variant)` — see
+/// [`variant_key`] — so identity and gzip entries coexist and
+/// revalidate/evict independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Variant {
+    /// The file's own bytes, served without `Content-Encoding`.
+    #[default]
+    Identity,
+    /// A sibling `<path>.gz` discovered at helper open time, served
+    /// under `Content-Encoding: gzip` + `Vary: Accept-Encoding`.
+    Gzip,
+}
+
+impl Variant {
+    /// Whether this is the gzip representation.
+    pub fn is_gzip(self) -> bool {
+        matches!(self, Variant::Gzip)
+    }
+}
+
+/// The composite cache/coalescing key for `(path, variant)`. Identity
+/// keys are the path itself; gzip keys append a `NUL`-separated marker
+/// — request paths can never contain a `NUL` (the parser rejects
+/// `%00`), so variant keys cannot collide with any real path.
+pub fn variant_key(path: &str, variant: Variant) -> String {
+    match variant {
+        Variant::Identity => path.to_string(),
+        Variant::Gzip => format!("{path}\u{0}gz"),
+    }
+}
+
+/// Inverse of [`variant_key`]: recovers the URL path and variant from
+/// a composite key.
+pub fn split_variant_key(key: &str) -> (&str, Variant) {
+    match key.strip_suffix("\u{0}gz") {
+        Some(path) => (path, Variant::Gzip),
+        None => (key, Variant::Identity),
+    }
+}
 
 /// One cached, ready-to-send response.
 #[derive(Debug)]
@@ -35,25 +76,53 @@ pub struct Entry {
     /// reported one — the validator `If-Modified-Since` compares
     /// against, and the `Last-Modified` value baked into the headers.
     pub mtime: Option<i64>,
+    /// Which representation this entry holds (gzip entries hold the
+    /// sibling `.gz` file's bytes and carry its mtime/length).
+    pub variant: Variant,
+    /// Whether a `.gz` sibling existed when this entry was loaded —
+    /// recorded on identity entries so they emit `Vary:
+    /// Accept-Encoding` and so gzip-accepting clients know to load the
+    /// gzip variant instead of settling for this one.
+    pub has_gzip: bool,
+    /// The representation's strong entity tag (mtime+length derived,
+    /// variant-marked), as baked into the pre-rendered headers.
+    pub etag: String,
 }
 
 /// Renders the pre-padded 200 header pair (keep-alive form, close
-/// form) for a body of `len` bytes at `path` — the one place header
-/// rendering happens, shared by the cached-entry tier and the
+/// form) for a body of `len` bytes at `path` — the one place plain-200
+/// header rendering happens, shared by the cached-entry tier and the
 /// large-body `sendfile` tier so the two can never drift apart. A
-/// known `mtime` (unix seconds) adds a `Last-Modified` field.
-pub fn header_pair(path: &str, len: u64, mtime: Option<i64>) -> (Bytes, Bytes) {
+/// known `mtime` (unix seconds) adds a `Last-Modified` field; every
+/// pair carries the representation's `ETag`, gzip variants add
+/// `Content-Encoding: gzip`, and any negotiated resource (either
+/// variant, when a `.gz` sibling exists) adds `Vary: Accept-Encoding`.
+pub fn header_pair(
+    path: &str,
+    len: u64,
+    mtime: Option<i64>,
+    variant: Variant,
+    has_gzip: bool,
+) -> (Bytes, Bytes, String) {
     let ctype = mime::content_type(path);
+    let etag = etag_value(mtime, len, variant.is_gzip());
     let build = |keep| {
-        let h = match mtime {
-            Some(lm) => {
-                ResponseHeader::build_with_last_modified(Status::Ok, ctype, len, keep, true, lm)
-            }
-            None => ResponseHeader::build(Status::Ok, ctype, len, keep, true),
-        };
+        let h = ResponseHeader::build_full(
+            Status::Ok,
+            Some((ctype, len)),
+            keep,
+            true,
+            mtime,
+            HeaderExtras {
+                etag: Some(&etag),
+                content_range: None,
+                gzip: variant.is_gzip(),
+                vary_accept_encoding: variant.is_gzip() || has_gzip,
+            },
+        );
         Bytes::from(h.as_bytes().to_vec())
     };
-    (build(true), build(false))
+    (build(true), build(false), etag)
 }
 
 impl Entry {
@@ -63,10 +132,23 @@ impl Entry {
         Self::build_with_mtime(path, body, None)
     }
 
-    /// Builds an entry for `path` with `body` contents and the file's
-    /// mtime in unix seconds.
+    /// Builds an identity entry for `path` with `body` contents and
+    /// the file's mtime in unix seconds.
     pub fn build_with_mtime(path: &str, body: Vec<u8>, mtime: Option<i64>) -> Arc<Entry> {
-        let (header_keep, header_close) = header_pair(path, body.len() as u64, mtime);
+        Self::build_variant(path, body, mtime, Variant::Identity, false)
+    }
+
+    /// Builds an entry for one representation of `path`: its variant,
+    /// and whether a gzip sibling exists for the resource.
+    pub fn build_variant(
+        path: &str,
+        body: Vec<u8>,
+        mtime: Option<i64>,
+        variant: Variant,
+        has_gzip: bool,
+    ) -> Arc<Entry> {
+        let (header_keep, header_close, etag) =
+            header_pair(path, body.len() as u64, mtime, variant, has_gzip);
         // Locate the Date value once; the keep/close forms share their
         // prefix (status line + Date line), so one offset serves both.
         let date_at = header_keep
@@ -83,6 +165,9 @@ impl Entry {
             date_at,
             body: Bytes::from(body),
             mtime,
+            variant,
+            has_gzip,
+            etag,
         })
     }
 
@@ -496,6 +581,70 @@ mod tests {
         // The slot is reusable: a reload re-inserts cleanly.
         c.insert("/a".into(), Entry::build("/a", vec![1u8; 200]));
         assert!(c.get("/a").is_some());
+    }
+
+    #[test]
+    fn variant_entries_coexist_under_distinct_keys() {
+        let mut c = ContentCache::new(1024 * 1024);
+        let id = Entry::build_variant(
+            "/x.html",
+            b"plain".to_vec(),
+            Some(7),
+            Variant::Identity,
+            true,
+        );
+        let gz = Entry::build_variant("/x.html", b"gz".to_vec(), Some(9), Variant::Gzip, true);
+        assert_ne!(
+            variant_key("/x.html", Variant::Identity),
+            variant_key("/x.html", Variant::Gzip)
+        );
+        c.insert(variant_key("/x.html", Variant::Identity), Arc::clone(&id));
+        c.insert(variant_key("/x.html", Variant::Gzip), Arc::clone(&gz));
+        let got_id = c.get(&variant_key("/x.html", Variant::Identity)).unwrap();
+        let got_gz = c.get(&variant_key("/x.html", Variant::Gzip)).unwrap();
+        assert_eq!(&got_id.body[..], b"plain");
+        assert_eq!(&got_gz.body[..], b"gz");
+        assert_ne!(
+            got_id.etag, got_gz.etag,
+            "representations need distinct tags"
+        );
+        // Evicting one variant leaves the other resident.
+        assert!(c.invalidate(&variant_key("/x.html", Variant::Gzip)));
+        assert!(c.get(&variant_key("/x.html", Variant::Identity)).is_some());
+        assert!(c.get(&variant_key("/x.html", Variant::Gzip)).is_none());
+    }
+
+    #[test]
+    fn variant_headers_carry_encoding_etag_and_vary() {
+        let gz = Entry::build_variant("/x.html", b"gzbytes".to_vec(), Some(7), Variant::Gzip, true);
+        let s = String::from_utf8(gz.header_keep.to_vec()).unwrap();
+        assert!(s.contains("Content-Encoding: gzip\r\n"), "{s}");
+        assert!(s.contains("Vary: Accept-Encoding\r\n"));
+        assert!(s.contains(&format!("ETag: {}\r\n", gz.etag)));
+        assert!(
+            s.contains("Content-Type: text/html\r\n"),
+            "gzip variant keeps the underlying media type: {s}"
+        );
+        assert_eq!(gz.header_keep.len() % 32, 0);
+        // Identity entry of a negotiated resource: Vary but no encoding.
+        let id = Entry::build_variant(
+            "/x.html",
+            b"plain".to_vec(),
+            Some(7),
+            Variant::Identity,
+            true,
+        );
+        let s = String::from_utf8(id.header_keep.to_vec()).unwrap();
+        assert!(!s.contains("Content-Encoding"));
+        assert!(s.contains("Vary: Accept-Encoding\r\n"));
+        // Un-negotiated resource: no Vary at all.
+        let plain = Entry::build_with_mtime("/y.html", b"p".to_vec(), Some(7));
+        let s = String::from_utf8(plain.header_keep.to_vec()).unwrap();
+        assert!(!s.contains("Vary"));
+        // The date splice still finds its offset with the new fields.
+        let mut segs: Vec<Bytes> = Vec::new();
+        gz.push_header(true, &mut segs);
+        assert_eq!(segs.len(), 3, "date splice must survive extras");
     }
 
     #[test]

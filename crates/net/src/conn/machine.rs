@@ -13,6 +13,7 @@ use crate::event::Interest;
 use crate::timer::TimerWheel;
 use crate::writev::MAX_IOV;
 
+use super::plan::RequestCond;
 use super::{ConnIo, ProtoConfig, ShardStats};
 
 use std::sync::atomic::Ordering;
@@ -74,10 +75,12 @@ pub struct Conn<Io: ConnIo> {
     pub sendfile: Option<SendFileState<Io::FileRef>>,
     pub keep_alive: bool,
     pub head_only: bool,
-    /// The in-flight request's `If-Modified-Since`, parsed to unix
-    /// seconds — carried here because the response may be rendered by
-    /// a helper completion long after the `Request` is gone.
-    pub if_modified_since: Option<i64>,
+    /// The in-flight request's conditional/negotiation fields
+    /// (`If-Modified-Since`, `If-None-Match`, `Range`, `If-Range`,
+    /// `Accept-Encoding`), snapshotted at parse — the response may be
+    /// rendered by a helper completion long after the `Request` is
+    /// gone.
+    pub cond: RequestCond,
     /// Interest currently armed in the driver's event backend; the
     /// driver reconciles this against the state machine after every
     /// drive.
@@ -130,7 +133,7 @@ impl<Io: ConnIo> Conn<Io> {
             sendfile: None,
             keep_alive: false,
             head_only: false,
-            if_modified_since: None,
+            cond: RequestCond::default(),
             interest: Interest::READ,
             deadline: DeadlineKind::None,
             deadline_progress: 0,
@@ -483,6 +486,7 @@ mod tests {
             write_stall_timeout: Some(Duration::from_secs(30)),
             helper_wait_timeout: Some(Duration::from_secs(60)),
             cache_revalidate_ttl: Some(Duration::from_secs(2)),
+            sendfile_threshold: 256 * 1024,
             metrics_endpoint: false,
             access_log: false,
         }

@@ -32,6 +32,7 @@
 //! a syscall or reads a clock — every instant is a parameter.
 
 pub mod machine;
+pub mod plan;
 pub mod shard;
 
 use std::io;
@@ -41,8 +42,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub use machine::{Conn, ConnState, DeadlineKind, Drive};
+pub use plan::{BodySource, RequestCond, Resource, ResponsePlan};
 pub use shard::ShardCore;
 
+use crate::cache::Variant;
 use crate::stats::Histogram;
 
 /// The transport seam: every I/O operation the connection state
@@ -89,11 +92,27 @@ pub enum JobKind {
 
 /// One unit of disk work dispatched through a [`HelperPort`].
 pub struct HelperJob {
-    /// URL path (the waiter-coalescing key).
+    /// Variant-cache key (the waiter-coalescing key): the URL path for
+    /// identity, [`crate::cache::variant_key`]'s marked form for gzip.
     pub path: String,
-    /// Filesystem path to open.
+    /// Filesystem path of the **identity** representation; executors
+    /// derive the `.gz` sibling path from it when the job concerns the
+    /// gzip variant.
     pub fs_path: PathBuf,
     pub kind: JobKind,
+    /// Which representation the job concerns. For [`JobKind::Load`]
+    /// this is a *preference*: `Gzip` means "probe the `.gz` sibling,
+    /// serve it if present, fall back to identity" — the result
+    /// reports which variant actually loaded. For
+    /// [`JobKind::Revalidate`] it is exact (a gzip entry re-stats the
+    /// sibling file).
+    pub variant: Variant,
+    /// Read the body into memory only when the representation is at
+    /// most this many bytes; larger files come back as an open handle
+    /// for the `sendfile` window path. The value is core policy
+    /// (`ProtoConfig::sendfile_threshold`) carried on the job so
+    /// executors stay mechanical — no driver consults the config.
+    pub inline_max: u64,
     /// The dispatching shard's reload epoch; echoed back on the
     /// [`Done`] so a completion that raced a SIGHUP reload can be
     /// served to its waiters without poisoning the fresh cache.
@@ -120,11 +139,13 @@ impl HelperJob {
 }
 
 /// What a job execution hands back for a readable file: either the
-/// bytes themselves (small file, destined for the content cache) or an
-/// opaque file handle plus its stat'ed length (large file, destined
-/// for the `sendfile` path — the shard never sees the body at all).
+/// bytes themselves (small representation, destined for the content
+/// cache — `len <= HelperJob::inline_max`) or an opaque file handle
+/// plus its stat'ed length (large representation, destined for the
+/// `sendfile` window path — the shard never sees the body at all).
 /// Both carry the fstat'ed mtime so responses advertise
 /// `Last-Modified` and conditional requests can be answered `304`.
+#[derive(Debug)]
 pub enum FileData<F> {
     Bytes {
         body: Vec<u8>,
@@ -137,11 +158,25 @@ pub enum FileData<F> {
     },
 }
 
+/// A [`JobKind::Load`] execution's full result: which representation
+/// actually loaded (a gzip *preference* falls back to identity when no
+/// sibling exists), its payload, and whether a `.gz` sibling was seen
+/// — the identity entry records that to emit `Vary` and to route
+/// gzip-accepting clients.
+#[derive(Debug)]
+pub struct LoadResult<F> {
+    pub data: FileData<F>,
+    /// The representation `data` holds.
+    pub variant: Variant,
+    /// Whether a `.gz` sibling existed at load time.
+    pub has_gzip: bool,
+}
+
 /// A completion's payload, matching the job's [`JobKind`].
 pub enum DoneData<F> {
     /// [`JobKind::Load`]: the file's contents (or open handle), ready
     /// to render and cache.
-    Loaded(io::Result<FileData<F>>),
+    Loaded(io::Result<LoadResult<F>>),
     /// [`JobKind::Revalidate`]: the file's current (length, mtime)
     /// from a bare open+`fstat` — no bytes read.
     Stat(io::Result<(u64, Option<i64>)>),
@@ -176,6 +211,11 @@ pub struct ProtoConfig {
     pub helper_wait_timeout: Option<Duration>,
     /// Content-cache revalidation TTL (`None` trusts entries forever).
     pub cache_revalidate_ttl: Option<Duration>,
+    /// The two-tier body policy, owned by the core: representations at
+    /// most this many bytes are cached pre-rendered and sent with
+    /// `writev`; larger ones stream through the `sendfile` window seam.
+    /// Carried onto every [`HelperJob`] as `inline_max`.
+    pub sendfile_threshold: u64,
     /// Serve `GET /.flash/metrics` (Prometheus text) and
     /// `/.flash/stats` (JSON) in-band on the normal parse/respond
     /// path. Off by default; endpoint responses count under
@@ -227,6 +267,12 @@ pub struct ShardStats {
     pub write_stall_timeouts: AtomicU64,
     /// `304 Not Modified` responses served to conditional requests.
     pub not_modified: AtomicU64,
+    /// Requests carrying a well-formed single-range `Range` header
+    /// that reached a file response (satisfiable or not).
+    pub range_requests: AtomicU64,
+    /// `416 Range Not Satisfiable` responses (`Content-Range: bytes
+    /// */len`).
+    pub range_unsatisfiable: AtomicU64,
     /// Times this shard's reuseport listener was throttled by fd
     /// exhaustion (`EMFILE`/`ENFILE`) or another accept failure — read
     /// interest dropped, re-armed once a connection slot frees.

@@ -17,13 +17,15 @@ use flash_http::request::{ParseStatus, Request};
 use flash_http::response::{error_body, ResponseHeader, Status};
 use flash_http::Method;
 
-use crate::cache::{ContentCache, Entry, Lookup};
+use crate::cache::{self, ContentCache, Entry, Lookup, Variant};
 use crate::stats::{self, AccessRecord, PendingLog, Tier};
 use crate::timer::TimerWheel;
 
-use super::machine::{flush_out, Conn, ConnState, DeadlineKind, Drive, FlushResult, SendFileState};
+use super::machine::{flush_out, Conn, ConnState, DeadlineKind, Drive, FlushResult};
+use super::plan::{plan_response, queue_plan, RequestCond, Resource};
 use super::{
-    ConnIo, Done, DoneData, FileData, HelperJob, HelperPort, JobKind, ProtoConfig, ShardStats,
+    ConnIo, Done, DoneData, FileData, HelperJob, HelperPort, JobKind, LoadResult, ProtoConfig,
+    ShardStats,
 };
 
 /// The shard's record of one dispatched, not-yet-completed job: the
@@ -311,14 +313,12 @@ impl ShardCore {
     ) {
         conn.keep_alive = req.keep_alive();
         conn.head_only = req.method == Method::Head;
-        // Parsed once here; an unparseable date simply makes the
-        // request unconditional. Carried on the connection because the
+        // The conditional/negotiation fields, snapshotted once here
+        // (dates parsed; an unparseable date simply makes the request
+        // unconditional). Carried on the connection because the
         // response may be rendered by a helper completion after `req`
         // is dropped.
-        conn.if_modified_since = req
-            .if_modified_since
-            .as_deref()
-            .and_then(flash_http::date::parse_imf);
+        conn.cond = RequestCond::from_request(&req);
         // The observability endpoints answer before any workload
         // accounting: no `req_start`, no access-log record, counted
         // under `metrics_requests` — scraping never skews the numbers
@@ -354,63 +354,138 @@ impl ShardCore {
         if path.ends_with('/') {
             path.push_str("index.html");
         }
-        let kind = match self
-            .cache
-            .lookup_at(&path, self.cfg.cache_revalidate_ttl, now)
-        {
-            Lookup::Hit(entry) => {
-                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                if entry.not_modified_since(conn.if_modified_since) {
-                    queue_not_modified(conn, entry.mtime, &self.stats);
-                    set_log(conn, Status::NotModified.code(), Tier::NotModified);
-                } else {
-                    queue_entry(conn, &entry);
-                    set_log(conn, Status::Ok.code(), Tier::Hit);
+        let ttl = self.cfg.cache_revalidate_ttl;
+        // Variant negotiation: a gzip-accepting client consults the
+        // gzip slot of the variant cache first; everyone else (and any
+        // resource known to have no `.gz` sibling) goes straight to the
+        // identity slot. Either way the hit is served through the one
+        // response plane — the planner, not the lookup, decides
+        // 200/206/304/416.
+        let (key, kind, variant) = if conn.cond.accept_gzip {
+            let gz_key = cache::variant_key(&path, Variant::Gzip);
+            match self.cache.lookup_at(&gz_key, ttl, now) {
+                Lookup::Hit(entry) => {
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.respond_cached(conn, &entry, &path, Tier::Hit);
+                    return;
                 }
-                conn.state = ConnState::Writing;
-                return;
+                Lookup::Stale(_) => (gz_key, JobKind::Revalidate, Variant::Gzip),
+                // No gzip entry yet. An identity hit that *knows* no
+                // sibling exists is served as-is; anything else (miss,
+                // stale, or a sibling on record) dispatches a
+                // gzip-preference load, which falls back to identity
+                // when no `.gz` file is found.
+                Lookup::Miss => match self.cache.lookup_at(&path, ttl, now) {
+                    Lookup::Hit(entry) if !entry.has_gzip => {
+                        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        self.respond_cached(conn, &entry, &path, Tier::Hit);
+                        return;
+                    }
+                    _ => (gz_key, JobKind::Load, Variant::Gzip),
+                },
             }
-            // Resident but past the revalidation TTL: the bytes cannot
-            // be trusted until a helper re-stats the file — a cheap
-            // open+fstat, no read — so the connection parks exactly
-            // like a miss and is served by the completion (from memory
-            // if the stat matches, from a reload if not).
-            Lookup::Stale(_) => JobKind::Revalidate,
-            // Miss: hand the disk work to a helper.
-            Lookup::Miss => JobKind::Load,
+        } else {
+            match self.cache.lookup_at(&path, ttl, now) {
+                Lookup::Hit(entry) => {
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.respond_cached(conn, &entry, &path, Tier::Hit);
+                    return;
+                }
+                // Resident but past the revalidation TTL: the bytes
+                // cannot be trusted until a helper re-stats the file —
+                // a cheap open+fstat, no read — so the connection parks
+                // exactly like a miss and is served by the completion
+                // (from memory if the stat matches, from a reload if
+                // not).
+                Lookup::Stale(_) => (path.clone(), JobKind::Revalidate, Variant::Identity),
+                // Miss: hand the disk work to a helper.
+                Lookup::Miss => (path.clone(), JobKind::Load, Variant::Identity),
+            }
         };
-        // Coalesce concurrent misses (and revalidations) per path. The
-        // request parser has already normalized away any `..`, so
-        // joining the relative remainder cannot escape the docroot.
-        self.waiters.entry(path.clone()).or_default().push(idx);
-        self.dispatch_job(path, kind, port);
+        // Coalesce concurrent misses (and revalidations) per variant
+        // key. The request parser has already normalized away any
+        // `..`, so joining the relative remainder cannot escape the
+        // docroot.
+        self.waiters.entry(key.clone()).or_default().push(idx);
+        self.dispatch_job(key, kind, variant, port);
         conn.wait_start = Some(now);
         conn.state = ConnState::Waiting;
     }
 
-    /// Dispatches one job per path: coalesced behind the pending map,
-    /// tokened so only this dispatch's completion is accepted, and
-    /// carrying a fresh cancellation flag.
-    fn dispatch_job(&mut self, path: String, kind: JobKind, port: &mut dyn HelperPort) {
-        if self.pending_jobs.contains_key(&path) {
+    /// Serves a cached entry to one connection through the response
+    /// plane: plan, log, queue, flip to `Writing`.
+    fn respond_cached<Io: ConnIo>(
+        &self,
+        conn: &mut Conn<Io>,
+        entry: &Arc<Entry>,
+        path: &str,
+        body_tier: Tier,
+    ) {
+        let res: Resource<'_, Io::FileRef> = Resource::Cached(entry);
+        self.respond(conn, &res, path, body_tier);
+    }
+
+    /// Plans and queues one response — the only call site pattern for
+    /// [`plan_response`] on this shard, so every tier and every
+    /// completion shape goes through identical conditional/range
+    /// handling.
+    fn respond<Io: ConnIo>(
+        &self,
+        conn: &mut Conn<Io>,
+        res: &Resource<'_, Io::FileRef>,
+        path: &str,
+        body_tier: Tier,
+    ) {
+        let plan = plan_response(
+            res,
+            path,
+            &conn.cond,
+            conn.keep_alive,
+            body_tier,
+            &self.stats,
+        );
+        set_log(conn, plan.status.code(), plan.tier);
+        queue_plan(conn, plan);
+        conn.state = ConnState::Writing;
+    }
+
+    /// Dispatches one job per variant key: coalesced behind the
+    /// pending map, tokened so only this dispatch's completion is
+    /// accepted, and carrying a fresh cancellation flag. The job
+    /// carries the core's tier threshold (`inline_max`) and the wanted
+    /// variant so every executor stays mechanical.
+    fn dispatch_job(
+        &mut self,
+        key: String,
+        kind: JobKind,
+        variant: Variant,
+        port: &mut dyn HelperPort,
+    ) {
+        if self.pending_jobs.contains_key(&key) {
             return;
         }
         let token = self.next_job_token;
         self.next_job_token += 1;
         let cancel = Arc::new(AtomicBool::new(false));
         self.pending_jobs.insert(
-            path.clone(),
+            key.clone(),
             PendingJob {
                 token,
                 cancel: Arc::clone(&cancel),
             },
         );
         self.stats.helper_jobs.fetch_add(1, Ordering::Relaxed);
-        let fs_path = self.cfg.docroot.join(path.trim_start_matches('/'));
+        // The filesystem path is always the identity representation's;
+        // executors derive the `.gz` sibling themselves when the job
+        // concerns the gzip variant.
+        let url_path = cache::split_variant_key(&key).0;
+        let fs_path = self.cfg.docroot.join(url_path.trim_start_matches('/'));
         port.submit(HelperJob {
-            path,
+            path: key,
             fs_path,
             kind,
+            variant,
+            inline_max: self.cfg.sendfile_threshold,
             epoch: self.epoch,
             token,
             cancel,
@@ -469,31 +544,51 @@ impl ShardCore {
             }
             DoneData::Loaded(result) => result,
         };
+        let url_path = cache::split_variant_key(&done.path).0.to_string();
         let completion = match result {
-            Ok(FileData::Bytes { body, mtime }) => {
-                let entry = Entry::build_with_mtime(&done.path, body, mtime);
+            Ok(LoadResult {
+                data: FileData::Bytes { body, mtime },
+                variant,
+                has_gzip,
+            }) => {
+                let entry = Entry::build_variant(&url_path, body, mtime, variant, has_gzip);
                 // Oversized-for-this-cache entries are refused by the
                 // admission check; the waiters below are still served
                 // from the entry directly. A completion from before a
                 // SIGHUP reload (stale epoch) also serves its waiters —
                 // their requests predate the reload — but is NOT
                 // inserted: pre-reload bytes must not poison the
-                // post-reload cache.
+                // post-reload cache. The insert key follows the variant
+                // that actually loaded: a gzip-preference job that fell
+                // back to identity (no `.gz` sibling) populates the
+                // identity slot, so the next gzip-accepting request
+                // hits `has_gzip: false` there and never re-dispatches.
                 if done.epoch == self.epoch {
-                    self.cache
-                        .insert_at(done.path.clone(), Arc::clone(&entry), now);
+                    self.cache.insert_at(
+                        cache::variant_key(&url_path, variant),
+                        Arc::clone(&entry),
+                        now,
+                    );
                     self.stats
                         .cache_used_bytes
                         .store(self.cache.used_bytes(), Ordering::Relaxed);
                 }
                 Completion::Small(entry)
             }
-            Ok(FileData::Fd { file, len, mtime }) => {
-                let (header_keep, header_close) = crate::cache::header_pair(&done.path, len, mtime);
+            Ok(LoadResult {
+                data: FileData::Fd { file, len, mtime },
+                variant,
+                has_gzip,
+            }) => {
+                let (header_keep, header_close, etag) =
+                    cache::header_pair(&url_path, len, mtime, variant, has_gzip);
                 Completion::Large {
                     file,
                     len,
                     mtime,
+                    variant,
+                    has_gzip,
+                    etag,
                     header_keep,
                     header_close,
                 }
@@ -507,7 +602,15 @@ impl ShardCore {
                 Completion::Fail(status, Bytes::from(error_body(status)))
             }
         };
-        self.deliver_completion(&completion, &done.path, conns, completed, Tier::Miss, now);
+        self.deliver_completion(
+            &completion,
+            &done.path,
+            &url_path,
+            conns,
+            completed,
+            Tier::Miss,
+            now,
+        );
     }
 
     /// Handles a revalidation re-stat completion: if the cached entry
@@ -525,6 +628,10 @@ impl ShardCore {
         port: &mut dyn HelperPort,
         now: Instant,
     ) {
+        let (url_path, variant) = {
+            let (p, v) = cache::split_variant_key(&path);
+            (p.to_string(), v)
+        };
         if let (Some(entry), Ok((len, mtime))) = (self.cache.peek(&path), &stat) {
             if entry.mtime == *mtime && entry.body.len() as u64 == *len {
                 self.cache.refresh_at(&path, now);
@@ -532,6 +639,7 @@ impl ShardCore {
                 self.deliver_completion(
                     &Completion::Small(entry),
                     &path,
+                    &url_path,
                     conns,
                     completed,
                     Tier::Hit,
@@ -541,32 +649,38 @@ impl ShardCore {
             }
         }
         // Changed, vanished, or evicted in the meantime: the resident
-        // bytes can no longer be trusted.
+        // bytes can no longer be trusted. A vanished `.gz` sibling
+        // lands here too — the requeued gzip-preference load falls
+        // back to the identity file.
         if self.cache.invalidate(&path) {
             self.stats.stale_evicted.fetch_add(1, Ordering::Relaxed);
             self.stats
                 .cache_used_bytes
                 .store(self.cache.used_bytes(), Ordering::Relaxed);
         }
-        self.dispatch_job(path, JobKind::Load, port);
+        self.dispatch_job(path, JobKind::Load, variant, port);
     }
 
-    /// Renders a completion into every waiter's output queue, flipping
-    /// them to `Writing` and appending their indices to `completed`
-    /// for the driver to drive. `served_tier` is the access-log tier a
-    /// body-bearing small response reports (miss for a fresh load, hit
-    /// for a confirmed revalidation); `now` closes out each waiter's
-    /// helper-wait interval.
+    /// Renders a completion into every waiter's output queue through
+    /// the response plane, flipping them to `Writing` and appending
+    /// their indices to `completed` for the driver to drive.
+    /// `served_tier` is the access-log tier a body-bearing small
+    /// response reports (miss for a fresh load, hit for a confirmed
+    /// revalidation); `now` closes out each waiter's helper-wait
+    /// interval. Each waiter gets its *own* plan — their conditional
+    /// headers, ranges, and keep-alive postures all differ.
+    #[allow(clippy::too_many_arguments)]
     fn deliver_completion<Io: ConnIo>(
         &mut self,
         completion: &Completion<Io::FileRef>,
-        path: &str,
+        key: &str,
+        url_path: &str,
         conns: &mut [Option<Conn<Io>>],
         completed: &mut Vec<usize>,
         served_tier: Tier,
         now: Instant,
     ) {
-        for idx in self.waiters.remove(path).unwrap_or_default() {
+        for idx in self.waiters.remove(key).unwrap_or_default() {
             let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
                 continue;
             };
@@ -577,35 +691,36 @@ impl ShardCore {
             }
             match &completion {
                 Completion::Small(entry) => {
-                    if entry.not_modified_since(conn.if_modified_since) {
-                        queue_not_modified(conn, entry.mtime, &self.stats);
-                        set_log(conn, Status::NotModified.code(), Tier::NotModified);
-                    } else {
-                        queue_entry(conn, entry);
-                        set_log(conn, Status::Ok.code(), served_tier);
-                    }
+                    self.respond_cached(conn, entry, url_path, served_tier);
                 }
                 Completion::Large {
                     file,
                     len,
                     mtime,
+                    variant,
+                    has_gzip,
+                    etag,
                     header_keep,
                     header_close,
                 } => {
-                    if crate::cache::not_modified_since(*mtime, conn.if_modified_since) {
-                        queue_not_modified(conn, *mtime, &self.stats);
-                        set_log(conn, Status::NotModified.code(), Tier::NotModified);
-                    } else {
-                        queue_sendfile(conn, file, *len, header_keep, header_close);
-                        set_log(conn, Status::Ok.code(), Tier::Sendfile);
-                    }
+                    let res = Resource::File {
+                        file,
+                        len: *len,
+                        mtime: *mtime,
+                        variant: *variant,
+                        has_gzip: *has_gzip,
+                        etag,
+                        header_keep,
+                        header_close,
+                    };
+                    self.respond(conn, &res, url_path, Tier::Sendfile);
                 }
                 Completion::Fail(status, body) => {
                     queue_error(conn, *status, body.clone());
                     set_log(conn, status.code(), Tier::Error);
+                    conn.state = ConnState::Writing;
                 }
             }
-            conn.state = ConnState::Writing;
             completed.push(idx);
         }
     }
@@ -679,61 +794,21 @@ impl ShardCore {
 enum Completion<F> {
     /// Small body: a cached (or at least cacheable) in-memory entry.
     Small(Arc<Entry>),
-    /// Large body: a shared file handle for the sendfile path, with
-    /// both header forms pre-rendered once for the whole waiter list.
+    /// Large body: a shared file handle for the sendfile window path,
+    /// with the representation's identity (variant, validator) and
+    /// both plain-200 header forms pre-rendered once for the whole
+    /// waiter list (range/conditional responses re-render per waiter).
     Large {
         file: F,
         len: u64,
         mtime: Option<i64>,
+        variant: Variant,
+        has_gzip: bool,
+        etag: String,
         header_keep: Bytes,
         header_close: Bytes,
     },
     Fail(Status, Bytes),
-}
-
-pub(crate) fn queue_entry<Io: ConnIo>(conn: &mut Conn<Io>, entry: &Arc<Entry>) {
-    // The header goes out as slices around a current Date segment (a
-    // cached entry may be hours old; its baked-in date is not the
-    // response's date) — still one writev, just more iovecs.
-    entry.push_header(conn.keep_alive, &mut conn.out);
-    if !conn.head_only {
-        conn.out.push_back(entry.body.clone());
-    }
-}
-
-/// Queues a bodyless `304 Not Modified` answering a conditional
-/// request whose validator is still current. 304s are rare enough
-/// that the header is rendered on demand rather than cached.
-pub(crate) fn queue_not_modified<Io: ConnIo>(
-    conn: &mut Conn<Io>,
-    mtime: Option<i64>,
-    stats: &ShardStats,
-) {
-    let hdr = ResponseHeader::not_modified(conn.keep_alive, mtime);
-    conn.out.push_back(Bytes::from(hdr.as_bytes().to_vec()));
-    stats.not_modified.fetch_add(1, Ordering::Relaxed);
-}
-
-/// Queues a large-body response: the pre-rendered header goes through
-/// the ordinary `writev` queue; the body rides as a [`SendFileState`]
-/// transmitted after the queue drains. HEAD gets the header (with the
-/// true `Content-Length`) and no file state at all.
-pub(crate) fn queue_sendfile<Io: ConnIo>(
-    conn: &mut Conn<Io>,
-    file: &Io::FileRef,
-    len: u64,
-    keep: &Bytes,
-    close: &Bytes,
-) {
-    let hdr = if conn.keep_alive { keep } else { close };
-    conn.out.push_back(hdr.clone());
-    if !conn.head_only {
-        conn.sendfile = Some(SendFileState {
-            file: file.clone(),
-            offset: 0,
-            remaining: len,
-        });
-    }
 }
 
 /// Fills in the staged access-log record's outcome fields (no-op when

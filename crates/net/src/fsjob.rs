@@ -1,0 +1,311 @@
+//! The **shared real-filesystem job executor**: one mechanical
+//! implementation of [`HelperJob`] execution used by every real
+//! driver — the AMPED helper pool ([`crate::server`]) and the
+//! thread-per-connection server ([`crate::mt`]) — so the two can never
+//! drift on tier selection, variant negotiation, or TOCTOU hygiene.
+//! The deterministic sim implements the same mechanics against its
+//! in-memory filesystem.
+//!
+//! "Mechanical" means: no policy lives here. The tier threshold rides
+//! on the job as [`HelperJob::inline_max`]; the wanted representation
+//! rides as [`HelperJob::variant`]. This module just opens files and
+//! obeys.
+//!
+//! TOCTOU rule (inherited from the old helper loop): the file is
+//! opened *first* and everything after that — the regular-file check,
+//! the length, the bytes read or the fd handed out — comes from the
+//! open descriptor (`fstat` semantics). A `fs::metadata` + `fs::read`
+//! pair races with path swaps: the metadata could describe one inode
+//! and the read return another.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::cache::Variant;
+use crate::conn::{DoneData, FileData, HelperJob, JobKind, LoadResult};
+
+/// The `.gz` sibling of an identity filesystem path (`a/b.html` →
+/// `a/b.html.gz`) — the on-disk layout of the precompressed variant.
+pub fn gzip_sibling(p: &Path) -> PathBuf {
+    let mut os = p.as_os_str().to_os_string();
+    os.push(".gz");
+    PathBuf::from(os)
+}
+
+/// A file's mtime as unix seconds, if the filesystem reports one that
+/// fits (pre-1970 mtimes are reported as `None` rather than lied
+/// about — `Last-Modified` simply goes unsent).
+pub fn unix_mtime(meta: &std::fs::Metadata) -> Option<i64> {
+    let t = meta.modified().ok()?;
+    let d = t.duration_since(std::time::UNIX_EPOCH).ok()?;
+    Some(d.as_secs() as i64)
+}
+
+/// Executes one helper job against the real filesystem, producing the
+/// completion payload for [`crate::conn::Done`].
+pub fn exec_job(job: &HelperJob) -> DoneData<Arc<File>> {
+    match job.kind {
+        JobKind::Load => DoneData::Loaded(exec_load(job)),
+        JobKind::Revalidate => DoneData::Stat(exec_stat(job)),
+    }
+}
+
+/// Opens a regular file, refusing directories and anything unreadable;
+/// returns the descriptor with its fstat'ed length and mtime.
+fn open_regular(p: &Path) -> io::Result<(File, u64, Option<i64>)> {
+    let file = File::open(p)?;
+    let meta = file.metadata()?; // fstat on the open fd — no second path lookup
+    if !meta.is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            "not a regular file",
+        ));
+    }
+    let len = meta.len();
+    let mtime = unix_mtime(&meta);
+    Ok((file, len, mtime))
+}
+
+/// Applies the job's tier rule to an open file: bodies at most
+/// `inline_max` bytes come back as bytes (destined for the content
+/// cache and the `writev` path), larger ones as the open descriptor
+/// for the `sendfile` window path — a multi-gigabyte file never
+/// materializes in executor memory.
+fn tiered(
+    file: File,
+    len: u64,
+    mtime: Option<i64>,
+    inline_max: u64,
+) -> io::Result<FileData<Arc<File>>> {
+    if len > inline_max {
+        return Ok(FileData::Fd {
+            file: Arc::new(file),
+            len,
+            mtime,
+        });
+    }
+    let mut body = Vec::with_capacity(len as usize);
+    (&file).read_to_end(&mut body)?;
+    Ok(FileData::Bytes { body, mtime })
+}
+
+/// Executes a [`JobKind::Load`]: opens the identity file, negotiates
+/// the variant, and reports which representation actually loaded.
+///
+/// The identity file is opened *first* even for a gzip-preference job:
+/// a missing resource must `404` identically for gzip-accepting and
+/// plain clients, and a sibling-only `.gz` (no original) is
+/// deliberately never served. A gzip preference then probes the
+/// sibling and serves it when present — under the `.gz` file's **own**
+/// length and mtime (its `Content-Length`, `Last-Modified`, and `ETag`
+/// describe the bytes actually sent) — falling back to identity when
+/// absent. An identity load still stats the sibling so the entry can
+/// advertise `Vary: Accept-Encoding` and route future gzip-accepting
+/// clients. Sibling discovery happens only here, at load time: a
+/// `.gz` added or removed afterwards is picked up by the next
+/// revalidation or cache miss, not mid-entry.
+pub fn exec_load(job: &HelperJob) -> io::Result<LoadResult<Arc<File>>> {
+    let (id_file, id_len, id_mtime) = open_regular(&job.fs_path)?;
+    let sibling = gzip_sibling(&job.fs_path);
+    if job.variant.is_gzip() {
+        if let Ok((gz_file, gz_len, gz_mtime)) = open_regular(&sibling) {
+            return Ok(LoadResult {
+                data: tiered(gz_file, gz_len, gz_mtime, job.inline_max)?,
+                variant: Variant::Gzip,
+                has_gzip: true,
+            });
+        }
+        return Ok(LoadResult {
+            data: tiered(id_file, id_len, id_mtime, job.inline_max)?,
+            variant: Variant::Identity,
+            has_gzip: false,
+        });
+    }
+    let has_gzip = std::fs::metadata(&sibling)
+        .map(|m| m.is_file())
+        .unwrap_or(false);
+    Ok(LoadResult {
+        data: tiered(id_file, id_len, id_mtime, job.inline_max)?,
+        variant: Variant::Identity,
+        has_gzip,
+    })
+}
+
+/// Executes a [`JobKind::Revalidate`]: the cheap open + `fstat` probe,
+/// no bytes read, against the file the entry's variant actually came
+/// from (the `.gz` sibling for gzip entries). Returns the current
+/// (length, mtime) for comparison against the cached entry.
+pub fn exec_stat(job: &HelperJob) -> io::Result<(u64, Option<i64>)> {
+    let sibling;
+    let p: &Path = if job.variant.is_gzip() {
+        sibling = gzip_sibling(&job.fs_path);
+        &sibling
+    } else {
+        &job.fs_path
+    };
+    let (_file, len, mtime) = open_regular(p)?;
+    Ok((len, mtime))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    /// A throwaway directory under the OS temp root (the workspace has
+    /// no tempdir crate), removed on drop.
+    struct TestDir(PathBuf);
+
+    impl TestDir {
+        fn new(tag: &str) -> TestDir {
+            let p = std::env::temp_dir().join(format!("flash-fsjob-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&p);
+            std::fs::create_dir_all(&p).unwrap();
+            TestDir(p)
+        }
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn job(dir: &Path, name: &str, kind: JobKind, variant: Variant, inline_max: u64) -> HelperJob {
+        HelperJob {
+            path: format!("/{name}"),
+            fs_path: dir.join(name),
+            kind,
+            variant,
+            inline_max,
+            epoch: 0,
+            token: 1,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    #[test]
+    fn gzip_preference_serves_sibling_and_falls_back() {
+        let dir = TestDir::new("gzpref");
+        std::fs::write(dir.path().join("a.html"), b"identity-bytes").unwrap();
+        std::fs::write(dir.path().join("a.html.gz"), b"gz").unwrap();
+        std::fs::write(dir.path().join("b.html"), b"plain-only").unwrap();
+
+        let got = exec_load(&job(
+            dir.path(),
+            "a.html",
+            JobKind::Load,
+            Variant::Gzip,
+            1024,
+        ))
+        .unwrap();
+        assert_eq!(got.variant, Variant::Gzip);
+        assert!(got.has_gzip);
+        match got.data {
+            FileData::Bytes { body, .. } => assert_eq!(body, b"gz"),
+            _ => panic!("2 bytes must come back inline"),
+        }
+
+        let got = exec_load(&job(
+            dir.path(),
+            "b.html",
+            JobKind::Load,
+            Variant::Gzip,
+            1024,
+        ))
+        .unwrap();
+        assert_eq!(
+            got.variant,
+            Variant::Identity,
+            "no sibling: identity fallback"
+        );
+        assert!(!got.has_gzip);
+
+        // Identity load of a negotiated resource records the sibling.
+        let got = exec_load(&job(
+            dir.path(),
+            "a.html",
+            JobKind::Load,
+            Variant::Identity,
+            1024,
+        ))
+        .unwrap();
+        assert_eq!(got.variant, Variant::Identity);
+        assert!(got.has_gzip);
+    }
+
+    #[test]
+    fn inline_max_decides_the_tier_mechanically() {
+        let dir = TestDir::new("tier");
+        std::fs::write(dir.path().join("x.bin"), vec![7u8; 100]).unwrap();
+        let got = exec_load(&job(
+            dir.path(),
+            "x.bin",
+            JobKind::Load,
+            Variant::Identity,
+            99,
+        ))
+        .unwrap();
+        match got.data {
+            FileData::Fd { len, .. } => assert_eq!(len, 100),
+            _ => panic!("100 > 99 must come back as an fd"),
+        }
+        let got = exec_load(&job(
+            dir.path(),
+            "x.bin",
+            JobKind::Load,
+            Variant::Identity,
+            100,
+        ))
+        .unwrap();
+        assert!(
+            matches!(got.data, FileData::Bytes { .. }),
+            "100 <= 100 stays inline"
+        );
+    }
+
+    #[test]
+    fn revalidate_stats_the_variant_file() {
+        let dir = TestDir::new("reval");
+        std::fs::write(dir.path().join("a.html"), b"0123456789").unwrap();
+        std::fs::write(dir.path().join("a.html.gz"), b"123").unwrap();
+        let (len, _) = exec_stat(&job(
+            dir.path(),
+            "a.html",
+            JobKind::Revalidate,
+            Variant::Gzip,
+            0,
+        ))
+        .unwrap();
+        assert_eq!(len, 3, "gzip revalidation must stat the sibling");
+        let (len, _) = exec_stat(&job(
+            dir.path(),
+            "a.html",
+            JobKind::Revalidate,
+            Variant::Identity,
+            0,
+        ))
+        .unwrap();
+        assert_eq!(len, 10);
+    }
+
+    #[test]
+    fn missing_identity_fails_even_with_sibling_present() {
+        let dir = TestDir::new("ghost");
+        std::fs::write(dir.path().join("ghost.html.gz"), b"gz").unwrap();
+        let err = exec_load(&job(
+            dir.path(),
+            "ghost.html",
+            JobKind::Load,
+            Variant::Gzip,
+            1024,
+        ))
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

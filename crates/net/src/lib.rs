@@ -47,10 +47,13 @@
 //!   `write_stall_timeouts`, `idle_reaped` in [`server::ServerStats`]).
 //!   The MT server honours the same knobs through blocking-socket
 //!   timeouts. Conditional requests are answered: 200s carry
-//!   `Last-Modified` (and a real, per-second-cached `Date`), and an
-//!   `If-Modified-Since` validator at least as new as the file's mtime
-//!   gets a bodyless `304 Not Modified` (the `not_modified` counter)
-//!   without moving a single body byte on either tier. Shards never
+//!   `Last-Modified`, a strong `ETag`, and a real, per-second-cached
+//!   `Date`; `If-None-Match` / `If-Modified-Since` validators get a
+//!   bodyless `304 Not Modified` (the `not_modified` counter), single
+//!   `Range` requests a windowed `206`, and gzip-accepting clients a
+//!   precompressed sibling when one exists — all without moving an
+//!   unneeded body byte on either tier (see *The send plane* below for
+//!   the precedence rules). Shards never
 //!   block on disk and own a **private**
 //!   [`ContentCache`] so the request path takes no locks. A **shared
 //!   helper pool** performs all filesystem work, popping its per-shard
@@ -157,6 +160,55 @@
 //!    leaked slots, stale-epoch cache inserts, or orphaned deadlines
 //!    from the new fault fail the replay without further wiring.
 //!
+//! # The send plane: one response planner, every driver
+//!
+//! Every response body — on either tier, from any driver — is a byte
+//! window `[offset, offset + len)` over a **body source**: a cached
+//! entry's bytes or an opaque file reference ([`conn::BodySource`]).
+//! One pure function ([`conn::plan::plan_response`]) turns a resource
+//! plus the request's conditional snapshot into a
+//! [`conn::ResponsePlan`] — status, header segments, windowed source —
+//! and one queuing step hands the plan to the tier machinery (gathered
+//! `writev` segments, or a `sendfile` window with partial-send
+//! resumption and the fairness budget). The real shards, the MT
+//! server, and the deterministic sim all serve `200`/`206`/`304`/`416`
+//! through this single plane; a driver implements only "send this
+//! window".
+//!
+//! Conditional precedence (RFC 9110 §13.2.2), identical everywhere:
+//!
+//! | Request carries | Decision |
+//! |---|---|
+//! | `If-None-Match` (present at all) | Compare against the representation's `ETag` (`*` matches anything); **`If-Modified-Since` is ignored entirely** |
+//! | `If-Modified-Since` only | `304` iff the validator is at least as new as the file's mtime |
+//! | `Range` + `If-Range` | The range applies only if the strong validator matches (or `If-Range` is absent); otherwise the full `200` |
+//! | `Range`, satisfiable | `206 Partial Content` with `Content-Range: bytes a-b/len` (`range_requests`) |
+//! | `Range`, unsatisfiable | `416` with `Content-Range: bytes */len` (`range_unsatisfiable`) — the connection stays open |
+//! | `Range`, malformed or multi-range | Dropped at parse time → the full `200` |
+//!
+//! `ETag`s are strong and derived from `(mtime, length)` —
+//! deterministic, cheap, and they change exactly when `Last-Modified`
+//! would. The gzip representation's tag appends `-gz`, so the two
+//! representations never share a validator.
+//!
+//! **Precompressed variants**: a sibling `path + ".gz"` discovered at
+//! helper open time is served to `Accept-Encoding: gzip` clients under
+//! `Content-Encoding: gzip` + `Vary: Accept-Encoding`, with the
+//! sibling's *own* length, mtime, and `ETag` (the headers describe the
+//! bytes actually sent). The identity file is opened first even for a
+//! gzip preference — a missing resource `404`s identically for every
+//! client, and a sibling-only `.gz` is never served. The content cache
+//! keys the two representations separately ([`cache::variant_key`]:
+//! `path + "\0gz"`; NUL cannot survive path normalization, so variant
+//! keys cannot collide with real paths), and each cached identity
+//! entry remembers whether a sibling existed so later gzip-accepting
+//! clients route without a disk probe. Tier policy — the `sendfile`
+//! threshold — rides on the helper job itself
+//! ([`conn::HelperJob::inline_max`]), so job executors stay
+//! mechanical: the AMPED helper pool and the MT server share one real
+//! filesystem executor ([`fsjob`]), and the sim mirrors its mechanics
+//! against the in-memory file table.
+//!
 //! # Lifecycle: drain, signals, and generation handoff
 //!
 //! A production server's restarts and deploys must be non-events. The
@@ -246,6 +298,8 @@
 //! | `read_timeouts` | counter | Connections closed by the header-read deadline |
 //! | `write_stall_timeouts` | counter | Connections closed by the write-progress deadline |
 //! | `not_modified` | counter | `304 Not Modified` responses |
+//! | `range_requests` | counter | Well-formed single-range requests reaching a file response |
+//! | `range_unsatisfiable` | counter | Range requests answered `416 Range Not Satisfiable` |
 //! | `accept_backpressure` | counter | Accept throttles (fd exhaustion / accept failure) |
 //! | `revalidations` | counter | Re-stats confirming a past-TTL entry unchanged |
 //! | `stale_evicted` | counter | Entries evicted because a re-stat saw them change |
@@ -326,6 +380,7 @@
 pub mod cache;
 pub mod conn;
 pub mod event;
+pub mod fsjob;
 pub mod handoff;
 pub mod lifecycle;
 pub mod mt;

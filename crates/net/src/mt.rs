@@ -28,8 +28,10 @@
 //! the thread-per-connection comparison server restarts without
 //! resetting a queued connection.
 
+use std::fs::File;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -42,8 +44,10 @@ use flash_http::response::{error_body, ResponseHeader, Status};
 use flash_http::Method;
 use parking_lot::Mutex;
 
-use crate::cache::{ContentCache, Entry, Lookup};
-use crate::conn::ShardStats;
+use crate::cache::{self, ContentCache, Entry, Lookup, Variant};
+use crate::conn::plan::{plan_response, BodySource, RequestCond, Resource, ResponsePlan};
+use crate::conn::{FileData, HelperJob, JobKind, LoadResult, ShardStats};
+use crate::fsjob;
 use crate::lifecycle::{LifecycleShared, PHASE_DRAINING, PHASE_STOPPING};
 use crate::server::{prepare_accept_backend, run_accept_loop, AcceptSink, NetConfig, ServerStats};
 use crate::sock;
@@ -460,66 +464,14 @@ fn serve_conn_inner(
         if path.ends_with('/') {
             path.push_str("index.html");
         }
-        // Check the shared cache (lock), then do the blocking disk work
-        // on this thread — only this connection stalls. A hit past the
-        // revalidation TTL re-stats the file inline (blocking is this
-        // server's whole idiom): a matching stat restarts the TTL
-        // clock, a mismatch evicts the stale entry and falls through
-        // to the reload below — the same policy the AMPED shards apply
-        // through their helper pool.
-        // The lookup's lock guard must drop before the match arms run:
-        // the stale arm re-locks to refresh/invalidate.
-        let looked_up = cache.lock().cache.lookup(&path, cfg.cache_revalidate_ttl);
-        let cached = match looked_up {
-            Lookup::Hit(e) => Some(e),
-            Lookup::Stale(e) => {
-                let fs_path = cfg.docroot.join(path.trim_start_matches('/'));
-                match crate::server::stat_file_checked(&fs_path) {
-                    Ok((len, mtime)) if e.mtime == mtime && e.body.len() as u64 == len => {
-                        cache.lock().cache.refresh(&path);
-                        shard.revalidations.fetch_add(1, Ordering::Relaxed);
-                        Some(e)
-                    }
-                    _ => {
-                        cache.lock().cache.invalidate(&path);
-                        shard.stale_evicted.fetch_add(1, Ordering::Relaxed);
-                        None
-                    }
-                }
-            }
-            Lookup::Miss => None,
-        };
-        let was_hit = cached.is_some();
-        if was_hit {
-            shard.cache_hits.fetch_add(1, Ordering::Relaxed);
-        }
-        let entry = match cached {
-            Some(e) => Ok(e),
-            None => match read_file_with_mtime(&cfg.docroot.join(path.trim_start_matches('/'))) {
-                Ok((body, mtime)) => {
-                    let e = Entry::build_with_mtime(&path, body, mtime);
-                    // Epoch check under the lock: bytes read against a
-                    // pre-reload docroot must not land in the
-                    // post-reload cache. The waiter (this connection)
-                    // is still served — its request predates the swap.
-                    let mut locked = cache.lock();
-                    if locked.generation == epoch {
-                        locked.cache.insert(path.clone(), Arc::clone(&e));
-                    }
-                    drop(locked);
-                    Ok(e)
-                }
-                Err(err) => Err(match err.kind() {
-                    io::ErrorKind::NotFound => Status::NotFound,
-                    io::ErrorKind::PermissionDenied => Status::Forbidden,
-                    _ => Status::InternalError,
-                }),
-            },
-        };
-        let ims = req
-            .if_modified_since
-            .as_deref()
-            .and_then(flash_http::date::parse_imf);
+        let cond = RequestCond::from_request(&req);
+        // Resolve the representation against the shared variant cache
+        // (gzip slot first for gzip-accepting clients), loading through
+        // the shared mechanical executor on a miss — only this
+        // connection stalls on the disk. The resolved resource then
+        // goes through the same response plane as the AMPED shards:
+        // the planner, not this driver, decides 200/206/304/416.
+        let resolved = resolve_resource(&cache, &cfg, shard, epoch, &path, cond.accept_gzip);
         // Each arm writes the header first and records TTFB on its
         // success — with blocking sockets that write IS the first
         // response byte on the wire.
@@ -528,38 +480,42 @@ fn serve_conn_inner(
                 .hist_ttfb
                 .record(metrics::nanos_since(req_start, Instant::now()));
         };
-        let (ok, status_code, bytes_out, tier) = match entry {
-            Ok(e) if e.not_modified_since(ims) => {
-                let hdr = ResponseHeader::not_modified(keep, e.mtime);
-                let ok = stream.write_all(hdr.as_bytes()).is_ok();
-                if ok {
-                    ttfb();
-                    shard.not_modified.fetch_add(1, Ordering::Relaxed);
-                }
-                (
-                    ok,
-                    Status::NotModified.code(),
-                    hdr.as_bytes().len() as u64,
-                    Tier::NotModified,
-                )
-            }
-            Ok(e) => {
-                // Re-date the pre-rendered header: a shared-cache hit
-                // may be long past the second it was rendered in.
-                let hdr = e.header_with_current_date(keep);
-                let mut ok = stream.write_all(&hdr).is_ok();
-                if ok {
-                    ttfb();
-                }
-                let mut n = hdr.len() as u64;
-                if ok && !head_only {
-                    ok = stream.write_all(&e.body).is_ok();
-                    if ok {
-                        n += e.body.len() as u64;
+        let (ok, status_code, bytes_out, tier) = match resolved {
+            Ok((resource, body_tier)) => {
+                let plan = match &resource {
+                    MtResource::Cached(e) => {
+                        let res: Resource<'_, Arc<File>> = Resource::Cached(e);
+                        plan_response(&res, &path, &cond, keep, body_tier, shard)
                     }
+                    MtResource::File {
+                        file,
+                        len,
+                        mtime,
+                        variant,
+                        has_gzip,
+                        etag,
+                        header_keep,
+                        header_close,
+                    } => {
+                        let res = Resource::File {
+                            file,
+                            len: *len,
+                            mtime: *mtime,
+                            variant: *variant,
+                            has_gzip: *has_gzip,
+                            etag,
+                            header_keep,
+                            header_close,
+                        };
+                        plan_response(&res, &path, &cond, keep, body_tier, shard)
+                    }
+                };
+                let status = plan.status.code();
+                let tier = plan.tier;
+                match write_plan(&mut stream, plan, head_only, shard, &ttfb) {
+                    Ok(n) => (true, status, n, tier),
+                    Err(_) => (false, status, 0, tier),
                 }
-                let tier = if was_hit { Tier::Hit } else { Tier::Miss };
-                (ok, Status::Ok.code(), n, tier)
             }
             Err(status) => match respond_error(&mut stream, status, head_only) {
                 Ok(n) => {
@@ -625,21 +581,220 @@ fn serve_metrics_mt(
     }
 }
 
-/// Reads a regular file and its mtime from the same open descriptor
-/// (fstat semantics — no metadata/read race), mirroring the AMPED
-/// helper's `load_file_checked`.
-fn read_file_with_mtime(p: &std::path::Path) -> io::Result<(Vec<u8>, Option<i64>)> {
-    let file = std::fs::File::open(p)?;
-    let meta = file.metadata()?;
-    if !meta.is_file() {
-        return Err(io::Error::new(
-            io::ErrorKind::NotFound,
-            "not a regular file",
-        ));
+/// A resolved representation on the MT path: a shared-cache entry, or
+/// an open descriptor (with its plain-200 headers pre-rendered) bound
+/// for the blocking `sendfile` window loop.
+enum MtResource {
+    Cached(Arc<Entry>),
+    File {
+        file: Arc<File>,
+        len: u64,
+        mtime: Option<i64>,
+        variant: Variant,
+        has_gzip: bool,
+        etag: String,
+        header_keep: Bytes,
+        header_close: Bytes,
+    },
+}
+
+/// A synthetic [`HelperJob`] for inline execution: the MT path has no
+/// helper pool, so the job exists only to carry the variant and the
+/// core's tier threshold to the shared executor.
+fn inline_job(cfg: &NetConfig, key: &str, kind: JobKind, variant: Variant) -> HelperJob {
+    let url_path = cache::split_variant_key(key).0;
+    HelperJob {
+        path: key.to_string(),
+        fs_path: cfg.docroot.join(url_path.trim_start_matches('/')),
+        kind,
+        variant,
+        inline_max: cfg.sendfile_threshold_bytes,
+        epoch: 0,
+        token: 0,
+        cancel: Arc::new(AtomicBool::new(false)),
     }
-    let mut body = Vec::with_capacity(meta.len() as usize);
-    (&file).read_to_end(&mut body)?;
-    Ok((body, crate::server::unix_mtime(&meta)))
+}
+
+/// Consults one slot of the shared variant cache, revalidating a
+/// stale hit inline (blocking is this server's whole idiom): a
+/// matching re-stat restarts the TTL clock, a mismatch evicts — the
+/// same policy the AMPED shards apply through their helper pool.
+fn check_slot(
+    cache: &Arc<Mutex<SharedCache>>,
+    cfg: &NetConfig,
+    shard: &Arc<ShardStats>,
+    key: &str,
+    variant: Variant,
+) -> Option<Arc<Entry>> {
+    // The lookup's lock guard must drop before the stale arm runs: it
+    // re-locks to refresh/invalidate.
+    let looked_up = cache.lock().cache.lookup(key, cfg.cache_revalidate_ttl);
+    match looked_up {
+        Lookup::Hit(e) => Some(e),
+        Lookup::Stale(e) => {
+            match fsjob::exec_stat(&inline_job(cfg, key, JobKind::Revalidate, variant)) {
+                Ok((len, mtime)) if e.mtime == mtime && e.body.len() as u64 == len => {
+                    cache.lock().cache.refresh(key);
+                    shard.revalidations.fetch_add(1, Ordering::Relaxed);
+                    Some(e)
+                }
+                _ => {
+                    cache.lock().cache.invalidate(key);
+                    shard.stale_evicted.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+        }
+        Lookup::Miss => None,
+    }
+}
+
+/// Resolves the representation to serve for `path`: the gzip cache
+/// slot first for gzip-accepting clients (with the identity slot
+/// answering when it knows no `.gz` sibling exists), then a blocking
+/// load through the shared executor — which negotiates the variant,
+/// applies the tier threshold, and reports what actually loaded.
+/// Mirrors the AMPED shard's routing exactly, minus the parking.
+fn resolve_resource(
+    cache: &Arc<Mutex<SharedCache>>,
+    cfg: &NetConfig,
+    shard: &Arc<ShardStats>,
+    epoch: u64,
+    path: &str,
+    accept_gzip: bool,
+) -> Result<(MtResource, Tier), Status> {
+    let (key, want) = if accept_gzip {
+        let gz_key = cache::variant_key(path, Variant::Gzip);
+        if let Some(e) = check_slot(cache, cfg, shard, &gz_key, Variant::Gzip) {
+            shard.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((MtResource::Cached(e), Tier::Hit));
+        }
+        // An identity hit that *knows* no sibling exists serves as-is;
+        // anything else goes through a gzip-preference load.
+        if let Lookup::Hit(e) = cache.lock().cache.lookup(path, cfg.cache_revalidate_ttl) {
+            if !e.has_gzip {
+                shard.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((MtResource::Cached(e), Tier::Hit));
+            }
+        }
+        (gz_key, Variant::Gzip)
+    } else {
+        if let Some(e) = check_slot(cache, cfg, shard, path, Variant::Identity) {
+            shard.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((MtResource::Cached(e), Tier::Hit));
+        }
+        (path.to_string(), Variant::Identity)
+    };
+    match fsjob::exec_load(&inline_job(cfg, &key, JobKind::Load, want)) {
+        Ok(LoadResult {
+            data: FileData::Bytes { body, mtime },
+            variant,
+            has_gzip,
+        }) => {
+            let e = Entry::build_variant(path, body, mtime, variant, has_gzip);
+            // Epoch check under the lock: bytes read against a
+            // pre-reload docroot must not land in the post-reload
+            // cache. This connection is still served — its request
+            // predates the swap. The insert key follows the variant
+            // that actually loaded (a gzip preference may have fallen
+            // back to identity).
+            let mut locked = cache.lock();
+            if locked.generation == epoch {
+                locked
+                    .cache
+                    .insert(cache::variant_key(path, variant), Arc::clone(&e));
+            }
+            drop(locked);
+            Ok((MtResource::Cached(e), Tier::Miss))
+        }
+        Ok(LoadResult {
+            data: FileData::Fd { file, len, mtime },
+            variant,
+            has_gzip,
+        }) => {
+            let (header_keep, header_close, etag) =
+                cache::header_pair(path, len, mtime, variant, has_gzip);
+            Ok((
+                MtResource::File {
+                    file,
+                    len,
+                    mtime,
+                    variant,
+                    has_gzip,
+                    etag,
+                    header_keep,
+                    header_close,
+                },
+                Tier::Sendfile,
+            ))
+        }
+        Err(err) => Err(match err.kind() {
+            io::ErrorKind::NotFound => Status::NotFound,
+            io::ErrorKind::PermissionDenied => Status::Forbidden,
+            _ => Status::InternalError,
+        }),
+    }
+}
+
+/// Transmits one planned response on the blocking socket: header
+/// segments first (TTFB lands on their success), then the body window
+/// — in-memory bytes as a straight write, a file window through
+/// `sendfile(2)` under `SO_SNDTIMEO` (a send that cannot move a byte
+/// for the write-stall timeout fails the response, the blocking twin
+/// of the AMPED write-stall deadline). Returns the bytes put on the
+/// wire for the access log.
+fn write_plan(
+    stream: &mut TcpStream,
+    plan: ResponsePlan<Arc<File>>,
+    head_only: bool,
+    shard: &Arc<ShardStats>,
+    ttfb: &impl Fn(),
+) -> io::Result<u64> {
+    let mut n = 0u64;
+    for seg in &plan.header {
+        stream.write_all(seg)?;
+        n += seg.len() as u64;
+    }
+    ttfb();
+    if head_only {
+        return Ok(n);
+    }
+    match plan.body {
+        BodySource::Bytes(b) => {
+            stream.write_all(&b)?;
+            n += b.len() as u64;
+        }
+        BodySource::File {
+            file,
+            mut offset,
+            len,
+        } => {
+            let mut remaining = len;
+            while remaining > 0 {
+                match crate::sendfile::send_file(stream.as_raw_fd(), &file, &mut offset, remaining)
+                {
+                    // The file shrank after fstat: the promised
+                    // Content-Length cannot be honoured; drop the
+                    // connection, as the AMPED tier does.
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "file shrank mid-send",
+                        ))
+                    }
+                    Ok(k) => {
+                        shard.sendfile_calls.fetch_add(1, Ordering::Relaxed);
+                        shard.bytes_sendfile.fetch_add(k as u64, Ordering::Relaxed);
+                        remaining -= k as u64;
+                        n += k as u64;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        BodySource::Empty => {}
+    }
+    Ok(n)
 }
 
 /// Writes an error response; returns the bytes put on the wire (for

@@ -83,7 +83,7 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::UnixStream;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -92,10 +92,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::conn::machine::{sync_deadline, Conn};
-use crate::conn::{
-    ConnIo, ConnState, Done, DoneData, Drive, FileData, HelperJob, HelperPort, JobKind,
-    ProtoConfig, ShardCore,
-};
+use crate::conn::{ConnIo, ConnState, Done, Drive, HelperJob, HelperPort, ProtoConfig, ShardCore};
 use crate::event::{new_backend, BackendChoice, BackendKind, Event, EventBackend, Interest};
 use crate::lifecycle::{LifecycleShared, PHASE_DRAINING, PHASE_STOPPING};
 use crate::sendfile::send_file;
@@ -465,6 +462,18 @@ impl ServerStats {
     /// `304 Not Modified` responses served, across shards.
     pub fn not_modified(&self) -> u64 {
         metrics::NOT_MODIFIED.merged(&self.shards)
+    }
+
+    /// Well-formed single-range requests that reached a file response
+    /// (satisfiable or not), across shards.
+    pub fn range_requests(&self) -> u64 {
+        metrics::RANGE_REQUESTS.merged(&self.shards)
+    }
+
+    /// Range requests answered `416 Range Not Satisfiable`, across
+    /// shards.
+    pub fn range_unsatisfiable(&self) -> u64 {
+        metrics::RANGE_UNSATISFIABLE.merged(&self.shards)
     }
 
     /// Accept-path backpressure events (listener throttled on
@@ -938,11 +947,10 @@ impl Server {
             let queue = Arc::clone(&jobs);
             let txs = done_txs.clone();
             let wakes = shard_wakes.clone();
-            let threshold = cfg.sendfile_threshold_bytes;
             helper_threads.push(
                 std::thread::Builder::new()
                     .name(format!("flash-helper-{i}"))
-                    .spawn(move || helper_main(queue, txs, wakes, threshold))?,
+                    .spawn(move || helper_main(queue, txs, wakes))?,
             );
         }
         drop(done_txs);
@@ -986,6 +994,7 @@ impl Server {
                     write_stall_timeout: cfg.write_stall_timeout,
                     helper_wait_timeout: cfg.helper_wait_timeout,
                     cache_revalidate_ttl: cfg.cache_revalidate_ttl,
+                    sendfile_threshold: cfg.sendfile_threshold_bytes,
                     metrics_endpoint: cfg.metrics_endpoint,
                     access_log: cfg.access_log_path.is_some(),
                 };
@@ -1347,16 +1356,14 @@ impl AcceptSink for ShardDealer {
     }
 }
 
-/// Shared helper pool: executes disk opens/reads and routes each
-/// completion back to the shard that requested it. Bodies above
-/// `sendfile_threshold` come back as an owned fd + length instead of
-/// bytes, so a multi-gigabyte file never materializes in helper
-/// memory.
+/// Shared helper pool: pops jobs and hands each to the shared
+/// mechanical executor ([`crate::fsjob`]), routing the completion back
+/// to the shard that requested it. No tier or variant policy lives
+/// here — the job carries it all.
 fn helper_main(
     jobs: Arc<JobQueue>,
     done_txs: Vec<Sender<Done<Arc<File>>>>,
     wakes: Vec<WakeHandle>,
-    sendfile_threshold: u64,
 ) {
     // `pop` rotates over the per-shard lanes; `None` means the server
     // closed the queue at shutdown.
@@ -1367,10 +1374,7 @@ fn helper_main(
         if job.is_cancelled() {
             continue;
         }
-        let data = match job.kind {
-            JobKind::Load => DoneData::Loaded(load_file_checked(&job.fs_path, sendfile_threshold)),
-            JobKind::Revalidate => DoneData::Stat(stat_file_checked(&job.fs_path)),
-        };
+        let data = crate::fsjob::exec_job(&job);
         if done_txs[shard]
             .send(Done {
                 path: job.path,
@@ -1384,62 +1388,6 @@ fn helper_main(
         }
         wakes[shard].wake();
     }
-}
-
-/// Opens a regular file and decides its serving tier, refusing
-/// directories and anything unreadable.
-///
-/// The file is opened *first* and everything after that — the
-/// regular-file check, the length, the bytes read or the fd handed
-/// out — comes from the open descriptor (`fstat` semantics). The old
-/// `fs::metadata` + `fs::read` pair raced with path swaps: the
-/// metadata could describe one inode and the read return another.
-fn load_file_checked(p: &Path, sendfile_threshold: u64) -> io::Result<FileData<Arc<File>>> {
-    let file = File::open(p)?;
-    let meta = file.metadata()?; // fstat on the open fd — no second path lookup
-    if !meta.is_file() {
-        return Err(io::Error::new(
-            io::ErrorKind::NotFound,
-            "not a regular file",
-        ));
-    }
-    let len = meta.len();
-    let mtime = unix_mtime(&meta);
-    if len > sendfile_threshold {
-        return Ok(FileData::Fd {
-            file: Arc::new(file),
-            len,
-            mtime,
-        });
-    }
-    let mut body = Vec::with_capacity(len as usize);
-    (&file).read_to_end(&mut body)?;
-    Ok(FileData::Bytes { body, mtime })
-}
-
-/// The cheap revalidation probe: open + `fstat`, no bytes read.
-/// Returns the file's current length and mtime for comparison against
-/// a cached entry; refuses non-regular files with the same error the
-/// load path would produce.
-pub(crate) fn stat_file_checked(p: &Path) -> io::Result<(u64, Option<i64>)> {
-    let file = File::open(p)?;
-    let meta = file.metadata()?;
-    if !meta.is_file() {
-        return Err(io::Error::new(
-            io::ErrorKind::NotFound,
-            "not a regular file",
-        ));
-    }
-    Ok((meta.len(), unix_mtime(&meta)))
-}
-
-/// A file's mtime as unix seconds, if the filesystem reports one that
-/// fits (pre-1970 mtimes are reported as `None` rather than lied
-/// about — `Last-Modified` simply goes unsent).
-pub(crate) fn unix_mtime(meta: &std::fs::Metadata) -> Option<i64> {
-    let t = meta.modified().ok()?;
-    let d = t.duration_since(std::time::UNIX_EPOCH).ok()?;
-    Some(d.as_secs() as i64)
 }
 
 /// One shard's driver-side state: the transport-agnostic protocol
@@ -2023,6 +1971,8 @@ fn drive_and_sync(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::Variant;
+    use crate::conn::JobKind;
 
     #[test]
     fn default_event_loops_bounded() {
@@ -2047,6 +1997,8 @@ mod tests {
                 path: format!("/{shard}"),
                 fs_path: PathBuf::new(),
                 kind: JobKind::Load,
+                variant: Variant::Identity,
+                inline_max: u64::MAX,
                 epoch: 0,
                 token: 0,
                 cancel: Arc::new(AtomicBool::new(false)),
@@ -2086,6 +2038,8 @@ mod tests {
                     path: format!("/a{i}"),
                     fs_path: PathBuf::new(),
                     kind: JobKind::Load,
+                    variant: Variant::Identity,
+                    inline_max: u64::MAX,
                     epoch: 0,
                     token: i as u64,
                     cancel: Arc::new(AtomicBool::new(false)),

@@ -48,10 +48,11 @@ use flash_simcore::time::{Nanos, SimTime, MILLI, SEC};
 use flash_simcore::{EventQueue, SimRng};
 use flash_workload::Zipf;
 
+use crate::cache::{self, Variant};
 use crate::conn::machine::{sync_deadline, Conn, ConnState};
 use crate::conn::{
     ConnIo, DeadlineKind, Done, DoneData, Drive, FileData, HelperJob, HelperPort, JobKind,
-    ProtoConfig, ShardCore, ShardStats,
+    LoadResult, ProtoConfig, ShardCore, ShardStats,
 };
 use crate::stats::HistSummary;
 use crate::timer::TimerWheel;
@@ -121,6 +122,16 @@ pub struct SimConfig {
     pub check_every: u64,
     /// Mean open-to-open gap in simulated nanoseconds.
     pub interarrival_nanos: Nanos,
+    /// Per-GET/HEAD fraction carrying a single-range `Range` header
+    /// (mix of satisfiable spans, suffixes, and past-EOF → 416).
+    pub range_fraction: f64,
+    /// Per-GET fraction carrying `If-None-Match` (60/40 current
+    /// validator → 304 vs stale → 200), drawn against the
+    /// representation the request will negotiate.
+    pub inm_fraction: f64,
+    /// Per-request fraction advertising `Accept-Encoding: gzip`,
+    /// steering negotiation onto the simulated `.gz` siblings.
+    pub gzip_fraction: f64,
     pub faults: FaultPlan,
 }
 
@@ -137,6 +148,9 @@ impl SimConfig {
             sendfile_threshold: 16 * 1024,
             check_every: 512,
             interarrival_nanos: 150_000,
+            range_fraction: 0.12,
+            inm_fraction: 0.10,
+            gzip_fraction: 0.25,
             faults: FaultPlan::heavy(),
         }
     }
@@ -164,6 +178,10 @@ pub struct SimReport {
     pub write_stall_timeouts: u64,
     pub idle_reaped: u64,
     pub not_modified: u64,
+    /// Well-formed single-range requests that reached a file response
+    /// (satisfiable or not), and the subset answered 416.
+    pub range_requests: u64,
+    pub range_unsatisfiable: u64,
     pub revalidations: u64,
     pub stale_evicted: u64,
     pub drained_conns: u64,
@@ -204,6 +222,29 @@ pub fn body_byte(id: u32, offset: u64) -> u8 {
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(offset.wrapping_mul(0x9E37_79B1))
         % 251) as u8
+}
+
+/// The gzip twin of an identity file id — high bit set, so
+/// [`body_byte`] streams a distinct (still deterministic) sequence for
+/// the compressed representation.
+pub fn gz_id(id: u32) -> u32 {
+    id | 0x8000_0000
+}
+
+/// The simulated `.gz` sibling of an identity file, if the docroot
+/// "has one": every third file is precompressed, ~2/3 the identity
+/// length (so siblings land on both sides of the sendfile threshold
+/// too) and slightly newer. A pure function of the identity file —
+/// part of the per-seed determinism contract.
+pub fn gzip_sibling(f: &SimFile) -> Option<SimFile> {
+    if f.id & 0x8000_0000 != 0 || !f.id.is_multiple_of(3) {
+        return None;
+    }
+    Some(SimFile {
+        id: gz_id(f.id),
+        len: (f.len * 2 / 3).max(1),
+        mtime: f.mtime + 7,
+    })
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -411,6 +452,7 @@ impl Sim {
             write_stall_timeout: Some(Duration::from_millis(150)),
             helper_wait_timeout: Some(Duration::from_millis(20)),
             cache_revalidate_ttl: Some(Duration::from_millis(5)),
+            sendfile_threshold: cfg.sendfile_threshold,
             metrics_endpoint: false,
             access_log: false,
         };
@@ -468,8 +510,21 @@ impl Sim {
                 let m = if self.rng.chance(0.05) { "HEAD" } else { "GET" };
                 (m, self.paths[pick].clone())
             };
+            let accept_gzip = method != "POST" && self.rng.chance(self.cfg.gzip_fraction);
+            // The representation this request will negotiate: the `.gz`
+            // sibling when the client accepts gzip and the file has
+            // one, the identity file otherwise. Conditional validators
+            // and range bounds are drawn against it, exactly as a real
+            // client revalidating or resuming a prior download would.
+            let rep = self.files.get(&path).map(|f| {
+                if accept_gzip {
+                    gzip_sibling(f).unwrap_or_else(|| f.clone())
+                } else {
+                    f.clone()
+                }
+            });
             let ims = if method == "GET" && self.rng.chance(0.15) {
-                self.files.get(&path).map(|f| {
+                rep.as_ref().map(|f| {
                     // 60/40 current validator (→ 304) vs stale (→ 200).
                     if self.rng.chance(0.6) {
                         f.mtime
@@ -480,13 +535,52 @@ impl Sim {
             } else {
                 None
             };
+            let inm = if method == "GET" && self.rng.chance(self.cfg.inm_fraction) {
+                rep.as_ref().map(|f| {
+                    let gz = f.id & 0x8000_0000 != 0;
+                    if self.rng.chance(0.6) {
+                        flash_http::etag_value(Some(f.mtime), f.len, gz)
+                    } else {
+                        flash_http::etag_value(Some(f.mtime - 7200), f.len, gz)
+                    }
+                })
+            } else {
+                None
+            };
+            let range = if method != "POST" && self.rng.chance(self.cfg.range_fraction) {
+                rep.as_ref().map(|f| {
+                    let roll = self.rng.unit();
+                    if roll < 0.10 {
+                        // Past EOF: unsatisfiable → 416.
+                        format!("bytes={}-", f.len + 1 + self.rng.uniform(0, 1000))
+                    } else if roll < 0.25 {
+                        // Suffix form.
+                        format!("bytes=-{}", 1 + self.rng.uniform(0, f.len.max(1)))
+                    } else {
+                        let start = self.rng.uniform(0, f.len.max(1));
+                        let end = start + self.rng.uniform(0, f.len - start + 64);
+                        format!("bytes={start}-{end}")
+                    }
+                })
+            } else {
+                None
+            };
             stream
                 .extend_from_slice(format!("{method} {path} HTTP/1.1\r\nHost: sim\r\n").as_bytes());
+            if accept_gzip {
+                stream.extend_from_slice(b"Accept-Encoding: gzip\r\n");
+            }
             if let Some(t) = ims {
                 stream.extend_from_slice(
                     format!("If-Modified-Since: {}\r\n", flash_http::date::format_imf(t))
                         .as_bytes(),
                 );
+            }
+            if let Some(tag) = inm {
+                stream.extend_from_slice(format!("If-None-Match: {tag}\r\n").as_bytes());
+            }
+            if let Some(r) = range {
+                stream.extend_from_slice(format!("Range: {r}\r\n").as_bytes());
             }
             if last {
                 stream.extend_from_slice(b"Connection: close\r\n");
@@ -618,30 +712,57 @@ impl Sim {
         }
     }
 
-    /// The simulated disk: resolves a job against the file table, the
-    /// body tier chosen by size exactly like the real helper.
+    /// The simulated disk, mirroring [`crate::fsjob`] mechanically: no
+    /// tier or variant policy of its own — the inline/fd split obeys
+    /// [`HelperJob::inline_max`], the representation obeys
+    /// [`HelperJob::variant`] (a gzip preference serves the simulated
+    /// `.gz` sibling when the identity file has one, falling back to
+    /// identity otherwise; a missing identity file is `NotFound` even
+    /// when a sibling "exists").
     fn exec_job(&self, job: &HelperJob) -> Done<SimFile> {
-        let data = match self.files.get(&job.path) {
+        let url = cache::split_variant_key(&job.path).0;
+        let data = match self.files.get(url) {
             None => match job.kind {
                 JobKind::Load => DoneData::Loaded(Err(io::ErrorKind::NotFound.into())),
                 JobKind::Revalidate => DoneData::Stat(Err(io::ErrorKind::NotFound.into())),
             },
             Some(f) => match job.kind {
-                JobKind::Revalidate => DoneData::Stat(Ok((f.len, Some(f.mtime)))),
-                JobKind::Load => {
-                    if f.len >= self.cfg.sendfile_threshold {
-                        DoneData::Loaded(Ok(FileData::Fd {
-                            file: f.clone(),
-                            len: f.len,
-                            mtime: Some(f.mtime),
-                        }))
+                JobKind::Revalidate => {
+                    // Stat the file the entry's variant came from.
+                    let probe = if job.variant.is_gzip() {
+                        gzip_sibling(f)
                     } else {
-                        let body = (0..f.len).map(|o| body_byte(f.id, o)).collect();
-                        DoneData::Loaded(Ok(FileData::Bytes {
-                            body,
-                            mtime: Some(f.mtime),
-                        }))
+                        Some(f.clone())
+                    };
+                    match probe {
+                        Some(v) => DoneData::Stat(Ok((v.len, Some(v.mtime)))),
+                        None => DoneData::Stat(Err(io::ErrorKind::NotFound.into())),
                     }
+                }
+                JobKind::Load => {
+                    let sibling = gzip_sibling(f);
+                    let has_gzip = sibling.is_some();
+                    let (serve, variant) = match sibling.filter(|_| job.variant.is_gzip()) {
+                        Some(gz) => (gz, Variant::Gzip),
+                        None => (f.clone(), Variant::Identity),
+                    };
+                    let data = if serve.len > job.inline_max {
+                        FileData::Fd {
+                            len: serve.len,
+                            mtime: Some(serve.mtime),
+                            file: serve,
+                        }
+                    } else {
+                        FileData::Bytes {
+                            body: (0..serve.len).map(|o| body_byte(serve.id, o)).collect(),
+                            mtime: Some(serve.mtime),
+                        }
+                    };
+                    DoneData::Loaded(Ok(LoadResult {
+                        data,
+                        variant,
+                        has_gzip,
+                    }))
                 }
             },
         };
@@ -915,6 +1036,8 @@ pub fn run(cfg: &SimConfig, specs: &[FileSpec]) -> Result<SimReport, String> {
         write_stall_timeouts: s.write_stall_timeouts.load(ld),
         idle_reaped: s.idle_reaped.load(ld),
         not_modified: s.not_modified.load(ld),
+        range_requests: s.range_requests.load(ld),
+        range_unsatisfiable: s.range_unsatisfiable.load(ld),
         revalidations: s.revalidations.load(ld),
         stale_evicted: s.stale_evicted.load(ld),
         drained_conns: s.drained_conns.load(ld),
@@ -977,7 +1100,19 @@ mod tests {
         );
         assert!(
             report.not_modified > 0,
-            "current-validator IMS requests must 304: {report:?}"
+            "current-validator IMS/INM requests must 304: {report:?}"
+        );
+        assert!(
+            report.range_requests > 0,
+            "the range fraction must reach file responses: {report:?}"
+        );
+        assert!(
+            report.range_unsatisfiable > 0,
+            "past-EOF ranges must 416: {report:?}"
+        );
+        assert!(
+            report.range_unsatisfiable < report.range_requests,
+            "most generated ranges are satisfiable: {report:?}"
         );
         assert!(report.drained_conns > 0, "drain must retire idle conns");
         // The histograms ride the same drive path: every completed
@@ -1038,6 +1173,32 @@ mod tests {
         assert!(site.iter().any(|f| f.size < 16 * 1024), "need a small file");
         let report = run(&SimConfig::new(77, 2_000), &site).expect("run");
         assert!(report.bytes > 0);
+    }
+
+    /// Variant negotiation must be live in the stream: turning the
+    /// Accept-Encoding fraction off changes what the same seed serves
+    /// (the gzip representation has different bytes, lengths, and
+    /// validators). `chance(0.0)` still consumes an RNG draw, so the
+    /// two runs share arrival order and differ only in negotiation.
+    #[test]
+    fn gzip_negotiation_reaches_the_wire() {
+        let site = small_site(13);
+        assert!(
+            site.len() >= 3,
+            "need enough files for some to have gz siblings"
+        );
+        let mut cfg = SimConfig::new(21, 1_000);
+        cfg.faults = FaultPlan::none();
+        let with_gz = run(&cfg, &site).expect("gzip run");
+        let mut cfg_id = cfg.clone();
+        cfg_id.gzip_fraction = 0.0;
+        let identity_only = run(&cfg_id, &site).expect("identity run");
+        assert_ne!(
+            with_gz.fingerprint, identity_only.fingerprint,
+            "negotiated gzip variants must change the response stream"
+        );
+        let again = run(&cfg, &site).expect("gzip run again");
+        assert_eq!(with_gz, again, "variant traffic stays bit-identical");
     }
 
     #[test]

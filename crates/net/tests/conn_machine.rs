@@ -18,10 +18,11 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
 
+use flash_net::cache::Variant;
 use flash_net::conn::machine::Conn;
 use flash_net::conn::{
-    ConnIo, Done, DoneData, FileData, HelperJob, HelperPort, JobKind, ProtoConfig, ShardCore,
-    ShardStats,
+    ConnIo, Done, DoneData, FileData, HelperJob, HelperPort, JobKind, LoadResult, ProtoConfig,
+    ShardCore, ShardStats,
 };
 use flash_net::timer::TimerWheel;
 use flash_simcore::SimRng;
@@ -100,18 +101,23 @@ fn exec(files: &HashMap<String, (Vec<u8>, bool)>, job: &HelperJob) -> Done<Arc<V
         None => DoneData::Loaded(Err(io::ErrorKind::NotFound.into())),
         Some((body, large)) => {
             assert_eq!(job.kind, JobKind::Load, "TTL is disabled in this harness");
-            if *large {
-                DoneData::Loaded(Ok(FileData::Fd {
+            let data = if *large {
+                FileData::Fd {
                     file: Arc::new(body.clone()),
                     len: body.len() as u64,
                     mtime: Some(123_456_789),
-                }))
+                }
             } else {
-                DoneData::Loaded(Ok(FileData::Bytes {
+                FileData::Bytes {
                     body: body.clone(),
                     mtime: Some(123_456_789),
-                }))
-            }
+                }
+            };
+            DoneData::Loaded(Ok(LoadResult {
+                data,
+                variant: Variant::Identity,
+                has_gzip: false,
+            }))
         }
     };
     Done {
@@ -130,6 +136,7 @@ fn core() -> ShardCore {
         write_stall_timeout: None,
         helper_wait_timeout: None,
         cache_revalidate_ttl: None,
+        sendfile_threshold: 4096,
         metrics_endpoint: false,
         access_log: false,
     };

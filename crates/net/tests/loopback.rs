@@ -16,6 +16,7 @@ use std::time::Duration;
 use flash_net::{
     AcceptMode, AcceptModeKind, BackendChoice, BackendKind, MtServer, NetConfig, Server,
 };
+use flash_simcore::SimRng;
 
 /// Creates a docroot with known content; returns its path guard.
 fn docroot(tag: &str) -> std::path::PathBuf {
@@ -1121,6 +1122,426 @@ fn run_backend_resolution(tag: &str, backend: BackendChoice, expect: BackendKind
 
 /// Instantiates the full suite for one pinned backend; test names keep
 /// their historical `amped_*`/`mt_*` forms inside a per-backend module.
+/// Extracts a header value (case-insensitive name) from response text.
+fn hdr_value(text: &str, name: &str) -> Option<String> {
+    text.lines().find_map(|l| {
+        let (k, v) = l.split_once(": ")?;
+        k.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+    })
+}
+
+/// Reads one bodyless keep-alive response's header text off `s`.
+fn read_header_only(s: &mut TcpStream) -> String {
+    let mut hdr = Vec::new();
+    let mut byte = [0u8; 1];
+    while !hdr.ends_with(b"\r\n\r\n") {
+        s.read_exact(&mut byte).unwrap();
+        hdr.push(byte[0]);
+    }
+    String::from_utf8_lossy(&hdr).into_owned()
+}
+
+/// Single-range behavior every driver must share, run against whichever
+/// server listens at `addr`: 206 spans and suffixes with exact
+/// `Content-Range`, HEAD carrying the 206 plan bodylessly, past-EOF →
+/// 416 in the `bytes */<len>` form on a connection that stays
+/// serviceable, inverted bounds degrading to the full 200, and
+/// `If-Range` gating on the strong validator.
+fn check_range_parity(addr: std::net::SocketAddr, name: &str, full: &[u8]) {
+    let total = full.len();
+    // Plain 200 first: grabs the validator If-Range will echo.
+    let resp = get(addr, &format!("GET /{name} HTTP/1.0\r\n\r\n"));
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    let etag = hdr_value(&text, "ETag").expect("200 must carry ETag");
+    assert_eq!(body_of(&resp), full);
+
+    // A mid-body span → 206 with the exact window.
+    let resp = get(
+        addr,
+        &format!("GET /{name} HTTP/1.0\r\nRange: bytes=5-20\r\n\r\n"),
+    );
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    assert!(text.starts_with("HTTP/1.1 206 Partial Content"), "{text}");
+    assert_eq!(
+        hdr_value(&text, "Content-Range").as_deref(),
+        Some(format!("bytes 5-20/{total}").as_str())
+    );
+    assert_eq!(hdr_value(&text, "Content-Length").as_deref(), Some("16"));
+    assert_eq!(body_of(&resp), &full[5..=20]);
+
+    // Suffix form: the final 7 bytes.
+    let resp = get(
+        addr,
+        &format!("GET /{name} HTTP/1.0\r\nRange: bytes=-7\r\n\r\n"),
+    );
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    assert!(text.starts_with("HTTP/1.1 206"), "{text}");
+    assert_eq!(body_of(&resp), &full[total - 7..]);
+    assert_eq!(
+        hdr_value(&text, "Content-Range").as_deref(),
+        Some(format!("bytes {}-{}/{total}", total - 7, total - 1).as_str())
+    );
+
+    // HEAD + Range: the 206 header plan, zero body bytes.
+    let resp = get(
+        addr,
+        &format!("HEAD /{name} HTTP/1.0\r\nRange: bytes=5-20\r\n\r\n"),
+    );
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    assert!(text.starts_with("HTTP/1.1 206"), "{text}");
+    assert_eq!(hdr_value(&text, "Content-Length").as_deref(), Some("16"));
+    assert!(body_of(&resp).is_empty(), "HEAD must carry no body: {text}");
+
+    // Past-EOF → 416 with the star form, and the connection survives.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(
+        format!(
+            "GET /{name} HTTP/1.1\r\nHost: t\r\nRange: bytes={}-\r\n\r\n",
+            total + 10
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let (text, _) = read_response(&mut s);
+    assert!(
+        text.starts_with("HTTP/1.1 416 Range Not Satisfiable"),
+        "{text}"
+    );
+    assert_eq!(
+        hdr_value(&text, "Content-Range").as_deref(),
+        Some(format!("bytes */{total}").as_str())
+    );
+    assert!(
+        text.contains("Connection: keep-alive"),
+        "a 416 must not cost the connection: {text}"
+    );
+    s.write_all(format!("GET /{name} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes())
+        .unwrap();
+    let (text, body) = read_response(&mut s);
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "after a 416: {text}");
+    assert_eq!(body, full);
+
+    // Inverted bounds are malformed: dropped at parse → the full 200.
+    let resp = get(
+        addr,
+        &format!("GET /{name} HTTP/1.0\r\nRange: bytes=20-5\r\n\r\n"),
+    );
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    assert_eq!(body_of(&resp), full);
+
+    // If-Range: the current validator applies the range...
+    let resp = get(
+        addr,
+        &format!("GET /{name} HTTP/1.0\r\nRange: bytes=0-3\r\nIf-Range: {etag}\r\n\r\n"),
+    );
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 206"));
+    assert_eq!(body_of(&resp), &full[..4]);
+    // ...a stale one degrades to the full representation.
+    let resp = get(
+        addr,
+        &format!("GET /{name} HTTP/1.0\r\nRange: bytes=0-3\r\nIf-Range: \"stale\"\r\n\r\n"),
+    );
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 200 OK"));
+    assert_eq!(body_of(&resp), full);
+}
+
+/// Conditional-request precedence every driver must share: strong
+/// `ETag` on the 200, `If-None-Match` deciding alone when present (a
+/// match 304s past a stale `If-Modified-Since`; a mismatch serves 200
+/// past a current one), and `*` matching any representation.
+fn check_etag_conditional(addr: std::net::SocketAddr, name: &str, full: &[u8]) {
+    let resp = get(addr, &format!("GET /{name} HTTP/1.0\r\n\r\n"));
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    let etag = hdr_value(&text, "ETag").expect("200 must carry ETag");
+    assert!(
+        etag.starts_with('"') && etag.ends_with('"'),
+        "strong quoted form: {etag}"
+    );
+    let lm = hdr_value(&text, "Last-Modified").expect("200 must carry Last-Modified");
+
+    // Exact match → bodyless 304 repeating the tag, keep-alive intact.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(
+        format!("GET /{name} HTTP/1.1\r\nHost: t\r\nIf-None-Match: {etag}\r\n\r\n").as_bytes(),
+    )
+    .unwrap();
+    let text = read_header_only(&mut s);
+    assert!(text.starts_with("HTTP/1.1 304"), "{text}");
+    assert!(!text.contains("Content-Length"), "304 is bodyless: {text}");
+    assert_eq!(hdr_value(&text, "ETag").as_deref(), Some(etag.as_str()));
+
+    // The match wins over a stale If-Modified-Since on the same request.
+    s.write_all(
+        format!(
+            "GET /{name} HTTP/1.1\r\nHost: t\r\nIf-None-Match: {etag}\r\n\
+             If-Modified-Since: Thu, 01 Jan 1970 00:00:00 GMT\r\n\r\n"
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let text = read_header_only(&mut s);
+    assert!(
+        text.starts_with("HTTP/1.1 304"),
+        "INM match must override a stale IMS: {text}"
+    );
+
+    // `*` matches any current representation.
+    s.write_all(format!("GET /{name} HTTP/1.1\r\nHost: t\r\nIf-None-Match: *\r\n\r\n").as_bytes())
+        .unwrap();
+    let text = read_header_only(&mut s);
+    assert!(text.starts_with("HTTP/1.1 304"), "{text}");
+    drop(s);
+
+    // A mismatch serves 200 even though If-Modified-Since alone would
+    // have said 304 — If-None-Match decides alone when present.
+    let resp = get(
+        addr,
+        &format!(
+            "GET /{name} HTTP/1.0\r\nIf-None-Match: \"other\"\r\nIf-Modified-Since: {lm}\r\n\r\n"
+        ),
+    );
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    assert!(
+        text.starts_with("HTTP/1.1 200 OK"),
+        "INM mismatch must override a current IMS: {text}"
+    );
+    assert_eq!(body_of(&resp), full);
+}
+
+/// Precompressed-variant negotiation every driver must share: an
+/// `Accept-Encoding: gzip` client gets the `.gz` sibling's bytes under
+/// `Content-Encoding: gzip` + `Vary`, a plain client the identity
+/// bytes (still with `Vary` — the resource negotiates), a resource
+/// with no sibling falls back silently, and the gzip representation
+/// revalidates under its own `ETag`.
+fn check_gzip_variant(
+    addr: std::net::SocketAddr,
+    gz_name: &str,
+    identity: &[u8],
+    gz: &[u8],
+    plain_name: &str,
+) {
+    let resp = get(
+        addr,
+        &format!("GET /{gz_name} HTTP/1.0\r\nAccept-Encoding: gzip\r\n\r\n"),
+    );
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    assert_eq!(
+        hdr_value(&text, "Content-Encoding").as_deref(),
+        Some("gzip")
+    );
+    assert_eq!(
+        hdr_value(&text, "Vary").as_deref(),
+        Some("Accept-Encoding"),
+        "{text}"
+    );
+    assert_eq!(
+        hdr_value(&text, "Content-Length").as_deref(),
+        Some(gz.len().to_string().as_str()),
+        "the gzip response describes the bytes actually sent"
+    );
+    assert_eq!(body_of(&resp), gz);
+    let gz_etag = hdr_value(&text, "ETag").expect("gzip 200 must carry ETag");
+    assert!(
+        gz_etag.ends_with("-gz\""),
+        "gzip representation gets its own validator: {gz_etag}"
+    );
+
+    // Plain client: identity bytes, no Content-Encoding, Vary present.
+    let resp = get(addr, &format!("GET /{gz_name} HTTP/1.0\r\n\r\n"));
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    assert!(hdr_value(&text, "Content-Encoding").is_none(), "{text}");
+    assert_eq!(hdr_value(&text, "Vary").as_deref(), Some("Accept-Encoding"));
+    assert_eq!(body_of(&resp), identity);
+    let id_etag = hdr_value(&text, "ETag").expect("identity 200 must carry ETag");
+    assert_ne!(
+        id_etag, gz_etag,
+        "the two representations never share a validator"
+    );
+
+    // No sibling: the gzip preference falls back to identity, with no
+    // Content-Encoding and no Vary (nothing to negotiate).
+    let resp = get(
+        addr,
+        &format!("GET /{plain_name} HTTP/1.0\r\nAccept-Encoding: gzip\r\n\r\n"),
+    );
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    assert!(hdr_value(&text, "Content-Encoding").is_none(), "{text}");
+    assert!(hdr_value(&text, "Vary").is_none(), "{text}");
+
+    // The gzip representation revalidates under its own tag.
+    let resp = get(
+        addr,
+        &format!(
+            "GET /{gz_name} HTTP/1.0\r\nAccept-Encoding: gzip\r\nIf-None-Match: {gz_etag}\r\n\r\n"
+        ),
+    );
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    assert!(text.starts_with("HTTP/1.1 304"), "{text}");
+}
+
+/// Fixture set shared by the parity runners: a patterned file on each
+/// body tier plus a negotiated resource with a `.gz` sibling.
+fn parity_root(tag: &str) -> (std::path::PathBuf, Vec<u8>, Vec<u8>) {
+    let root = docroot(tag);
+    let pat: Vec<u8> = (0..4096usize).map(|i| (i * 31 + 7) as u8).collect();
+    let patbig: Vec<u8> = (0..24 * 1024usize).map(|i| (i * 7 + 11) as u8).collect();
+    std::fs::write(root.join("pat.bin"), &pat).unwrap();
+    std::fs::write(root.join("patbig.bin"), &patbig).unwrap();
+    std::fs::write(root.join("z.html"), b"<html>identity z</html>").unwrap();
+    std::fs::write(root.join("z.html.gz"), b"\x1f\x8b-simulated-gz-z").unwrap();
+    std::fs::write(root.join("plain.html"), b"no sibling here").unwrap();
+    (root, pat, patbig)
+}
+
+/// The full 206/416/ETag-304/gzip-variant battery against one server
+/// address; returns only when every cross-tier assert held.
+fn check_send_plane(addr: std::net::SocketAddr, pat: &[u8], patbig: &[u8]) {
+    // pat.bin sits below the 8 KiB threshold (cached/writev tier),
+    // patbig.bin above it (sendfile window tier).
+    check_range_parity(addr, "pat.bin", pat);
+    check_range_parity(addr, "patbig.bin", patbig);
+    check_etag_conditional(addr, "pat.bin", pat);
+    check_etag_conditional(addr, "patbig.bin", patbig);
+    check_gzip_variant(
+        addr,
+        "z.html",
+        b"<html>identity z</html>",
+        b"\x1f\x8b-simulated-gz-z",
+        "plain.html",
+    );
+}
+
+fn run_send_plane_parity(tag: &str, backend: BackendChoice) {
+    let (root, pat, patbig) = parity_root(tag);
+    let server = Server::start(
+        "127.0.0.1:0",
+        cfg(&root, backend)
+            .with_event_loops(1)
+            .with_sendfile_threshold(8 * 1024),
+    )
+    .unwrap();
+    check_send_plane(server.addr(), &pat, &patbig);
+    let stats = server.stats();
+    assert!(
+        stats.range_requests() >= 10,
+        "both tiers' range traffic must be counted: {}",
+        stats.range_requests()
+    );
+    assert_eq!(stats.range_unsatisfiable(), 2, "one 416 per tier");
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+fn run_mt_send_plane_parity(tag: &str, backend: BackendChoice) {
+    let (root, pat, patbig) = parity_root(tag);
+    let server = MtServer::start(
+        "127.0.0.1:0",
+        cfg(&root, backend).with_sendfile_threshold(8 * 1024),
+    )
+    .unwrap();
+    check_send_plane(server.addr(), &pat, &patbig);
+    let stats = server.stats();
+    assert!(
+        stats.range_requests() >= 10,
+        "MT must count range traffic identically: {}",
+        stats.range_requests()
+    );
+    assert_eq!(stats.range_unsatisfiable(), 2);
+    server.stop();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// Property test: seeded random `(offset, len)` windows — plus the
+/// crafted full-body, final-byte, and threshold-straddling windows —
+/// must come back byte-exact with exact `Content-Range` on both body
+/// tiers. `mt` selects the driver; the window list is identical.
+fn run_random_range_windows(tag: &str, backend: BackendChoice, mt: bool) {
+    const T: u64 = 8 * 1024;
+    let root = docroot(tag);
+    let small: Vec<u8> = (0..(T as usize / 2)).map(|i| (i * 13 + 3) as u8).collect();
+    let big: Vec<u8> = (0..(3 * T as usize)).map(|i| (i * 29 + 5) as u8).collect();
+    std::fs::write(root.join("wsmall.bin"), &small).unwrap();
+    std::fs::write(root.join("wbig.bin"), &big).unwrap();
+    let c = cfg(&root, backend)
+        .with_event_loops(1)
+        .with_sendfile_threshold(T);
+    enum Srv {
+        Amped(Server),
+        Mt(MtServer),
+    }
+    let srv = if mt {
+        Srv::Mt(MtServer::start("127.0.0.1:0", c).unwrap())
+    } else {
+        Srv::Amped(Server::start("127.0.0.1:0", c).unwrap())
+    };
+    let addr = match &srv {
+        Srv::Amped(s) => s.addr(),
+        Srv::Mt(s) => s.addr(),
+    };
+    let mut rng = SimRng::new(0x51D3);
+    let mut big_window_bytes = 0u64;
+    for (name, body) in [("wsmall.bin", &small), ("wbig.bin", &big)] {
+        let len = body.len() as u64;
+        let mut windows: Vec<(u64, u64)> = vec![(0, len), (len - 1, 1)];
+        if len > T {
+            // A window straddling the sendfile threshold offset.
+            windows.push((T - 1, 2));
+        }
+        for _ in 0..20 {
+            let off = rng.uniform(0, len);
+            windows.push((off, 1 + rng.uniform(0, len - off)));
+        }
+        for (off, l) in windows {
+            let last = off + l - 1;
+            if len > T {
+                big_window_bytes += l;
+            }
+            let resp = get(
+                addr,
+                &format!("GET /{name} HTTP/1.0\r\nRange: bytes={off}-{last}\r\n\r\n"),
+            );
+            let text = String::from_utf8_lossy(&resp).into_owned();
+            assert!(
+                text.starts_with("HTTP/1.1 206"),
+                "{name} window {off}+{l}: {text}"
+            );
+            assert_eq!(
+                hdr_value(&text, "Content-Range").as_deref(),
+                Some(format!("bytes {off}-{last}/{len}").as_str()),
+                "{name} window {off}+{l}"
+            );
+            assert_eq!(
+                body_of(&resp),
+                &body[off as usize..=last as usize],
+                "{name} window {off}+{l} must be byte-exact"
+            );
+        }
+    }
+    // Every wbig window rides the sendfile seam — the tier follows the
+    // representation's size, not the window's.
+    let stats = match &srv {
+        Srv::Amped(s) => s.stats().bytes_sendfile(),
+        Srv::Mt(s) => s.stats().bytes_sendfile(),
+    };
+    assert_eq!(
+        stats, big_window_bytes,
+        "sendfile must move exactly the windowed bytes"
+    );
+    match srv {
+        Srv::Amped(s) => s.stop(),
+        Srv::Mt(s) => s.stop(),
+    }
+    let _ = std::fs::remove_dir_all(root);
+}
+
 macro_rules! backend_suite {
     ($modname:ident, $backend:expr) => {
         mod $modname {
@@ -1298,6 +1719,26 @@ macro_rules! backend_suite {
             }
 
             #[test]
+            fn amped_send_plane_range_etag_gzip_parity() {
+                run_send_plane_parity(&tag("plane"), $backend);
+            }
+
+            #[test]
+            fn mt_send_plane_range_etag_gzip_parity() {
+                run_mt_send_plane_parity(&tag("mt-plane"), $backend);
+            }
+
+            #[test]
+            fn amped_random_range_windows_byte_exact() {
+                run_random_range_windows(&tag("windows"), $backend, false);
+            }
+
+            #[test]
+            fn mt_random_range_windows_byte_exact() {
+                run_random_range_windows(&tag("mt-windows"), $backend, true);
+            }
+
+            #[test]
             fn mt_server_serves_and_shares_cache() {
                 run_mt_server(&tag("mt"), $backend);
             }
@@ -1326,4 +1767,105 @@ fn epoll_choice_resolves_to_platform_best() {
         BackendKind::Poll
     };
     run_backend_resolution("resolve-epoll", BackendChoice::Epoll, expect);
+}
+
+/// Serves a *real* `gzip(1)`-produced sibling, not the simulated
+/// pattern bytes the other variant tests use. CI generates the
+/// fixture pair in the workflow and points `FLASH_GZ_FIXTURE` at it;
+/// when the variable is unset the test produces its own pair by
+/// shelling out to the system `gzip`, and skips if none is installed.
+/// Both drivers must hand back the compressed bytes verbatim — full
+/// body and a `Range` window carved out of the gzip representation.
+#[test]
+fn real_gzip_fixture_range_and_variant_parity() {
+    let fixture = match std::env::var_os("FLASH_GZ_FIXTURE") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let dir = docroot("real-gz-fixture");
+            std::fs::write(
+                dir.join("page.html"),
+                b"<html>real gzip fixture body for the send plane</html>\n",
+            )
+            .unwrap();
+            let status = std::process::Command::new("gzip")
+                .args(["-k", "-9"])
+                .arg(dir.join("page.html"))
+                .status();
+            match status {
+                Ok(s) if s.success() => dir,
+                _ => {
+                    eprintln!("skipping: no usable gzip(1) and FLASH_GZ_FIXTURE unset");
+                    let _ = std::fs::remove_dir_all(&dir);
+                    return;
+                }
+            }
+        }
+    };
+    let identity = std::fs::read(fixture.join("page.html")).expect("fixture page.html");
+    let gz = std::fs::read(fixture.join("page.html.gz")).expect("fixture page.html.gz");
+    assert!(
+        gz.starts_with(&[0x1f, 0x8b]),
+        "fixture sibling must be real gzip output"
+    );
+
+    let root = docroot("real-gz-serve");
+    std::fs::write(root.join("page.html"), &identity).unwrap();
+    std::fs::write(root.join("page.html.gz"), &gz).unwrap();
+
+    let check = |addr: std::net::SocketAddr| {
+        // Full negotiated body: byte-for-byte the compressor's output.
+        let resp = get(
+            addr,
+            "GET /page.html HTTP/1.0\r\nAccept-Encoding: gzip\r\n\r\n",
+        );
+        let text = String::from_utf8_lossy(&resp).into_owned();
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert_eq!(
+            hdr_value(&text, "Content-Encoding").as_deref(),
+            Some("gzip"),
+            "{text}"
+        );
+        assert_eq!(body_of(&resp), &gz[..]);
+
+        // A window over the gzip representation: the range applies to
+        // the negotiated bytes, not the identity ones.
+        let last = gz.len() - 2;
+        let resp = get(
+            addr,
+            &format!(
+                "GET /page.html HTTP/1.0\r\nAccept-Encoding: gzip\r\nRange: bytes=3-{last}\r\n\r\n"
+            ),
+        );
+        let text = String::from_utf8_lossy(&resp).into_owned();
+        assert!(text.starts_with("HTTP/1.1 206 Partial Content"), "{text}");
+        assert_eq!(
+            hdr_value(&text, "Content-Range").as_deref(),
+            Some(format!("bytes 3-{last}/{}", gz.len()).as_str())
+        );
+        assert_eq!(
+            hdr_value(&text, "Content-Encoding").as_deref(),
+            Some("gzip")
+        );
+        assert_eq!(body_of(&resp), &gz[3..=last]);
+
+        // No Accept-Encoding: the identity body, untouched.
+        let resp = get(addr, "GET /page.html HTTP/1.0\r\n\r\n");
+        let text = String::from_utf8_lossy(&resp).into_owned();
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(hdr_value(&text, "Content-Encoding").is_none(), "{text}");
+        assert_eq!(body_of(&resp), &identity[..]);
+    };
+
+    let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(1)).unwrap();
+    check(server.addr());
+    server.stop();
+
+    let server = MtServer::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
+    check(server.addr());
+    server.stop();
+
+    let _ = std::fs::remove_dir_all(&root);
+    if std::env::var_os("FLASH_GZ_FIXTURE").is_none() {
+        let _ = std::fs::remove_dir_all(&fixture);
+    }
 }

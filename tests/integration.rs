@@ -140,13 +140,20 @@ fn simulated_and_real_servers_agree_on_header_format() {
         .duration_since(std::time::UNIX_EPOCH)
         .unwrap()
         .as_secs() as i64;
-    let hdr = flash_repro::http::ResponseHeader::build_with_last_modified(
+    // Since the send-plane refactor every 200 also carries the strong
+    // ETag derived from the same (mtime, length) pair, so the reference
+    // header must too.
+    let etag = flash_repro::http::etag_value(Some(mtime), size, false);
+    let hdr = flash_repro::http::ResponseHeader::build_full(
         flash_repro::http::Status::Ok,
-        "text/html",
-        size,
+        Some(("text/html", size)),
         false,
         true,
-        mtime,
+        Some(mtime),
+        flash_repro::http::HeaderExtras {
+            etag: Some(&etag),
+            ..Default::default()
+        },
     );
     let server = Server::start("127.0.0.1:0", NetConfig::new(&root)).unwrap();
     let mut conn = TcpStream::connect(server.addr()).unwrap();
