@@ -6,10 +6,11 @@
 //! the `sendfile(2)` tier against forcing the same body through the
 //! in-memory cache + `writev` tier, a send-plane scenario (ranged 206
 //! windows over the sendfile tier and precompressed `.gz` variants out
-//! of the content cache), and a many-idle-connections
-//! scenario (64 active among 1024 registered) pitting the
-//! edge-triggered `epoll` backend's O(ready fds) waits against the
-//! `poll` backend's O(watched fds) scans.
+//! of the content cache), a dynamic-tier scenario (small worker
+//! responses streamed back as chunked frames), and a
+//! many-idle-connections scenario (64 active among 1024 registered)
+//! pitting the edge-triggered `epoll` backend's O(ready fds) waits
+//! against the `poll` backend's O(watched fds) scans.
 //!
 //! Run with `cargo bench -p flash-bench --bench net_throughput`; under
 //! `cargo test` each configuration runs once as a smoke test.
@@ -436,6 +437,127 @@ fn bench_send_plane(c: &mut Criterion) {
     }
 }
 
+const DYN_CLIENTS: usize = 8;
+const DYN_REQS: usize = 40;
+
+/// Reads one chunked keep-alive response off `reader` — status
+/// asserted 200, header scanned past, chunk frames consumed through
+/// the terminator — and returns the decoded body length.
+fn read_chunked_keepalive(reader: &mut impl std::io::BufRead) -> usize {
+    let mut line = String::new();
+    let mut first = true;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("read header line");
+        if first {
+            assert!(line.starts_with("HTTP/1.1 200 OK"), "{line}");
+            first = false;
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut total = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("read chunk size");
+        let n = usize::from_str_radix(line.trim(), 16).expect("hex chunk size");
+        // Chunk payload plus its trailing CRLF (the terminator's blank
+        // line for the zero chunk).
+        let mut buf = vec![0u8; n + 2];
+        std::io::Read::read_exact(reader, &mut buf).expect("read chunk");
+        if n == 0 {
+            return total;
+        }
+        total += n;
+    }
+}
+
+/// One keep-alive client issuing small dynamic requests; every
+/// response streams back from the persistent worker pool as chunked
+/// frames.
+fn client_dynamic(addr: SocketAddr, id: usize, requests: usize) {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.set_nodelay(true).ok();
+    let mut writer = s.try_clone().expect("clone");
+    let mut reader = std::io::BufReader::with_capacity(16 * 1024, s);
+    for r in 0..requests {
+        writer
+            .write_all(format!("GET /app/{id}/{r} HTTP/1.1\r\nHost: b\r\n\r\n").as_bytes())
+            .expect("send");
+        assert!(
+            read_chunked_keepalive(&mut reader) > 0,
+            "empty dynamic body"
+        );
+    }
+}
+
+/// The dynamic tier under load: small responses produced by the
+/// built-in echo worker, streamed back as chunked frames through the
+/// shard's streaming completion path. What this measures is the full
+/// request → worker checkout → frame relay → chunked encode loop, not
+/// the worker's own compute.
+fn bench_dynamic_small(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_dynamic");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    g.throughput(Throughput::Elements((DYN_CLIENTS * DYN_REQS) as u64));
+    let mut report = BenchReport::new();
+
+    let root = docroot("dynamic-small");
+    let cfg = NetConfig::builder(&root)
+        .event_loops(1)
+        .dynamic_prefix("/app/")
+        .build()
+        .expect("consistent config");
+    let server = Server::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.addr();
+    let t0 = std::time::Instant::now();
+    g.bench_function("dynamic_small", |b| {
+        b.iter(|| {
+            let threads: Vec<_> = (0..DYN_CLIENTS)
+                .map(|id| std::thread::spawn(move || client_dynamic(addr, id, DYN_REQS)))
+                .collect();
+            for t in threads {
+                t.join().expect("dynamic client");
+            }
+        })
+    });
+    assert!(server.stats().dynamic_requests() > 0);
+    assert_eq!(
+        server.stats().worker_respawns(),
+        0,
+        "the echo workers must survive the whole run"
+    );
+    let wait = server.stats().worker_wait().summary();
+    println!(
+        "dynamic_small: {} requests, worker-wait p50 {:.3} ms / p99 {:.3} ms",
+        server.stats().dynamic_requests(),
+        wait.p50_nanos as f64 / 1e6,
+        wait.p99_nanos as f64 / 1e6,
+    );
+    let (p50, p99) = latency_percentiles(server.stats());
+    report.record_full(
+        "net_dynamic/dynamic_small",
+        server.stats().dynamic_requests(),
+        t0.elapsed().as_secs_f64(),
+        false,
+        None,
+        p50,
+        p99,
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+
+    g.finish();
+    match report.write() {
+        Ok(path) => println!("recorded net_dynamic scenarios to {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
+}
+
 const CHURN_CLIENTS: usize = 8;
 const CHURN_CONNS_PER_CLIENT: usize = 40;
 
@@ -621,6 +743,7 @@ criterion_group!(
     bench_accept_rate,
     bench_large_file,
     bench_send_plane,
+    bench_dynamic_small,
     bench_many_idle_connections
 );
 criterion_main!(net_throughput);

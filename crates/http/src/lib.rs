@@ -4,13 +4,16 @@
 //! generator with the paper's §5.5 byte-position alignment padding
 //! ([`response`]), IMF-fixdate formatting/parsing with a per-second
 //! per-thread cache ([`date`] — the `Date`, `Last-Modified` and
-//! `If-Modified-Since` machinery), MIME type mapping ([`mime`]), and the
-//! NCSA Common Log Format ([`clf`]) used for trace replay.
+//! `If-Modified-Since` machinery), MIME type mapping ([`mime`]), the
+//! `Transfer-Encoding: chunked` framing used by the dynamic-content
+//! tier ([`chunked`]), and the NCSA Common Log Format ([`clf`]) used
+//! for trace replay.
 //!
 //! The same code serves both the simulator (`flash-core` computes header
 //! lengths and alignment from it) and the real-socket server
 //! (`flash-net` parses and emits actual bytes with it).
 
+pub mod chunked;
 pub mod clf;
 pub mod date;
 pub mod mime;

@@ -41,6 +41,8 @@ pub enum Status {
     InternalError,
     /// 501 Not Implemented.
     NotImplemented,
+    /// 504 Gateway Timeout (a dynamic-tier worker missed its deadline).
+    GatewayTimeout,
 }
 
 impl Status {
@@ -56,6 +58,7 @@ impl Status {
             Status::RangeNotSatisfiable => 416,
             Status::InternalError => 500,
             Status::NotImplemented => 501,
+            Status::GatewayTimeout => 504,
         }
     }
 
@@ -71,6 +74,7 @@ impl Status {
             Status::RangeNotSatisfiable => "Range Not Satisfiable",
             Status::InternalError => "Internal Server Error",
             Status::NotImplemented => "Not Implemented",
+            Status::GatewayTimeout => "Gateway Timeout",
         }
     }
 }
@@ -120,6 +124,15 @@ pub fn etag_value(mtime: Option<i64>, len: u64, gzip: bool) -> String {
     } else {
         format!("\"{m:x}-{len:x}\"")
     }
+}
+
+/// How a response describes its payload: a known length
+/// (`Content-Length`), chunked framing (`Transfer-Encoding: chunked`),
+/// or no payload at all (`304`).
+enum BodyMeta<'a> {
+    Sized(&'a str, u64),
+    Chunked(&'a str),
+    None,
 }
 
 /// A rendered response header, optionally padded to [`ALIGN`] bytes.
@@ -193,6 +206,29 @@ impl ResponseHeader {
         )
     }
 
+    /// A chunked-transfer header for the dynamic tier: `Transfer-Encoding:
+    /// chunked` in place of `Content-Length` (the body length is unknown
+    /// when the header goes out — a worker produces it incrementally).
+    /// No `Last-Modified`, `ETag`, or range surface: dynamic responses
+    /// are generated per request and bypass the conditional plane
+    /// entirely. Alignment padding applies as usual — the header still
+    /// rides the gathered-`writev` path ahead of chunk frames.
+    pub fn build_chunked(
+        status: Status,
+        content_type: &str,
+        keep_alive: bool,
+        pad_align: bool,
+    ) -> ResponseHeader {
+        Self::render_any(
+            status,
+            BodyMeta::Chunked(content_type),
+            keep_alive,
+            pad_align,
+            None,
+            HeaderExtras::default(),
+        )
+    }
+
     /// A bodyless `304 Not Modified` header: no `Content-Type` or
     /// `Content-Length` (the response carries no payload by
     /// definition), `Last-Modified` echoed when known so caches can
@@ -253,6 +289,28 @@ impl ResponseHeader {
         last_modified_unix: Option<i64>,
         extras: HeaderExtras<'_>,
     ) -> ResponseHeader {
+        let body = match content {
+            Some((ct, len)) => BodyMeta::Sized(ct, len),
+            None => BodyMeta::None,
+        };
+        Self::render_any(
+            status,
+            body,
+            keep_alive,
+            pad_align,
+            last_modified_unix,
+            extras,
+        )
+    }
+
+    fn render_any(
+        status: Status,
+        body: BodyMeta<'_>,
+        keep_alive: bool,
+        pad_align: bool,
+        last_modified_unix: Option<i64>,
+        extras: HeaderExtras<'_>,
+    ) -> ResponseHeader {
         let mut h = String::with_capacity(224);
         let _ = write!(h, "HTTP/1.1 {} {}\r\n", status.code(), status.reason());
         // Real current time; IMF-fixdate is fixed-width, so header
@@ -289,9 +347,16 @@ impl ResponseHeader {
         if extras.vary_accept_encoding {
             h.push_str("Vary: Accept-Encoding\r\n");
         }
-        if let Some((content_type, content_length)) = content {
-            let _ = write!(h, "Content-Type: {content_type}\r\n");
-            let _ = write!(h, "Content-Length: {content_length}\r\n");
+        match body {
+            BodyMeta::Sized(content_type, content_length) => {
+                let _ = write!(h, "Content-Type: {content_type}\r\n");
+                let _ = write!(h, "Content-Length: {content_length}\r\n");
+            }
+            BodyMeta::Chunked(content_type) => {
+                let _ = write!(h, "Content-Type: {content_type}\r\n");
+                h.push_str("Transfer-Encoding: chunked\r\n");
+            }
+            BodyMeta::None => {}
         }
         h.push_str("\r\n");
 
@@ -482,6 +547,32 @@ mod tests {
         // Date stays the second line regardless of extras — the cache's
         // zero-copy date splice depends on that layout.
         assert!(s.lines().nth(1).unwrap().starts_with("Date: "));
+    }
+
+    #[test]
+    fn chunked_header_swaps_length_for_transfer_encoding() {
+        for ka in [false, true] {
+            let h = ResponseHeader::build_chunked(Status::Ok, "text/plain", ka, true);
+            let s = String::from_utf8(h.as_bytes().to_vec()).unwrap();
+            assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
+            assert!(s.contains("Transfer-Encoding: chunked\r\n"));
+            assert!(s.contains("Content-Type: text/plain\r\n"));
+            assert!(
+                !s.contains("Content-Length"),
+                "chunked and Content-Length are mutually exclusive"
+            );
+            assert!(!s.contains("ETag") && !s.contains("Last-Modified"));
+            assert_eq!(h.len() % ALIGN, 0, "chunked headers stay aligned");
+            assert!(s.lines().nth(1).unwrap().starts_with("Date: "));
+        }
+    }
+
+    #[test]
+    fn gateway_timeout_status_renders() {
+        assert_eq!(Status::GatewayTimeout.code(), 504);
+        assert_eq!(Status::GatewayTimeout.reason(), "Gateway Timeout");
+        let b = String::from_utf8(error_body(Status::GatewayTimeout)).unwrap();
+        assert!(b.contains("504"));
     }
 
     #[test]

@@ -57,6 +57,11 @@ pub enum DeadlineKind {
     /// Helper wait: the request is owned by a helper, and a wedged
     /// helper or stalled disk must not pin the fd and slot forever.
     HelperWait,
+    /// Dynamic wait: the request is owned by an application worker.
+    /// Re-armed on every delivered chunk; expiry answers `504` before
+    /// headers are out, severs the stream after — and in both cases
+    /// cancels the job so the helper kills and respawns the worker.
+    DynamicWait,
 }
 
 /// One connection: its transport, parser, and transmission state.
@@ -116,6 +121,15 @@ pub struct Conn<Io: ConnIo> {
     /// endpoints: counted under `metrics_requests`, excluded from the
     /// latency histograms and the access log.
     pub metrics_response: bool,
+    /// True from dynamic-tier dispatch until the worker's terminal
+    /// event (or an error path) retires the request: steers the
+    /// `Waiting` state onto the [`DeadlineKind::DynamicWait`] class.
+    pub dynamic: bool,
+    /// True while a chunked response stream is open: the header (and
+    /// zero or more chunks) are queued or sent but the terminal frame
+    /// is not — draining `out` must park the connection back in
+    /// `Waiting` instead of finishing the response.
+    pub stream_open: bool,
     /// Access-log metadata staged for the in-flight response (only
     /// when access logging is on).
     pub pending_log: Option<crate::stats::PendingLog>,
@@ -144,6 +158,8 @@ impl<Io: ConnIo> Conn<Io> {
             progress_at_req: 0,
             wait_start: None,
             metrics_response: false,
+            dynamic: false,
+            stream_open: false,
             pending_log: None,
         }
     }
@@ -191,7 +207,14 @@ pub fn desired_interest(state: &ConnState) -> Interest {
 ///   request, and a wedged helper or stalled disk must not pin the
 ///   waiter's fd and slot forever. Expiry reaps the connection *and*
 ///   purges its waiter registration (cancelling the job if it was the
-///   last waiter), so a late completion cannot reach a reused slot.
+///   last waiter), so a late completion cannot reach a reused slot;
+/// * `Waiting` on the dynamic tier (`conn.dynamic`) → the
+///   **dynamic-wait** deadline instead: an application worker owns the
+///   request. Every delivered chunk transits the state machine, so the
+///   class re-arms per chunk — the deadline bounds worker *silence*,
+///   not total response time. Expiry answers `504` (pre-header) or
+///   severs the chunked stream (mid-body) and cancels the job, which
+///   gets the wedged worker killed and respawned.
 ///
 /// `now` is the driver's clock — wall time for the real loop, the
 /// simulated instant for the deterministic driver.
@@ -203,6 +226,7 @@ pub fn sync_deadline<Io: ConnIo>(
     now: Instant,
 ) {
     let (kind, timeout) = match conn.state {
+        ConnState::Waiting if conn.dynamic => (DeadlineKind::DynamicWait, cfg.dynamic_deadline),
         ConnState::Waiting => (DeadlineKind::HelperWait, cfg.helper_wait_timeout),
         ConnState::Writing => (DeadlineKind::WriteStall, cfg.write_stall_timeout),
         ConnState::Reading => {
@@ -488,6 +512,8 @@ mod tests {
             cache_revalidate_ttl: Some(Duration::from_secs(2)),
             sendfile_threshold: 256 * 1024,
             metrics_endpoint: false,
+            dynamic_prefix: None,
+            dynamic_deadline: Some(Duration::from_secs(10)),
             access_log: false,
         }
     }
@@ -517,6 +543,14 @@ mod tests {
         sync_deadline(&mut conn, token, &cfg, &mut wheel, now);
         assert_eq!(conn.deadline, DeadlineKind::HelperWait);
         assert_eq!(wheel.pending(), 1, "Waiting arms the helper-wait class");
+
+        // A dynamic request in the same state rides the fifth class
+        // instead — worker silence is bounded separately from disk.
+        conn.dynamic = true;
+        sync_deadline(&mut conn, token, &cfg, &mut wheel, now);
+        assert_eq!(conn.deadline, DeadlineKind::DynamicWait);
+        assert_eq!(wheel.pending(), 1, "Waiting+dynamic arms dynamic-wait");
+        conn.dynamic = false;
 
         // Response in flight → write-stall class.
         conn.state = ConnState::Writing;

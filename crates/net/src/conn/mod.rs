@@ -88,6 +88,14 @@ pub enum JobKind {
     /// Open and `fstat` only — a cache hit past its revalidation TTL;
     /// the shard compares the result against the cached entry.
     Revalidate,
+    /// A dynamic-tier request: hand the URL path to a persistent
+    /// application worker and stream its output back as [`DynEvent`]s.
+    /// Unlike the filesystem kinds this job produces *multiple*
+    /// completions under one token — every chunk the worker emits,
+    /// then a terminal [`DynEvent::End`]. Never coalesced and never
+    /// cached; `fs_path` carries the request's URL path verbatim and
+    /// `path` a synthetic per-dispatch waiter key.
+    Dynamic,
 }
 
 /// One unit of disk work dispatched through a [`HelperPort`].
@@ -172,6 +180,23 @@ pub struct LoadResult<F> {
     pub has_gzip: bool,
 }
 
+/// One event in a dynamic job's completion stream. A [`JobKind::Dynamic`]
+/// job delivers zero or more `Chunk`s followed by exactly one `End`,
+/// all under the same dispatch token; the pending entry survives until
+/// the `End` (or a cancellation) retires it.
+#[derive(Debug, Clone)]
+pub enum DynEvent {
+    /// One body chunk produced by the worker, rendered on the wire as
+    /// one `Transfer-Encoding: chunked` frame.
+    Chunk(bytes::Bytes),
+    /// The worker finished. `clean` means the protocol's terminal
+    /// frame was seen (the response ends with the zero-length chunk);
+    /// `!clean` means the worker crashed or was killed mid-body — the
+    /// response is truncated without a terminal frame (pre-header, it
+    /// becomes a `500`).
+    End { clean: bool },
+}
+
 /// A completion's payload, matching the job's [`JobKind`].
 pub enum DoneData<F> {
     /// [`JobKind::Load`]: the file's contents (or open handle), ready
@@ -180,6 +205,8 @@ pub enum DoneData<F> {
     /// [`JobKind::Revalidate`]: the file's current (length, mtime)
     /// from a bare open+`fstat` — no bytes read.
     Stat(io::Result<(u64, Option<i64>)>),
+    /// [`JobKind::Dynamic`]: one event of the worker's output stream.
+    Dynamic(DynEvent),
 }
 
 /// A finished helper job, routed back to the dispatching shard.
@@ -221,6 +248,16 @@ pub struct ProtoConfig {
     /// path. Off by default; endpoint responses count under
     /// [`ShardStats::metrics_requests`], not `requests`.
     pub metrics_endpoint: bool,
+    /// URL-path prefix routed to the dynamic tier (persistent
+    /// application workers, chunked responses). `None` disables the
+    /// tier. The `/.flash/` endpoints always take precedence, even
+    /// under a prefix of `/`.
+    pub dynamic_prefix: Option<String>,
+    /// Per-request worker deadline for `Waiting` dynamic connections,
+    /// re-armed on every chunk: a wedged worker yields a `504` (or a
+    /// severed stream once headers are out) and the worker is killed
+    /// and respawned. `None` disables the class.
+    pub dynamic_deadline: Option<Duration>,
     /// Stage an [`crate::stats::AccessRecord`] per completed response
     /// in [`ShardCore::access_log`] for the driver to drain and write.
     pub access_log: bool,
@@ -305,6 +342,15 @@ pub struct ShardStats {
     /// endpoints (kept out of `requests` so workload counters stay
     /// exact under scraping).
     pub metrics_requests: AtomicU64,
+    /// Requests routed to the dynamic tier (matched the configured
+    /// prefix), whether they completed, timed out, or crashed.
+    pub dynamic_requests: AtomicU64,
+    /// Application workers killed and replaced: crashes (EOF before
+    /// the protocol's END) plus deadline kills of wedged workers.
+    pub worker_respawns: AtomicU64,
+    /// Dynamic requests that hit `dynamic_deadline`: answered `504`
+    /// before headers went out, severed mid-stream after.
+    pub dynamic_timeouts: AtomicU64,
     /// Event-loop iterations whose non-wait time exceeded the
     /// configured `loop_stall_threshold` — the direct "did the AMPED
     /// loop block?" probe.
@@ -334,6 +380,9 @@ pub struct ShardStats {
     /// Helper-job wait: connection parked `Waiting` → completion
     /// delivered.
     pub hist_helper_wait: Histogram,
+    /// Worker wait: dynamic request dispatched → first worker event
+    /// (first chunk or an immediate end) delivered.
+    pub hist_worker_wait: Histogram,
     /// Connection lifetime: accept → close, any close reason.
     pub hist_lifetime: Histogram,
 }

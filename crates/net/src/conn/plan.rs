@@ -168,6 +168,14 @@ pub enum BodySource<F> {
     File { file: F, offset: u64, len: u64 },
     /// No body (`304`, or a zero-length window).
     Empty,
+    /// An open chunked stream: the body's length is unknown when the
+    /// header goes out — an application worker produces it
+    /// incrementally and the shard appends each chunk to the output
+    /// queue as its [`super::DynEvent`] arrives. Queueing this source
+    /// opens the connection's stream state; the terminal frame (or an
+    /// error path) closes it. HEAD never opens a stream — the header
+    /// is kept and the source dropped, like every other body.
+    Stream,
 }
 
 /// One fully-decided response: status for the access log, header
@@ -318,6 +326,24 @@ pub fn queue_plan<Io: ConnIo>(conn: &mut Conn<Io>, plan: ResponsePlan<Io::FileRe
             }
         }
         BodySource::Empty => {}
+        BodySource::Stream => {
+            conn.stream_open = true;
+        }
+    }
+}
+
+/// The dynamic tier's response plan: a chunked `200` whose body is an
+/// open [`BodySource::Stream`]. Dynamic responses bypass the
+/// conditional plane entirely — no `ETag`, `Last-Modified`, `304`, or
+/// `Range` handling applies ([`plan_response`] is never consulted);
+/// the worker's output is generated per request and has no validators.
+pub fn plan_dynamic<F>(keep_alive: bool) -> ResponsePlan<F> {
+    let hdr = ResponseHeader::build_chunked(Status::Ok, "text/plain", keep_alive, true);
+    ResponsePlan {
+        status: Status::Ok,
+        tier: Tier::Dynamic,
+        header: vec![Bytes::from(hdr.as_bytes().to_vec())],
+        body: BodySource::Stream,
     }
 }
 
@@ -465,6 +491,19 @@ mod tests {
             }
             _ => panic!("file resource must window through sendfile"),
         }
+    }
+
+    #[test]
+    fn dynamic_plan_is_chunked_and_unconditional() {
+        let plan: ResponsePlan<()> = plan_dynamic(true);
+        assert!(matches!(plan.status, Status::Ok));
+        assert!(matches!(plan.tier, Tier::Dynamic));
+        assert!(matches!(plan.body, BodySource::Stream));
+        let hdr = String::from_utf8(plan.header.iter().flat_map(|b| b.to_vec()).collect()).unwrap();
+        assert!(hdr.contains("Transfer-Encoding: chunked\r\n"), "{hdr}");
+        assert!(!hdr.contains("Content-Length"), "{hdr}");
+        assert!(!hdr.contains("ETag"), "dynamic bypasses validators: {hdr}");
+        assert!(!hdr.contains("Last-Modified"), "{hdr}");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
+use flash_http::chunked;
 use flash_http::request::{ParseStatus, Request};
 use flash_http::response::{error_body, ResponseHeader, Status};
 use flash_http::Method;
@@ -22,10 +23,10 @@ use crate::stats::{self, AccessRecord, PendingLog, Tier};
 use crate::timer::TimerWheel;
 
 use super::machine::{flush_out, Conn, ConnState, DeadlineKind, Drive, FlushResult};
-use super::plan::{plan_response, queue_plan, RequestCond, Resource};
+use super::plan::{plan_dynamic, plan_response, queue_plan, RequestCond, Resource};
 use super::{
-    ConnIo, Done, DoneData, FileData, HelperJob, HelperPort, JobKind, LoadResult, ProtoConfig,
-    ShardStats,
+    ConnIo, Done, DoneData, DynEvent, FileData, HelperJob, HelperPort, JobKind, LoadResult,
+    ProtoConfig, ShardStats,
 };
 
 /// The shard's record of one dispatched, not-yet-completed job: the
@@ -271,6 +272,16 @@ impl ShardCore {
                     }
                     match flushed {
                         FlushResult::Flushed => {
+                            if conn.stream_open {
+                                // Everything queued so far went out but
+                                // the worker's stream is still open:
+                                // park back in Waiting for the next
+                                // chunk — the response is not finished
+                                // and the dynamic-wait deadline covers
+                                // the inter-chunk gap.
+                                conn.state = ConnState::Waiting;
+                                return Drive::Blocked;
+                            }
                             self.finish_response(conn, now);
                             // Under drain a keep-alive connection closes
                             // after its final response — unless pipelined
@@ -349,6 +360,17 @@ impl ShardCore {
             set_log(conn, Status::NotImplemented.code(), Tier::Error);
             conn.state = ConnState::Writing;
             return;
+        }
+        // Dynamic-tier routing: a docroot-relative prefix rule, checked
+        // after the reserved `/.flash/` namespace (which therefore can
+        // never be shadowed, even by a rule covering `/`) and before
+        // the trailing-slash rewrite — dynamic paths are opaque worker
+        // arguments, not filesystem names.
+        if let Some(prefix) = self.cfg.dynamic_prefix.as_deref() {
+            if req.path.starts_with(prefix) {
+                self.handle_dynamic(idx, conn, &req.path, port, now);
+                return;
+            }
         }
         let mut path = req.path.clone();
         if path.ends_with('/') {
@@ -492,6 +514,62 @@ impl ShardCore {
         });
     }
 
+    /// Routes one request into the dynamic tier. HEAD answers
+    /// immediately with the chunked header alone — no worker runs. GET
+    /// dispatches a [`JobKind::Dynamic`] helper job under a synthetic
+    /// waiter key (`"\0dyn:<token>"` — the NUL prefix cannot collide
+    /// with URL paths, which always start with `/`): dynamic responses
+    /// are per-connection streams, never coalesced, so each dispatch
+    /// owns exactly one waiter. Conditional headers (ETag/304/Range)
+    /// deliberately do not apply — generated output has no validators.
+    fn handle_dynamic<Io: ConnIo>(
+        &mut self,
+        idx: usize,
+        conn: &mut Conn<Io>,
+        url_path: &str,
+        port: &mut dyn HelperPort,
+        now: Instant,
+    ) {
+        self.stats.dynamic_requests.fetch_add(1, Ordering::Relaxed);
+        set_log(conn, Status::Ok.code(), Tier::Dynamic);
+        if conn.head_only {
+            // Headers only: `queue_plan` drops the `Stream` body for
+            // HEAD, so no stream opens and no worker is consulted.
+            queue_plan(conn, plan_dynamic(conn.keep_alive));
+            conn.state = ConnState::Writing;
+            return;
+        }
+        let token = self.next_job_token;
+        self.next_job_token += 1;
+        let key = format!("\0dyn:{token}");
+        let cancel = Arc::new(AtomicBool::new(false));
+        self.pending_jobs.insert(
+            key.clone(),
+            PendingJob {
+                token,
+                cancel: Arc::clone(&cancel),
+            },
+        );
+        self.waiters.entry(key.clone()).or_default().push(idx);
+        self.stats.helper_jobs.fetch_add(1, Ordering::Relaxed);
+        // `fs_path` carries the request path verbatim: it is the
+        // worker's argument, not a filesystem name, so no docroot join
+        // and no trailing-slash rewrite.
+        port.submit(HelperJob {
+            path: key,
+            fs_path: PathBuf::from(url_path),
+            kind: JobKind::Dynamic,
+            variant: Variant::Identity,
+            inline_max: 0,
+            epoch: self.epoch,
+            token,
+            cancel,
+        });
+        conn.dynamic = true;
+        conn.wait_start = Some(now);
+        conn.state = ConnState::Waiting;
+    }
+
     /// Removes a dropped connection's index from every waiter list —
     /// so a helper completion can never be delivered to a recycled
     /// slot — and **cancels the job** of any path whose waiter list
@@ -532,15 +610,25 @@ impl ShardCore {
         port: &mut dyn HelperPort,
         now: Instant,
     ) {
+        // A dynamic job produces *several* completions under one token
+        // — every mid-stream `Chunk` keeps the pending entry (and its
+        // cancel flag) alive; only the final `End` (or any non-dynamic
+        // completion) retires it.
+        let retire = !matches!(done.data, DoneData::Dynamic(DynEvent::Chunk(_)));
         match self.pending_jobs.get(&done.path) {
             Some(p) if p.token == done.token => {
-                self.pending_jobs.remove(&done.path);
+                if retire {
+                    self.pending_jobs.remove(&done.path);
+                }
             }
             _ => return,
         }
         let result = match done.data {
             DoneData::Stat(stat) => {
                 return self.complete_revalidation(done.path, stat, conns, completed, port, now);
+            }
+            DoneData::Dynamic(ev) => {
+                return self.deliver_dynamic(&done.path, ev, conns, completed, now);
             }
             DoneData::Loaded(result) => result,
         };
@@ -725,6 +813,108 @@ impl ShardCore {
         }
     }
 
+    /// Delivers one streaming event from a dynamic worker to the
+    /// (single) waiter parked on the synthetic `\0dyn:` key. `Chunk`
+    /// events leave the waiter and pending entries in place — the
+    /// stream is still running — while `End` retires both (the pending
+    /// entry was already removed by [`Self::complete_job`]'s gate).
+    /// The first event opens the response (chunked header + stream
+    /// state); every chunk is framed on the spot; a clean end appends
+    /// the `0\r\n\r\n` terminator; an unclean end (worker crashed)
+    /// mid-stream drops terminator and connection both — chunked
+    /// framing makes the truncation detectable — or, before any bytes
+    /// were queued, turns into a plain 500.
+    fn deliver_dynamic<Io: ConnIo>(
+        &mut self,
+        key: &str,
+        ev: DynEvent,
+        conns: &mut [Option<Conn<Io>>],
+        completed: &mut Vec<usize>,
+        now: Instant,
+    ) {
+        let ended = matches!(ev, DynEvent::End { .. });
+        let waiting = if ended {
+            self.waiters.remove(key).unwrap_or_default()
+        } else {
+            self.waiters.get(key).cloned().unwrap_or_default()
+        };
+        for idx in waiting {
+            let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+                continue;
+            };
+            // Only the first event finds `wait_start` set: the
+            // histogram records time-to-first-byte from the worker,
+            // not per-chunk delivery.
+            if let Some(start) = conn.wait_start.take() {
+                self.stats
+                    .hist_worker_wait
+                    .record(now.duration_since(start).as_nanos() as u64);
+            }
+            match &ev {
+                DynEvent::Chunk(bytes) => {
+                    if !conn.stream_open {
+                        queue_plan(conn, plan_dynamic(conn.keep_alive));
+                    }
+                    push_chunk(conn, bytes.clone());
+                }
+                DynEvent::End { clean: true } => {
+                    if !conn.stream_open {
+                        // Zero-chunk body: still a valid (empty)
+                        // chunked response.
+                        queue_plan(conn, plan_dynamic(conn.keep_alive));
+                    }
+                    conn.out.push_back(Bytes::from(chunked::TERMINATOR));
+                    conn.stream_open = false;
+                    conn.dynamic = false;
+                }
+                DynEvent::End { clean: false } => {
+                    if conn.stream_open {
+                        // Mid-body crash: no terminator, no reuse — the
+                        // client sees the truncation, and the slot
+                        // closes once the partial tail flushes.
+                        conn.stream_open = false;
+                        conn.keep_alive = false;
+                    } else {
+                        let body = Bytes::from(error_body(Status::InternalError));
+                        queue_error(conn, Status::InternalError, body);
+                        set_log(conn, Status::InternalError.code(), Tier::Error);
+                    }
+                    conn.dynamic = false;
+                }
+            }
+            conn.state = ConnState::Writing;
+            completed.push(idx);
+        }
+    }
+
+    /// Expires a dynamic-wait deadline: the worker stayed silent past
+    /// `dynamic_deadline`. Pre-header the connection gets a clean 504
+    /// and the caller drives it (`true`); mid-stream the response
+    /// cannot be repaired, so the caller severs the slot (`false`).
+    /// Either way the waiter purge raises the job's cancel flag, which
+    /// makes the helper kill — and respawn — the wedged worker.
+    pub fn expire_dynamic_wait<Io: ConnIo>(
+        &mut self,
+        idx: usize,
+        conns: &mut [Option<Conn<Io>>],
+    ) -> bool {
+        self.stats.dynamic_timeouts.fetch_add(1, Ordering::Relaxed);
+        self.purge_waiter(idx);
+        let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+            return false;
+        };
+        conn.dynamic = false;
+        if conn.stream_open {
+            conn.stream_open = false;
+            return false;
+        }
+        let body = Bytes::from(error_body(Status::GatewayTimeout));
+        queue_error(conn, Status::GatewayTimeout, body);
+        set_log(conn, Status::GatewayTimeout.code(), Tier::Error);
+        conn.state = ConnState::Writing;
+        true
+    }
+
     /// Verifies the shard's structural invariants against its
     /// connection table and timing wheel — the deterministic sim calls
     /// this after (samples of) every step; tests call it constantly.
@@ -754,7 +944,11 @@ impl ShardCore {
                     return Err(format!("conn {idx} appears on two waiter lists"));
                 }
                 match conns.get(idx).and_then(|c| c.as_ref()) {
-                    Some(c) if matches!(c.state, ConnState::Waiting) => {}
+                    // A dynamic waiter with chunks still in flight may
+                    // be `Writing` (draining queued frames) between
+                    // events — `stream_open` marks it as legitimately
+                    // parked on the list either way.
+                    Some(c) if matches!(c.state, ConnState::Waiting) || c.stream_open => {}
                     Some(_) => {
                         return Err(format!("waiter {idx} on {path} is not in Waiting state"))
                     }
@@ -818,6 +1012,20 @@ fn set_log<Io: ConnIo>(conn: &mut Conn<Io>, status: u16, tier: Tier) {
         log.status = status;
         log.tier = tier;
     }
+}
+
+/// Frames one worker chunk for the wire — `size\r\n`, the bytes,
+/// `\r\n`: three output segments, zero copies of the body. Empty
+/// chunks are skipped (a zero-size line would terminate the chunked
+/// body early).
+fn push_chunk<Io: ConnIo>(conn: &mut Conn<Io>, bytes: Bytes) {
+    if bytes.is_empty() {
+        return;
+    }
+    conn.out
+        .push_back(Bytes::from(chunked::size_line(bytes.len())));
+    conn.out.push_back(bytes);
+    conn.out.push_back(Bytes::from(chunked::CRLF));
 }
 
 pub(crate) fn queue_error<Io: ConnIo>(conn: &mut Conn<Io>, status: Status, body: Bytes) {

@@ -185,6 +185,7 @@
 //! | `Range`, satisfiable | `206 Partial Content` with `Content-Range: bytes a-b/len` (`range_requests`) |
 //! | `Range`, unsatisfiable | `416` with `Content-Range: bytes */len` (`range_unsatisfiable`) — the connection stays open |
 //! | `Range`, malformed or multi-range | Dropped at parse time → the full `200` |
+//! | *(any of the above on a dynamic-prefix path)* | **Ignored entirely** — dynamic responses have no validators and no byte-addressable representation; the full `200` streams chunked (see *The dynamic tier*) |
 //!
 //! `ETag`s are strong and derived from `(mtime, length)` —
 //! deterministic, cheap, and they change exactly when `Last-Modified`
@@ -208,6 +209,57 @@
 //! mechanical: the AMPED helper pool and the MT server share one real
 //! filesystem executor ([`fsjob`]), and the sim mirrors its mechanics
 //! against the in-memory file table.
+//!
+//! # The dynamic tier: persistent workers, chunked streaming
+//!
+//! Paths under [`server::NetConfig::dynamic_prefix`] (builder:
+//! `dynamic_prefix("/app/")`) bypass the filesystem entirely and are
+//! answered by a pool of **persistent worker processes**
+//! ([`appworker::WorkerPool`]) — the paper's CGI concern (§2.2,
+//! `FileKind::Cgi` in the workload model) without fork-per-request:
+//! each worker is spawned once over a `socketpair(2)` (its stdin *and*
+//! stdout are the same socket), checked out per request, and checked
+//! back in after a clean exchange. A worker that crashes, emits
+//! garbage, or misses its deadline is killed and discarded; the next
+//! checkout spawns a replacement (`worker_respawns`).
+//!
+//! The wire protocol is deliberately tiny. Server → worker, one line:
+//! `<METHOD> <path>\n`. Worker → server, a frame stream:
+//!
+//! ```text
+//! DATA <len>\n<len bytes>     (repeated; each frame = one HTTP chunk)
+//! END\n                       (clean completion)
+//! ```
+//!
+//! EOF or a malformed frame before `END` is a crash. Each `DATA` frame
+//! is relayed to the client as one `Transfer-Encoding: chunked` chunk
+//! ([`flash_http::chunked`]); `END` sends the `0\r\n\r\n` terminator.
+//! Because the body length is unknown when the header goes out,
+//! dynamic responses carry **no `Content-Length`, no `Last-Modified`,
+//! no `ETag`, and no range surface** — `If-None-Match`,
+//! `If-Modified-Since`, `Range`, and `If-Range` are all ignored on a
+//! dynamic path (there is no representation to validate against), and
+//! `HEAD` sends the chunked header plan with zero body bytes and no
+//! worker consulted. The reserved `/.flash/*` endpoints keep
+//! precedence over any dynamic prefix, including `/` itself.
+//!
+//! Worker silence is bounded by
+//! [`server::NetConfig::dynamic_deadline`] (default 10 s), riding the
+//! same timing wheel as the other deadline classes: expiry **before
+//! the first frame** yields a `504 Gateway Timeout`; expiry
+//! **mid-stream** severs the connection, leaving the truncation
+//! visible on the wire (no chunked terminator) — a 504 after bytes of
+//! a 200 have been sent would be a lie. Either way the wedged worker
+//! is killed via the helper-job cancellation token and counted in
+//! `dynamic_timeouts` + `worker_respawns`.
+//!
+//! All three drivers serve the tier: the AMPED shards relay frames
+//! through the helper pool as streaming completions
+//! ([`conn::DynEvent`] under a single job token), the MT server runs
+//! the exchange inline on the connection thread, and the deterministic
+//! sim models per-endpoint compute times from the workload's
+//! `FileKind::Cgi` specs — dynamic fraction, wedges, and worker
+//! crashes are all folded into its bit-identical fingerprint.
 //!
 //! # Lifecycle: drain, signals, and generation handoff
 //!
@@ -305,6 +357,9 @@
 //! | `stale_evicted` | counter | Entries evicted because a re-stat saw them change |
 //! | `helper_wait_timeouts` | counter | Waiters closed by the helper-completion deadline |
 //! | `jobs_cancelled` | counter | In-flight jobs cancelled after their last waiter left |
+//! | `dynamic_requests` | counter | Requests routed to the dynamic tier by the configured prefix |
+//! | `worker_respawns` | counter | Workers killed and replaced after a crash or deadline kill |
+//! | `dynamic_timeouts` | counter | Dynamic requests that hit `dynamic_deadline` (504 pre-header, severed mid-stream) |
 //! | `draining` | gauge | Shards currently in drain mode |
 //! | `drained_conns` | counter | Connections retired by a drain |
 //! | `loop_stalls` | counter | Iterations whose non-wait time exceeded [`server::NetConfig::loop_stall_threshold`] |
@@ -315,7 +370,8 @@
 //! final response byte queued), `ttfb_nanos` (request parsed → first
 //! byte accepted by the transport), `helper_wait_nanos` (parked
 //! `Waiting` → completion delivered), `conn_lifetime_nanos` (accept →
-//! close, any reason).
+//! close, any reason), `worker_wait_nanos` (dynamic dispatch → first
+//! worker frame delivered).
 //!
 //! The `phase_*` counters and the **stall watchdog** are the direct
 //! probe of the AMPED contract that the event loop never blocks: each
@@ -370,17 +426,33 @@
 //! ```no_run
 //! use flash_net::{NetConfig, Server};
 //!
-//! let server = Server::start("127.0.0.1:8080", NetConfig::new("./public")).unwrap();
+//! // NetConfig::new gives working defaults; the validating builder
+//! // rejects inconsistent combinations before any socket is opened.
+//! let cfg = NetConfig::builder("./public")
+//!     .dynamic_prefix("/app/")
+//!     .metrics_endpoint(true)
+//!     .build()
+//!     .unwrap();
+//! let server = Server::start("127.0.0.1:8080", cfg).unwrap();
 //! println!("serving on http://{}", server.addr());
 //! println!("event-loop shards: {}", server.stats().per_shard().len());
 //! // ... later: finish what's in flight, bounded by drain_timeout.
 //! server.drain();
 //! ```
+//!
+//! Code that only *operates* a server — batteries, lifecycle
+//! harnesses, examples comparing the two architectures — can start
+//! either one behind the shared [`ServeHandle`] surface instead:
+//! `handle::start(ServerKind::Amped | ServerKind::Mt, addr, cfg)`
+//! returns a `Box<dyn ServeHandle>` with `local_addr` / `stats` /
+//! `reload_docroot` / `drain` / `stop`.
 
+pub mod appworker;
 pub mod cache;
 pub mod conn;
 pub mod event;
 pub mod fsjob;
+pub mod handle;
 pub mod handoff;
 pub mod lifecycle;
 pub mod mt;
@@ -394,12 +466,14 @@ pub mod stats;
 pub mod timer;
 pub mod writev;
 
+pub use appworker::WorkerPool;
 pub use cache::{ContentCache, Entry};
 pub use event::{BackendChoice, BackendKind, EventBackend};
+pub use handle::{ServeHandle, ServerKind};
 pub use handoff::{recv_listeners, request_listeners, send_listeners, HandoffControl};
 pub use lifecycle::{send_to_self, Signal, Signals};
 pub use mt::MtServer;
 pub use report::BenchReport;
-pub use server::{NetConfig, Server, ServerStats, ShardStats};
+pub use server::{ConfigError, NetConfig, NetConfigBuilder, Server, ServerStats, ShardStats};
 pub use sock::{AcceptMode, AcceptModeKind};
 pub use stats::{HistSnapshot, HistSummary, Histogram};

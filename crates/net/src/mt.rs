@@ -28,6 +28,7 @@
 //! the thread-per-connection comparison server restarts without
 //! resetting a queued connection.
 
+use std::cell::Cell;
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -39,11 +40,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use flash_http::request::ParseStatus;
+use flash_http::chunked;
+use flash_http::request::{ParseStatus, Request};
 use flash_http::response::{error_body, ResponseHeader, Status};
 use flash_http::Method;
 use parking_lot::Mutex;
 
+use crate::appworker::{self, WorkerPool};
 use crate::cache::{self, ContentCache, Entry, Lookup, Variant};
 use crate::conn::plan::{plan_response, BodySource, RequestCond, Resource, ResponsePlan};
 use crate::conn::{FileData, HelperJob, JobKind, LoadResult, ShardStats};
@@ -135,6 +138,13 @@ impl MtServer {
         let drain_timeout = cfg.drain_timeout;
         let shard = Arc::new(ShardStats::default());
         let shard2 = Arc::clone(&shard);
+        // One application-worker pool shared by every connection
+        // thread — the MT twin of the AMPED helper pool's workers.
+        let workers = Arc::new(WorkerPool::new(
+            cfg.dynamic_command
+                .clone()
+                .unwrap_or_else(WorkerPool::default_command),
+        ));
         let log = cfg.access_log_path.clone().map(|p| {
             Arc::new(MtLog {
                 writer: Mutex::new(AccessLogWriter::open(p)),
@@ -151,6 +161,7 @@ impl MtServer {
                     lifecycle: lifecycle2,
                     shard: shard2,
                     log,
+                    pool: workers,
                 };
                 run_accept_loop(&listener, backend, &accept_stop2, &mut spawner);
                 drop(stop_rx); // keep the read side alive until exit
@@ -280,6 +291,8 @@ struct WorkerSpawner {
     lifecycle: Arc<LifecycleShared>,
     shard: Arc<ShardStats>,
     log: Option<Arc<MtLog>>,
+    /// Shared application-worker pool for the dynamic tier.
+    pool: Arc<WorkerPool>,
 }
 
 impl AcceptSink for WorkerSpawner {
@@ -290,10 +303,11 @@ impl AcceptSink for WorkerSpawner {
         let lifecycle = Arc::clone(&self.lifecycle);
         let shard = Arc::clone(&self.shard);
         let log = self.log.clone();
+        let pool = Arc::clone(&self.pool);
         shard.accepted.fetch_add(1, Ordering::Relaxed);
         if let Ok(h) = std::thread::Builder::new()
             .name("flash-mt-conn".into())
-            .spawn(move || serve_conn(stream, cache, cfg, lifecycle, shard, log))
+            .spawn(move || serve_conn(stream, cache, cfg, lifecycle, shard, log, pool))
         {
             self.workers.push(h);
         }
@@ -314,9 +328,10 @@ fn serve_conn(
     lifecycle: Arc<LifecycleShared>,
     shard: Arc<ShardStats>,
     log: Option<Arc<MtLog>>,
+    pool: Arc<WorkerPool>,
 ) {
     let opened = Instant::now();
-    serve_conn_inner(stream, cache, cfg, lifecycle, &shard, &log);
+    serve_conn_inner(stream, cache, cfg, lifecycle, &shard, &log, &pool);
     shard
         .hist_lifetime
         .record(metrics::nanos_since(opened, Instant::now()));
@@ -329,6 +344,7 @@ fn serve_conn_inner(
     lifecycle: Arc<LifecycleShared>,
     shard: &Arc<ShardStats>,
     log: &Option<Arc<MtLog>>,
+    pool: &Arc<WorkerPool>,
 ) {
     // The blocking read is capped at 200 ms so shutdown and the phase
     // deadlines below are checked on that cadence even when the peer
@@ -460,70 +476,82 @@ fn serve_conn_inner(
             let _ = respond_error(&mut stream, Status::NotImplemented, head_only);
             return;
         }
-        let mut path = req.path.clone();
-        if path.ends_with('/') {
-            path.push_str("index.html");
-        }
-        let cond = RequestCond::from_request(&req);
-        // Resolve the representation against the shared variant cache
-        // (gzip slot first for gzip-accepting clients), loading through
-        // the shared mechanical executor on a miss — only this
-        // connection stalls on the disk. The resolved resource then
-        // goes through the same response plane as the AMPED shards:
-        // the planner, not this driver, decides 200/206/304/416.
-        let resolved = resolve_resource(&cache, &cfg, shard, epoch, &path, cond.accept_gzip);
-        // Each arm writes the header first and records TTFB on its
-        // success — with blocking sockets that write IS the first
-        // response byte on the wire.
-        let ttfb = || {
-            shard
-                .hist_ttfb
-                .record(metrics::nanos_since(req_start, Instant::now()));
-        };
-        let (ok, status_code, bytes_out, tier) = match resolved {
-            Ok((resource, body_tier)) => {
-                let plan = match &resource {
-                    MtResource::Cached(e) => {
-                        let res: Resource<'_, Arc<File>> = Resource::Cached(e);
-                        plan_response(&res, &path, &cond, keep, body_tier, shard)
-                    }
-                    MtResource::File {
-                        file,
-                        len,
-                        mtime,
-                        variant,
-                        has_gzip,
-                        etag,
-                        header_keep,
-                        header_close,
-                    } => {
-                        let res = Resource::File {
+        // Dynamic-prefix routing, after the `/.flash/` endpoints above
+        // (so a prefix covering `/` can never shadow them) and before
+        // the static resolve: dynamic responses never touch the cache
+        // or the filesystem.
+        let dynamic = cfg
+            .dynamic_prefix
+            .as_deref()
+            .is_some_and(|p| req.path.starts_with(p));
+        let (ok, status_code, bytes_out, tier) = if dynamic {
+            serve_dynamic_mt(&mut stream, pool, &cfg, shard, &req, req_start)
+        } else {
+            let mut path = req.path.clone();
+            if path.ends_with('/') {
+                path.push_str("index.html");
+            }
+            let cond = RequestCond::from_request(&req);
+            // Resolve the representation against the shared variant cache
+            // (gzip slot first for gzip-accepting clients), loading through
+            // the shared mechanical executor on a miss — only this
+            // connection stalls on the disk. The resolved resource then
+            // goes through the same response plane as the AMPED shards:
+            // the planner, not this driver, decides 200/206/304/416.
+            let resolved = resolve_resource(&cache, &cfg, shard, epoch, &path, cond.accept_gzip);
+            // Each arm writes the header first and records TTFB on its
+            // success — with blocking sockets that write IS the first
+            // response byte on the wire.
+            let ttfb = || {
+                shard
+                    .hist_ttfb
+                    .record(metrics::nanos_since(req_start, Instant::now()));
+            };
+            match resolved {
+                Ok((resource, body_tier)) => {
+                    let plan = match &resource {
+                        MtResource::Cached(e) => {
+                            let res: Resource<'_, Arc<File>> = Resource::Cached(e);
+                            plan_response(&res, &path, &cond, keep, body_tier, shard)
+                        }
+                        MtResource::File {
                             file,
-                            len: *len,
-                            mtime: *mtime,
-                            variant: *variant,
-                            has_gzip: *has_gzip,
+                            len,
+                            mtime,
+                            variant,
+                            has_gzip,
                             etag,
                             header_keep,
                             header_close,
-                        };
-                        plan_response(&res, &path, &cond, keep, body_tier, shard)
+                        } => {
+                            let res = Resource::File {
+                                file,
+                                len: *len,
+                                mtime: *mtime,
+                                variant: *variant,
+                                has_gzip: *has_gzip,
+                                etag,
+                                header_keep,
+                                header_close,
+                            };
+                            plan_response(&res, &path, &cond, keep, body_tier, shard)
+                        }
+                    };
+                    let status = plan.status.code();
+                    let tier = plan.tier;
+                    match write_plan(&mut stream, plan, head_only, shard, &ttfb) {
+                        Ok(n) => (true, status, n, tier),
+                        Err(_) => (false, status, 0, tier),
                     }
-                };
-                let status = plan.status.code();
-                let tier = plan.tier;
-                match write_plan(&mut stream, plan, head_only, shard, &ttfb) {
-                    Ok(n) => (true, status, n, tier),
-                    Err(_) => (false, status, 0, tier),
                 }
+                Err(status) => match respond_error(&mut stream, status, head_only) {
+                    Ok(n) => {
+                        ttfb();
+                        (true, status.code(), n, Tier::Error)
+                    }
+                    Err(_) => (false, status.code(), 0, Tier::Error),
+                },
             }
-            Err(status) => match respond_error(&mut stream, status, head_only) {
-                Ok(n) => {
-                    ttfb();
-                    (true, status.code(), n, Tier::Error)
-                }
-                Err(_) => (false, status.code(), 0, Tier::Error),
-            },
         };
         if ok {
             let latency = metrics::nanos_since(req_start, Instant::now());
@@ -553,6 +581,197 @@ fn serve_conn_inner(
         phase_start = Instant::now();
         in_header = parser.buffered() > 0;
     }
+}
+
+/// Serves one dynamic request inline on the connection thread — the
+/// blocking twin of the AMPED shard's streaming path. The whole
+/// worker exchange (checkout, request line, frame loop) runs right
+/// here, each `DATA` frame forwarded to the client as one HTTP chunk
+/// the moment it arrives. [`NetConfig::dynamic_deadline`] bounds
+/// worker *silence* (re-armed on every frame), matching the shard's
+/// `DynamicWait` semantics: a wedged worker yields a `504` while
+/// nothing has been written yet, or a severed connection mid-stream —
+/// the client sees chunked framing with no terminator, a detectable
+/// truncation. Dynamic responses carry no validators and honour no
+/// conditional or `Range` headers. Returns the same
+/// `(ok, status, bytes, tier)` tuple as the static arms.
+fn serve_dynamic_mt(
+    stream: &mut TcpStream,
+    pool: &WorkerPool,
+    cfg: &NetConfig,
+    shard: &Arc<ShardStats>,
+    req: &Request,
+    req_start: Instant,
+) -> (bool, u16, u64, Tier) {
+    shard.dynamic_requests.fetch_add(1, Ordering::Relaxed);
+    let keep = req.keep_alive();
+    let head_only = req.method == Method::Head;
+    let header = ResponseHeader::build_chunked(Status::Ok, "text/plain", keep, true);
+    let record_ttfb = || {
+        shard
+            .hist_ttfb
+            .record(metrics::nanos_since(req_start, Instant::now()));
+    };
+    if head_only {
+        // Headers only: no worker exchange, no chunked framing at all
+        // (mirrors the shard tier, where HEAD never opens the stream).
+        return match stream.write_all(header.as_bytes()) {
+            Ok(()) => {
+                record_ttfb();
+                (
+                    true,
+                    Status::Ok.code(),
+                    header.as_bytes().len() as u64,
+                    Tier::Dynamic,
+                )
+            }
+            Err(_) => (false, Status::Ok.code(), 0, Tier::Dynamic),
+        };
+    }
+    let (worker, retired) = pool.checkout();
+    let bump = |retired: u64| {
+        if retired > 0 {
+            shard.worker_respawns.fetch_add(retired, Ordering::Relaxed);
+        }
+    };
+    let mut worker = match worker {
+        Ok(w) => w,
+        Err(_) => {
+            // Cannot even spawn the worker program.
+            bump(retired);
+            return match respond_error(stream, Status::InternalError, false) {
+                Ok(n) => {
+                    record_ttfb();
+                    (true, Status::InternalError.code(), n, Tier::Error)
+                }
+                Err(_) => (false, Status::InternalError.code(), 0, Tier::Error),
+            };
+        }
+    };
+    let wait_start = Instant::now();
+    if worker
+        .sock
+        .write_all(format!("GET {}\n", req.path).as_bytes())
+        .is_err()
+    {
+        drop(worker); // kills
+        bump(retired + 1);
+        return match respond_error(stream, Status::InternalError, false) {
+            Ok(n) => {
+                record_ttfb();
+                (true, Status::InternalError.code(), n, Tier::Error)
+            }
+            Err(_) => (false, Status::InternalError.code(), 0, Tier::Error),
+        };
+    }
+    // Silence deadline: `armed` resets on every worker event, and the
+    // frame reader's poll tick trips the stop predicate when the gap
+    // since the last event exceeds `dynamic_deadline`.
+    let armed = Cell::new(Instant::now());
+    let stop = || {
+        cfg.dynamic_deadline
+            .is_some_and(|d| armed.get().elapsed() >= d)
+    };
+    let mut reader = appworker::FrameReader::new(&worker.sock, &stop);
+    let mut n = 0u64;
+    let mut first_event = true;
+    let mut header_written = false;
+    let mut client_dead = false;
+    // Loop exits (EOF, deadline, oversized line, framing corruption,
+    // or a hard socket error) are classified below the loop.
+    while let Ok(Some(line)) = reader.read_line() {
+        armed.set(Instant::now());
+        if first_event {
+            first_event = false;
+            shard
+                .hist_worker_wait
+                .record(metrics::nanos_since(wait_start, Instant::now()));
+        }
+        if line == b"END" {
+            // Clean end: the worker survives. The client write may
+            // still fail — that closes the connection, not the worker.
+            drop(reader);
+            pool.checkin(worker);
+            bump(retired);
+            let mut ok = true;
+            if !header_written {
+                ok = stream.write_all(header.as_bytes()).is_ok();
+                if ok {
+                    record_ttfb();
+                    n += header.as_bytes().len() as u64;
+                }
+            }
+            let ok = ok && stream.write_all(chunked::TERMINATOR).is_ok();
+            if ok {
+                n += chunked::TERMINATOR.len() as u64;
+            }
+            return (ok, Status::Ok.code(), n, Tier::Dynamic);
+        }
+        let Some(len) = appworker::parse_data_header(&line) else {
+            break; // framing corruption — a crash
+        };
+        let body = match reader.read_exact(len) {
+            Ok(Some(body)) => body,
+            Ok(None) | Err(_) => break,
+        };
+        armed.set(Instant::now());
+        if !header_written {
+            header_written = true;
+            if stream.write_all(header.as_bytes()).is_err() {
+                client_dead = true;
+                break;
+            }
+            record_ttfb();
+            n += header.as_bytes().len() as u64;
+        }
+        if body.is_empty() {
+            // A zero-length chunk would terminate the chunked body.
+            continue;
+        }
+        let size = chunked::size_line(body.len());
+        if stream.write_all(&size).is_err()
+            || stream.write_all(&body).is_err()
+            || stream.write_all(chunked::CRLF).is_err()
+        {
+            client_dead = true;
+            break;
+        }
+        n += (size.len() + body.len() + chunked::CRLF.len()) as u64;
+    }
+    // The exchange broke: worker crash/garbage, silence deadline, or
+    // the client vanished mid-stream. All paths kill the worker — a
+    // kill is the only way to resync the framing (and for a vanished
+    // client, the shard path cancels the exchange the same way).
+    let timed_out = !client_dead && reader.stopped();
+    drop(reader);
+    drop(worker); // kills
+    bump(retired + 1);
+    if timed_out {
+        shard.dynamic_timeouts.fetch_add(1, Ordering::Relaxed);
+        if !header_written {
+            // Wedged before the first byte: the 504 the shard tier
+            // produces when its DynamicWait deadline fires.
+            return match respond_error(stream, Status::GatewayTimeout, false) {
+                Ok(k) => {
+                    record_ttfb();
+                    (true, Status::GatewayTimeout.code(), k, Tier::Error)
+                }
+                Err(_) => (false, Status::GatewayTimeout.code(), 0, Tier::Error),
+            };
+        }
+    } else if !client_dead && !header_written {
+        // Crashed before producing anything: a plain 500.
+        return match respond_error(stream, Status::InternalError, false) {
+            Ok(k) => {
+                record_ttfb();
+                (true, Status::InternalError.code(), k, Tier::Error)
+            }
+            Err(_) => (false, Status::InternalError.code(), 0, Tier::Error),
+        };
+    }
+    // Mid-stream failure: sever. The unterminated chunked body is the
+    // client's truncation signal.
+    (false, Status::Ok.code(), n, Tier::Dynamic)
 }
 
 /// Serves `GET /.flash/metrics` (Prometheus text) or `/.flash/stats`
@@ -793,6 +1012,10 @@ fn write_plan(
             }
         }
         BodySource::Empty => {}
+        // Streaming bodies never reach write_plan in this driver: the
+        // dynamic tier runs its own inline exchange (serve_dynamic_mt)
+        // and writes chunked frames directly.
+        BodySource::Stream => {}
     }
     Ok(n)
 }

@@ -231,6 +231,26 @@ pub struct NetConfig {
     /// (`None` disables logging). Reopened on SIGHUP via
     /// [`Server::rotate_access_logs`] and on every docroot reload.
     pub access_log_path: Option<PathBuf>,
+    /// Requests whose path starts with this prefix are routed to the
+    /// dynamic tier: a persistent worker process
+    /// ([`crate::appworker`]) generates the body, streamed back as
+    /// `Transfer-Encoding: chunked`. The reserved `/.flash/` namespace
+    /// always wins over this rule — even a prefix of `/` cannot shadow
+    /// the metrics endpoints. `None` (default) disables the tier.
+    pub dynamic_prefix: Option<String>,
+    /// A connection waiting on a dynamic worker must receive the next
+    /// streaming event within this long or the request fails: 504 if
+    /// no body bytes have been sent yet, a severed connection
+    /// mid-stream — and the wedged worker is killed and respawned
+    /// either way. Re-armed per event, so it bounds worker *silence*,
+    /// not total response time. The fifth timing-wheel deadline class.
+    /// `None` disables it. Default 10 s.
+    pub dynamic_deadline: Option<Duration>,
+    /// The worker command line (argv): spawned once per worker over a
+    /// `socketpair(2)` and reused across requests. `None` (default)
+    /// uses the built-in `/bin/sh` echo worker
+    /// ([`crate::appworker::DEFAULT_WORKER_SCRIPT`]).
+    pub dynamic_command: Option<Vec<String>>,
 }
 
 impl NetConfig {
@@ -254,7 +274,83 @@ impl NetConfig {
             metrics_endpoint: false,
             loop_stall_threshold: Duration::from_millis(100),
             access_log_path: None,
+            dynamic_prefix: None,
+            dynamic_deadline: Some(Duration::from_secs(10)),
+            dynamic_command: None,
         }
+    }
+
+    /// A validating builder over the same defaults (see
+    /// [`NetConfigBuilder`]): `NetConfig::builder(root).build()?` is
+    /// `NetConfig::new(root)` plus a consistency check.
+    pub fn builder(docroot: impl Into<PathBuf>) -> NetConfigBuilder {
+        NetConfigBuilder {
+            cfg: NetConfig::new(docroot),
+        }
+    }
+
+    /// The consistency check behind [`NetConfigBuilder::build`],
+    /// callable on a hand-assembled config too.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn nonzero(n: u64, what: &'static str) -> Result<(), ConfigError> {
+            if n == 0 {
+                return Err(ConfigError(format!("{what} must be nonzero")));
+            }
+            Ok(())
+        }
+        nonzero(self.event_loops as u64, "event_loops")?;
+        nonzero(self.helpers as u64, "helpers")?;
+        nonzero(self.cache_bytes, "cache_bytes")?;
+        nonzero(self.max_conns_per_shard as u64, "max_conns_per_shard")?;
+        if self.drain_timeout.is_zero() {
+            return Err(ConfigError(
+                "drain_timeout of zero would sever every connection at drain entry".into(),
+            ));
+        }
+        for (t, name) in [
+            (self.idle_timeout, "idle_timeout"),
+            (self.header_read_timeout, "header_read_timeout"),
+            (self.write_stall_timeout, "write_stall_timeout"),
+            (self.helper_wait_timeout, "helper_wait_timeout"),
+            (self.cache_revalidate_ttl, "cache_revalidate_ttl"),
+            (self.dynamic_deadline, "dynamic_deadline"),
+        ] {
+            if t == Some(Duration::ZERO) {
+                return Err(ConfigError(format!(
+                    "{name} of Some(0) would expire every connection instantly — use None to disable"
+                )));
+            }
+        }
+        // The largest cacheable body per shard is an ADMISSION bound
+        // (cache slice / MAX_ENTRY_DIVISOR); a sendfile threshold
+        // above it leaves a dead band of bodies too big to cache yet
+        // too small for sendfile — every such hit re-reads the disk.
+        let shard_cache = (self.cache_bytes / self.event_loops.max(1) as u64).max(1);
+        let max_entry = shard_cache / crate::cache::MAX_ENTRY_DIVISOR;
+        if self.sendfile_threshold_bytes > max_entry {
+            return Err(ConfigError(format!(
+                "sendfile_threshold_bytes ({}) exceeds the largest cacheable entry \
+                 ({max_entry} = cache_bytes / event_loops / {}): bodies in between \
+                 would neither cache nor sendfile",
+                self.sendfile_threshold_bytes,
+                crate::cache::MAX_ENTRY_DIVISOR,
+            )));
+        }
+        if let Some(p) = &self.dynamic_prefix {
+            if !p.starts_with('/') {
+                return Err(ConfigError(format!(
+                    "dynamic_prefix {p:?} must start with '/' (request paths always do)"
+                )));
+            }
+        }
+        if let Some(cmd) = &self.dynamic_command {
+            if cmd.is_empty() {
+                return Err(ConfigError(
+                    "dynamic_command must name a program (use None for the built-in worker)".into(),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Same config pinned to `n` event-loop shards.
@@ -344,6 +440,163 @@ impl NetConfig {
     pub fn with_access_log(mut self, path: impl Into<PathBuf>) -> Self {
         self.access_log_path = Some(path.into());
         self
+    }
+
+    /// Same config routing paths under `prefix` to the dynamic tier.
+    pub fn with_dynamic_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.dynamic_prefix = Some(prefix.into());
+        self
+    }
+
+    /// Same config with the dynamic worker-silence deadline (`None`
+    /// disables it).
+    pub fn with_dynamic_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.dynamic_deadline = deadline;
+        self
+    }
+
+    /// Same config with a custom worker command line.
+    pub fn with_dynamic_command(mut self, argv: Vec<String>) -> Self {
+        self.dynamic_command = Some(argv);
+        self
+    }
+}
+
+/// A rejected [`NetConfig`] — what was inconsistent and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating construction for [`NetConfig`]: the same defaults as
+/// [`NetConfig::new`], one chainable setter per field, and a
+/// [`NetConfigBuilder::build`] that rejects inconsistent combinations
+/// (zero shard/helper/cap counts, `Some(0)` timeouts that would expire
+/// everything instantly, a `drain_timeout` of zero, a sendfile
+/// threshold above the largest cacheable entry, a dynamic prefix that
+/// cannot match any request path) instead of starting a server that
+/// can only misbehave.
+///
+/// ```no_run
+/// # use flash_net::NetConfig;
+/// let cfg = NetConfig::builder("/srv/www")
+///     .event_loops(2)
+///     .metrics_endpoint(true)
+///     .build()
+///     .expect("consistent config");
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetConfigBuilder {
+    cfg: NetConfig,
+}
+
+impl NetConfigBuilder {
+    pub fn helpers(mut self, n: usize) -> Self {
+        self.cfg.helpers = n;
+        self
+    }
+
+    pub fn cache_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.cache_bytes = bytes;
+        self
+    }
+
+    pub fn event_loops(mut self, n: usize) -> Self {
+        self.cfg.event_loops = n;
+        self
+    }
+
+    pub fn sendfile_threshold_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.sendfile_threshold_bytes = bytes;
+        self
+    }
+
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
+    pub fn idle_timeout(mut self, t: Option<Duration>) -> Self {
+        self.cfg.idle_timeout = t;
+        self
+    }
+
+    pub fn header_read_timeout(mut self, t: Option<Duration>) -> Self {
+        self.cfg.header_read_timeout = t;
+        self
+    }
+
+    pub fn write_stall_timeout(mut self, t: Option<Duration>) -> Self {
+        self.cfg.write_stall_timeout = t;
+        self
+    }
+
+    pub fn accept_mode(mut self, mode: AcceptMode) -> Self {
+        self.cfg.accept_mode = mode;
+        self
+    }
+
+    pub fn max_conns_per_shard(mut self, cap: usize) -> Self {
+        self.cfg.max_conns_per_shard = cap;
+        self
+    }
+
+    pub fn cache_revalidate_ttl(mut self, ttl: Option<Duration>) -> Self {
+        self.cfg.cache_revalidate_ttl = ttl;
+        self
+    }
+
+    pub fn drain_timeout(mut self, t: Duration) -> Self {
+        self.cfg.drain_timeout = t;
+        self
+    }
+
+    pub fn helper_wait_timeout(mut self, t: Option<Duration>) -> Self {
+        self.cfg.helper_wait_timeout = t;
+        self
+    }
+
+    pub fn metrics_endpoint(mut self, on: bool) -> Self {
+        self.cfg.metrics_endpoint = on;
+        self
+    }
+
+    pub fn loop_stall_threshold(mut self, t: Duration) -> Self {
+        self.cfg.loop_stall_threshold = t;
+        self
+    }
+
+    pub fn access_log_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cfg.access_log_path = Some(path.into());
+        self
+    }
+
+    pub fn dynamic_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.cfg.dynamic_prefix = Some(prefix.into());
+        self
+    }
+
+    pub fn dynamic_deadline(mut self, t: Option<Duration>) -> Self {
+        self.cfg.dynamic_deadline = t;
+        self
+    }
+
+    pub fn dynamic_command(mut self, argv: Vec<String>) -> Self {
+        self.cfg.dynamic_command = Some(argv);
+        self
+    }
+
+    /// Validates and returns the config, or says exactly what is
+    /// inconsistent.
+    pub fn build(self) -> Result<NetConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -508,6 +761,24 @@ impl ServerStats {
         metrics::JOBS_CANCELLED.merged(&self.shards)
     }
 
+    /// Requests routed to the dynamic tier by the configured prefix,
+    /// across shards.
+    pub fn dynamic_requests(&self) -> u64 {
+        metrics::DYNAMIC_REQUESTS.merged(&self.shards)
+    }
+
+    /// Application workers retired (crashed, garbled, cancel-killed,
+    /// or found dead at checkout) and replaced, across shards.
+    pub fn worker_respawns(&self) -> u64 {
+        metrics::WORKER_RESPAWNS.merged(&self.shards)
+    }
+
+    /// Dynamic requests that hit `dynamic_deadline` (504 before the
+    /// header, a severed connection mid-stream), across shards.
+    pub fn dynamic_timeouts(&self) -> u64 {
+        metrics::DYNAMIC_TIMEOUTS.merged(&self.shards)
+    }
+
     /// Gauge: how many shards are currently in drain mode.
     pub fn draining_shards(&self) -> u64 {
         metrics::DRAINING.merged(&self.shards)
@@ -549,6 +820,12 @@ impl ServerStats {
     /// delivered), merged across shards.
     pub fn helper_wait(&self) -> HistSnapshot {
         metrics::HIST_HELPER_WAIT.merged(&self.shards)
+    }
+
+    /// Worker-wait histogram (dynamic request dispatched → first
+    /// worker event delivered), merged across shards.
+    pub fn worker_wait(&self) -> HistSnapshot {
+        metrics::HIST_WORKER_WAIT.merged(&self.shards)
     }
 
     /// Connection lifetime histogram (accept → close), merged across
@@ -942,15 +1219,25 @@ impl Server {
             shard_setups.push((shard_id, conn_rx, done_rx, wake_rx, wake));
         }
 
+        // The dynamic tier's worker pool, shared by every helper
+        // thread (spawning is lazy — a server with no dynamic_prefix
+        // never forks anything).
+        let workers = Arc::new(crate::appworker::WorkerPool::new(
+            cfg.dynamic_command
+                .clone()
+                .unwrap_or_else(crate::appworker::WorkerPool::default_command),
+        ));
         let mut helper_threads = Vec::new();
         for i in 0..cfg.helpers.max(1) {
             let queue = Arc::clone(&jobs);
             let txs = done_txs.clone();
             let wakes = shard_wakes.clone();
+            let pool = Arc::clone(&workers);
+            let helper_stats = shard_stats.clone();
             helper_threads.push(
                 std::thread::Builder::new()
                     .name(format!("flash-helper-{i}"))
-                    .spawn(move || helper_main(queue, txs, wakes))?,
+                    .spawn(move || helper_main(queue, txs, wakes, pool, helper_stats))?,
             );
         }
         drop(done_txs);
@@ -996,6 +1283,8 @@ impl Server {
                     cache_revalidate_ttl: cfg.cache_revalidate_ttl,
                     sendfile_threshold: cfg.sendfile_threshold_bytes,
                     metrics_endpoint: cfg.metrics_endpoint,
+                    dynamic_prefix: cfg.dynamic_prefix.clone(),
+                    dynamic_deadline: cfg.dynamic_deadline,
                     access_log: cfg.access_log_path.is_some(),
                 };
                 let mut core = ShardCore::new(
@@ -1364,6 +1653,8 @@ fn helper_main(
     jobs: Arc<JobQueue>,
     done_txs: Vec<Sender<Done<Arc<File>>>>,
     wakes: Vec<WakeHandle>,
+    workers: Arc<crate::appworker::WorkerPool>,
+    stats: Vec<Arc<ShardStats>>,
 ) {
     // `pop` rotates over the per-shard lanes; `None` means the server
     // closed the queue at shutdown.
@@ -1372,6 +1663,33 @@ fn helper_main(
         // needs no disk work and no completion: its pending entry is
         // already gone, so a Done would die on token mismatch anyway.
         if job.is_cancelled() {
+            continue;
+        }
+        // Dynamic jobs are multi-event streams the single-shot
+        // filesystem executor cannot express: the worker exchange runs
+        // here, on this helper thread, emitting one completion per
+        // frame under the job's single token.
+        if job.kind == crate::conn::JobKind::Dynamic {
+            let tx = &done_txs[shard];
+            let wake = &wakes[shard];
+            let retired = crate::appworker::run_job(&workers, &job, &mut |ev| {
+                if tx
+                    .send(Done {
+                        path: job.path.clone(),
+                        data: crate::conn::DoneData::Dynamic(ev),
+                        epoch: job.epoch,
+                        token: job.token,
+                    })
+                    .is_ok()
+                {
+                    wake.wake();
+                }
+            });
+            if retired > 0 {
+                stats[shard]
+                    .worker_respawns
+                    .fetch_add(retired, Ordering::Relaxed);
+            }
             continue;
         }
         let data = crate::fsjob::exec_job(&job);
@@ -1461,6 +1779,7 @@ fn shard_loop(
         ctx.cfg.header_read_timeout,
         ctx.cfg.write_stall_timeout,
         ctx.cfg.helper_wait_timeout,
+        ctx.cfg.dynamic_deadline,
     ];
     let mut wheel = TimerWheel::new(tick_for(cfg_timeouts.into_iter().flatten()));
     let mut expired: Vec<u64> = Vec::new();
@@ -1664,11 +1983,29 @@ fn shard_loop(
                 continue;
             };
             let kind = conn.deadline;
+            if kind == DeadlineKind::DynamicWait {
+                // The worker went silent past dynamic_deadline. The
+                // shared expiry logic purges the waiter — raising the
+                // job's cancel flag, which makes the helper kill and
+                // respawn the wedged worker — and either queues a 504
+                // (no body bytes sent yet: drive it out) or reports
+                // the stream unsalvageable (sever the slot).
+                if ctx.core.expire_dynamic_wait(idx, &mut conns) {
+                    drive_and_sync(idx, &mut conns, &mut ctx, &mut *backend, &mut wheel);
+                } else if let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) {
+                    ctx.core.note_close(conn, Instant::now());
+                    let _ = backend.deregister(fd);
+                    conns[idx] = None;
+                    ctx.live_conns = ctx.live_conns.saturating_sub(1);
+                }
+                continue;
+            }
             let counter = match kind {
                 DeadlineKind::Idle => &ctx.core.stats.idle_reaped,
                 DeadlineKind::Header => &ctx.core.stats.read_timeouts,
                 DeadlineKind::WriteStall => &ctx.core.stats.write_stall_timeouts,
                 DeadlineKind::HelperWait => &ctx.core.stats.helper_wait_timeouts,
+                DeadlineKind::DynamicWait => unreachable!("handled above"),
                 // An expiry for a conn with no armed class can only be
                 // a stale token that survived validation by fd reuse;
                 // leave the connection alone.

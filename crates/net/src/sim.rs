@@ -43,7 +43,8 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use flash_core::FileSpec;
+use bytes::Bytes;
+use flash_core::{FileKind, FileSpec};
 use flash_simcore::time::{Nanos, SimTime, MILLI, SEC};
 use flash_simcore::{EventQueue, SimRng};
 use flash_workload::Zipf;
@@ -51,8 +52,8 @@ use flash_workload::Zipf;
 use crate::cache::{self, Variant};
 use crate::conn::machine::{sync_deadline, Conn, ConnState};
 use crate::conn::{
-    ConnIo, DeadlineKind, Done, DoneData, Drive, FileData, HelperJob, HelperPort, JobKind,
-    LoadResult, ProtoConfig, ShardCore, ShardStats,
+    ConnIo, DeadlineKind, Done, DoneData, Drive, DynEvent, FileData, HelperJob, HelperPort,
+    JobKind, LoadResult, ProtoConfig, ShardCore, ShardStats,
 };
 use crate::stats::HistSummary;
 use crate::timer::TimerWheel;
@@ -75,6 +76,10 @@ pub struct FaultPlan {
     pub wedge: f64,
     /// Per-accept: the accept fails (EMFILE storm) and is retried.
     pub emfile: f64,
+    /// Per-dynamic-exchange: the application worker crashes mid-body —
+    /// some chunks arrive, then an unclean end (no chunked terminator
+    /// on the wire) and a worker respawn.
+    pub worker_crash: f64,
 }
 
 impl FaultPlan {
@@ -87,6 +92,7 @@ impl FaultPlan {
             disk_stall: 0.0,
             wedge: 0.0,
             emfile: 0.0,
+            worker_crash: 0.0,
         }
     }
 
@@ -98,6 +104,7 @@ impl FaultPlan {
             disk_stall: 0.04,
             wedge: 0.01,
             emfile: 0.02,
+            worker_crash: 0.03,
         }
     }
 }
@@ -132,6 +139,14 @@ pub struct SimConfig {
     /// Per-request fraction advertising `Accept-Encoding: gzip`,
     /// steering negotiation onto the simulated `.gz` siblings.
     pub gzip_fraction: f64,
+    /// Per-request fraction routed to the dynamic tier (a simulated
+    /// application endpoint under [`DYN_PREFIX`], streamed back as
+    /// chunked frames — the [`flash_core::FileKind::Cgi`] workload
+    /// model replayed through the shard's streaming plane).
+    pub dynamic_fraction: f64,
+    /// Mean of the exponential jitter added to each simulated
+    /// application's fixed per-request compute time.
+    pub dynamic_compute_nanos: Nanos,
     pub faults: FaultPlan,
 }
 
@@ -151,6 +166,8 @@ impl SimConfig {
             range_fraction: 0.12,
             inm_fraction: 0.10,
             gzip_fraction: 0.25,
+            dynamic_fraction: 0.08,
+            dynamic_compute_nanos: 2 * MILLI,
             faults: FaultPlan::heavy(),
         }
     }
@@ -186,6 +203,12 @@ pub struct SimReport {
     pub stale_evicted: u64,
     pub drained_conns: u64,
     pub accept_backpressure: u64,
+    /// Dynamic-tier traffic: requests routed to the worker pool, the
+    /// 504s/severs its silence deadline produced, and the worker
+    /// respawns (crashes, plus kills of wedged/cancelled exchanges).
+    pub dynamic_requests: u64,
+    pub dynamic_timeouts: u64,
+    pub worker_respawns: u64,
     /// Mid-run docroot reloads applied (epoch bumps).
     pub reloads: u64,
     /// Connection-lifetime percentiles, simulated nanoseconds.
@@ -203,6 +226,9 @@ pub struct SimReport {
     pub hist_ttfb: HistSummary,
     pub hist_helper_wait: HistSummary,
     pub hist_lifetime: HistSummary,
+    /// Submit-to-first-frame wait per dynamic exchange — the sim's
+    /// worker-wait histogram, fingerprint-stable per seed.
+    pub hist_worker_wait: HistSummary,
 }
 
 /// A simulated file: identity and metadata only — body bytes are the
@@ -245,6 +271,23 @@ pub fn gzip_sibling(f: &SimFile) -> Option<SimFile> {
         len: (f.len * 2 / 3).max(1),
         mtime: f.mtime + 7,
     })
+}
+
+/// The URL namespace the sim routes to its dynamic tier (the
+/// `ProtoConfig::dynamic_prefix` every simulated shard runs with).
+pub const DYN_PREFIX: &str = "/app/";
+
+/// One simulated application endpoint — the sim's realization of the
+/// workload model's [`FileKind::Cgi`] `{ compute_ns, output_bytes }`:
+/// a fixed per-request compute time and a deterministic response body
+/// streamed back as chunked frames.
+#[derive(Debug, Clone)]
+struct DynApp {
+    /// Body-byte id-space with the top two bits set — never collides
+    /// with static file ids or their gzip twins.
+    id: u32,
+    compute_ns: Nanos,
+    output_bytes: u64,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -401,6 +444,9 @@ struct Sim {
     cfg: SimConfig,
     files: HashMap<String, SimFile>,
     paths: Vec<String>,
+    /// Dynamic endpoints by URL path, plus a stable pick order.
+    apps: HashMap<String, DynApp>,
+    app_paths: Vec<String>,
     zipf: Zipf,
     rng: SimRng,
     queue: EventQueue<Ev>,
@@ -430,7 +476,29 @@ impl Sim {
     fn new(cfg: SimConfig, specs: &[FileSpec]) -> Sim {
         let mut files = HashMap::new();
         let mut paths = Vec::with_capacity(specs.len());
+        let mut apps = HashMap::new();
+        let mut app_paths = Vec::new();
         for (i, s) in specs.iter().enumerate() {
+            // Cgi specs become dynamic endpoints (below), not files.
+            if let FileKind::Cgi {
+                compute_ns,
+                output_bytes,
+            } = s.kind
+            {
+                let path = if s.path.starts_with(DYN_PREFIX) {
+                    s.path.clone()
+                } else {
+                    format!("/app{}", s.path)
+                };
+                let app = DynApp {
+                    id: 0xC000_0000 | app_paths.len() as u32,
+                    compute_ns,
+                    output_bytes,
+                };
+                app_paths.push(path.clone());
+                apps.insert(path, app);
+                continue;
+            }
             let id = i as u32;
             files.insert(
                 s.path.clone(),
@@ -444,6 +512,21 @@ impl Sim {
             );
             paths.push(s.path.clone());
         }
+        if apps.is_empty() {
+            // No Cgi specs in the site: synthesize a small application
+            // set, a pure function of the index (compute times 1–5 ms,
+            // bodies a few chunks long — the FileKind::Cgi shape).
+            for i in 0u32..12 {
+                let path = format!("{DYN_PREFIX}{i}");
+                let app = DynApp {
+                    id: 0xC000_0000 | i,
+                    compute_ns: (1 + i as u64 % 5) * MILLI,
+                    output_bytes: 200 + (i as u64 * 977) % 6000,
+                };
+                app_paths.push(path.clone());
+                apps.insert(path, app);
+            }
+        }
         let base = Instant::now();
         let proto = ProtoConfig {
             docroot: PathBuf::from("/sim"),
@@ -455,6 +538,10 @@ impl Sim {
             sendfile_threshold: cfg.sendfile_threshold,
             metrics_endpoint: false,
             access_log: false,
+            dynamic_prefix: Some(DYN_PREFIX.to_string()),
+            // Generous against the 1–5 ms compute times, decisive
+            // against the 5 s wedge fault.
+            dynamic_deadline: Some(Duration::from_millis(100)),
         };
         let stats = Arc::new(ShardStats::default());
         Sim {
@@ -466,6 +553,8 @@ impl Sim {
             base,
             files,
             paths,
+            apps,
+            app_paths,
             port: SimPort { jobs: Vec::new() },
             conns: Vec::new(),
             caps: Vec::new(),
@@ -505,6 +594,13 @@ impl Sim {
                 ("GET", format!("/missing/{}.html", self.rng.uniform(0, 997)))
             } else if roll < 0.07 {
                 ("GET", "/".to_string())
+            } else if self.rng.chance(self.cfg.dynamic_fraction) {
+                // Dynamic tier: a worker-pool endpoint. No validators
+                // or ranges are drawn below — `rep` resolves to None —
+                // matching the tier's conditional bypass.
+                let pick = self.rng.uniform(0, self.app_paths.len() as u64) as usize;
+                let m = if self.rng.chance(0.05) { "HEAD" } else { "GET" };
+                (m, self.app_paths[pick].clone())
             } else {
                 let pick = self.zipf.sample(&mut self.rng);
                 let m = if self.rng.chance(0.05) { "HEAD" } else { "GET" };
@@ -701,7 +797,21 @@ impl Sim {
         }
         let jobs = std::mem::take(&mut self.port.jobs);
         for job in jobs {
-            let delay = if self.rng.chance(self.cfg.faults.wedge) {
+            let delay = if job.kind == JobKind::Dynamic {
+                // The compute-time model: the endpoint's fixed
+                // per-request compute plus exponential jitter — or a
+                // wedged worker, parked far past `dynamic_deadline`.
+                if self.rng.chance(self.cfg.faults.wedge) {
+                    5 * SEC
+                } else {
+                    let compute = self
+                        .apps
+                        .get(job.fs_path.to_string_lossy().as_ref())
+                        .map(|a| a.compute_ns)
+                        .unwrap_or(MILLI);
+                    compute + 100_000 + self.rng.exp(self.cfg.dynamic_compute_nanos as f64) as u64
+                }
+            } else if self.rng.chance(self.cfg.faults.wedge) {
                 5 * SEC
             } else if self.rng.chance(self.cfg.faults.disk_stall) {
                 50 * MILLI + self.rng.exp(5.0 * MILLI as f64) as u64
@@ -725,8 +835,13 @@ impl Sim {
             None => match job.kind {
                 JobKind::Load => DoneData::Loaded(Err(io::ErrorKind::NotFound.into())),
                 JobKind::Revalidate => DoneData::Stat(Err(io::ErrorKind::NotFound.into())),
+                // Dynamic jobs are intercepted in `Ev::HelperDone` and
+                // streamed through `dynamic_done`, never this
+                // single-shot executor.
+                JobKind::Dynamic => unreachable!("dynamic job reached the sim disk"),
             },
             Some(f) => match job.kind {
+                JobKind::Dynamic => unreachable!("dynamic job reached the sim disk"),
                 JobKind::Revalidate => {
                     // Stat the file the entry's variant came from.
                     let probe = if job.variant.is_gzip() {
@@ -774,6 +889,75 @@ impl Sim {
         }
     }
 
+    /// Delivers one dynamic exchange's whole event stream at a single
+    /// simulated instant: the worker's frames synthesized from the
+    /// endpoint's [`FileKind::Cgi`]-shaped model (1 KiB chunk split),
+    /// ending clean — or unclean on the worker-crash fault, killing
+    /// the body roughly halfway. A cancelled job (the `DynamicWait`
+    /// deadline fired and purged the waiter, raising the flag) models
+    /// the helper's kill+respawn: the respawn is counted, and half the
+    /// time the completion is delivered anyway — it must die on the
+    /// token gate inside `complete_job`.
+    fn dynamic_done(&mut self, job: HelperJob) {
+        if job.is_cancelled() {
+            self.core
+                .stats
+                .worker_respawns
+                .fetch_add(1, Ordering::Relaxed);
+            if self.rng.chance(0.5) {
+                return;
+            }
+        }
+        let mut events = Vec::new();
+        match self.apps.get(job.fs_path.to_string_lossy().as_ref()) {
+            // No such application: the exchange fails pre-header.
+            None => events.push(DynEvent::End { clean: false }),
+            Some(app) => {
+                let crash = self.rng.chance(self.cfg.faults.worker_crash);
+                let emit_up_to = if crash {
+                    app.output_bytes / 2
+                } else {
+                    app.output_bytes
+                };
+                let mut off = 0u64;
+                while off < emit_up_to {
+                    let take = (emit_up_to - off).min(1024);
+                    let body: Vec<u8> = (off..off + take).map(|o| body_byte(app.id, o)).collect();
+                    events.push(DynEvent::Chunk(Bytes::from(body)));
+                    off += take;
+                }
+                events.push(DynEvent::End { clean: !crash });
+            }
+        }
+        if !job.is_cancelled() && matches!(events.last(), Some(DynEvent::End { clean: false })) {
+            // A crashed worker is killed and respawned by the helper.
+            self.core
+                .stats
+                .worker_respawns
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let mut completed = std::mem::take(&mut self.completed_scratch);
+        completed.clear();
+        let now = self.now_i();
+        for ev in events {
+            let done = Done {
+                path: job.path.clone(),
+                data: DoneData::Dynamic(ev),
+                epoch: job.epoch,
+                token: job.token,
+            };
+            self.core
+                .complete_job(done, &mut self.conns, &mut completed, &mut self.port, now);
+        }
+        self.dispatch_jobs();
+        // Every event pushes the same slot; drive it once.
+        completed.dedup();
+        for idx in completed.drain(..) {
+            self.drive(idx);
+        }
+        self.completed_scratch = completed;
+    }
+
     /// Retires a now-empty slot: cancels its wheel key, scrubs and
     /// fingerprints its captured response stream, frees the slot.
     fn finalize(&mut self, slot: usize) {
@@ -816,11 +1000,28 @@ impl Sim {
                 Some(c) => c.deadline,
                 None => continue,
             };
+            if kind == DeadlineKind::DynamicWait {
+                // A wedged application worker. The shared expiry path
+                // purges the waiter (raising the job's cancel flag)
+                // and either queues the 504 — pre-header — or demands
+                // a mid-stream sever.
+                if self.core.expire_dynamic_wait(slot, &mut self.conns) {
+                    self.drive(slot);
+                } else {
+                    if let Some(c) = self.conns[slot].as_ref() {
+                        self.core.note_close(c, now);
+                    }
+                    self.conns[slot] = None;
+                    self.finalize(slot);
+                }
+                continue;
+            }
             let counter = match kind {
                 DeadlineKind::Idle => &self.core.stats.idle_reaped,
                 DeadlineKind::Header => &self.core.stats.read_timeouts,
                 DeadlineKind::WriteStall => &self.core.stats.write_stall_timeouts,
                 DeadlineKind::HelperWait => &self.core.stats.helper_wait_timeouts,
+                DeadlineKind::DynamicWait => unreachable!("handled above"),
                 DeadlineKind::None => continue,
             };
             counter.fetch_add(1, Ordering::Relaxed);
@@ -924,6 +1125,10 @@ impl Sim {
                 self.drive(slot);
             }
             Ev::HelperDone(job) => {
+                if job.kind == JobKind::Dynamic {
+                    self.dynamic_done(job);
+                    return Ok(());
+                }
                 // A cancelled job is usually skipped by the executor
                 // (the cooperative flag); half the time we model a
                 // helper already past the check — its completion must
@@ -1042,6 +1247,9 @@ pub fn run(cfg: &SimConfig, specs: &[FileSpec]) -> Result<SimReport, String> {
         stale_evicted: s.stale_evicted.load(ld),
         drained_conns: s.drained_conns.load(ld),
         accept_backpressure: s.accept_backpressure.load(ld),
+        dynamic_requests: s.dynamic_requests.load(ld),
+        dynamic_timeouts: s.dynamic_timeouts.load(ld),
+        worker_respawns: s.worker_respawns.load(ld),
         reloads: sim.reloads,
         p50_conn_nanos: pct(0.50),
         p99_conn_nanos: pct(0.99),
@@ -1051,6 +1259,7 @@ pub fn run(cfg: &SimConfig, specs: &[FileSpec]) -> Result<SimReport, String> {
         hist_ttfb: s.hist_ttfb.snapshot().summary(),
         hist_helper_wait: s.hist_helper_wait.snapshot().summary(),
         hist_lifetime: s.hist_lifetime.snapshot().summary(),
+        hist_worker_wait: s.hist_worker_wait.snapshot().summary(),
     })
 }
 
@@ -1115,6 +1324,15 @@ mod tests {
             "most generated ranges are satisfiable: {report:?}"
         );
         assert!(report.drained_conns > 0, "drain must retire idle conns");
+        // The dynamic fraction must reach the worker pool, and the
+        // fault mix must produce both respawns (crashes) and wedges
+        // reaped by the DynamicWait deadline.
+        assert!(report.dynamic_requests > 0, "{report:?}");
+        assert!(report.worker_respawns > 0, "{report:?}");
+        assert!(
+            report.hist_worker_wait.count > 0,
+            "delivered dynamic exchanges must record a worker wait: {report:?}"
+        );
         // The histograms ride the same drive path: every completed
         // response has a latency sample, every admitted connection a
         // lifetime sample, and parked waiters a helper-wait sample.
@@ -1157,7 +1375,44 @@ mod tests {
         assert_eq!(report.jobs_cancelled, 0, "{report:?}");
         assert_eq!(report.read_timeouts, 0, "{report:?}");
         assert_eq!(report.write_stall_timeouts, 0, "{report:?}");
+        assert_eq!(report.dynamic_timeouts, 0, "{report:?}");
+        assert_eq!(report.worker_respawns, 0, "{report:?}");
         assert!(report.requests > 1_500, "{report:?}");
+        assert!(
+            report.dynamic_requests > 0,
+            "the dynamic fraction must draw requests: {report:?}"
+        );
+    }
+
+    /// Wedged application workers must be reaped by the DynamicWait
+    /// deadline: a heavy wedge fraction yields 504s (`dynamic_timeouts`)
+    /// and kills (`worker_respawns`), and the run stays bit-identical
+    /// per seed — the dynamic tier is inside the fingerprint contract.
+    #[test]
+    fn wedged_workers_time_out_deterministically() {
+        let site = small_site(17);
+        let mut cfg = SimConfig::new(99, 2_000);
+        cfg.dynamic_fraction = 0.25;
+        cfg.faults = FaultPlan::none();
+        cfg.faults.wedge = 0.10;
+        cfg.faults.worker_crash = 0.05;
+        cfg.check_every = 1;
+        let report = run(&cfg, &site).expect("wedged run");
+        assert!(report.dynamic_requests > 50, "{report:?}");
+        assert!(
+            report.dynamic_timeouts > 0,
+            "wedged exchanges must 504 on the DynamicWait deadline: {report:?}"
+        );
+        assert!(
+            report.worker_respawns > 0,
+            "wedges and crashes must retire workers: {report:?}"
+        );
+        assert!(
+            report.jobs_cancelled > 0,
+            "purged dynamic waiters must cancel their jobs: {report:?}"
+        );
+        let again = run(&cfg, &site).expect("wedged run again");
+        assert_eq!(report, again, "dynamic traffic stays bit-identical");
     }
 
     /// Both body tiers must be exercised: the sim's threshold sits

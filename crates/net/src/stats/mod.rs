@@ -255,6 +255,9 @@ registry! {
     STALE_EVICTED / stale_evicted: Counter, Sum, "Cache entries evicted because a re-stat saw them change";
     HELPER_WAIT_TIMEOUTS / helper_wait_timeouts: Counter, Sum, "Waiting connections closed by the helper-completion deadline";
     JOBS_CANCELLED / jobs_cancelled: Counter, Sum, "In-flight helper jobs cancelled after their last waiter left";
+    DYNAMIC_REQUESTS / dynamic_requests: Counter, Sum, "Requests routed to the dynamic tier by the configured prefix";
+    WORKER_RESPAWNS / worker_respawns: Counter, Sum, "Application workers killed and replaced after a crash or deadline kill";
+    DYNAMIC_TIMEOUTS / dynamic_timeouts: Counter, Sum, "Dynamic requests that hit dynamic_deadline (504 pre-header, severed mid-stream)";
     DRAINING / draining: Gauge, Sum, "Shards currently in drain mode";
     DRAINED_CONNS / drained_conns: Counter, Sum, "Connections retired by a drain";
     LOOP_STALLS / loop_stalls: Counter, Sum, "Event-loop iterations whose non-wait time exceeded loop_stall_threshold";
@@ -303,6 +306,11 @@ pub const HIST_HELPER_WAIT: HistDesc = HistDesc {
     help: "Helper-job wait: connection parked Waiting to its completion delivered",
     read: |s: &ShardStats| &s.hist_helper_wait,
 };
+pub const HIST_WORKER_WAIT: HistDesc = HistDesc {
+    name: "worker_wait_nanos",
+    help: "Worker wait: dynamic request dispatched to first worker event delivered",
+    read: |s: &ShardStats| &s.hist_worker_wait,
+};
 pub const HIST_LIFETIME: HistDesc = HistDesc {
     name: "conn_lifetime_nanos",
     help: "Connection lifetime: accept to close, any close reason",
@@ -310,7 +318,13 @@ pub const HIST_LIFETIME: HistDesc = HistDesc {
 };
 
 /// Every latency histogram the server maintains, in export order.
-pub static HIST_REGISTRY: &[HistDesc] = &[HIST_REQUEST, HIST_TTFB, HIST_HELPER_WAIT, HIST_LIFETIME];
+pub static HIST_REGISTRY: &[HistDesc] = &[
+    HIST_REQUEST,
+    HIST_TTFB,
+    HIST_HELPER_WAIT,
+    HIST_WORKER_WAIT,
+    HIST_LIFETIME,
+];
 
 /// Renders the full registry in the Prometheus text exposition format
 /// (`text/plain; version=0.0.4`): every scalar as
@@ -408,6 +422,9 @@ pub enum Tier {
     Sendfile,
     /// `304 Not Modified` — no body either way.
     NotModified,
+    /// Generated by an application worker on the dynamic tier
+    /// (chunked response).
+    Dynamic,
     /// An error response.
     Error,
 }
@@ -420,6 +437,7 @@ impl Tier {
             Tier::Miss => "miss",
             Tier::Sendfile => "sendfile",
             Tier::NotModified => "not_modified",
+            Tier::Dynamic => "dynamic",
             Tier::Error => "error",
         }
     }

@@ -136,6 +136,8 @@ fn core() -> ShardCore {
         write_stall_timeout: None,
         helper_wait_timeout: None,
         cache_revalidate_ttl: None,
+        dynamic_deadline: None,
+        dynamic_prefix: None,
         sendfile_threshold: 4096,
         metrics_endpoint: false,
         access_log: false,

@@ -14,7 +14,7 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use flash_net::{
-    AcceptMode, AcceptModeKind, BackendChoice, BackendKind, MtServer, NetConfig, Server,
+    AcceptMode, AcceptModeKind, BackendChoice, BackendKind, MtServer, NetConfig, Server, ServerKind,
 };
 use flash_simcore::SimRng;
 
@@ -1473,19 +1473,15 @@ fn run_random_range_windows(tag: &str, backend: BackendChoice, mt: bool) {
     let c = cfg(&root, backend)
         .with_event_loops(1)
         .with_sendfile_threshold(T);
-    enum Srv {
-        Amped(Server),
-        Mt(MtServer),
-    }
-    let srv = if mt {
-        Srv::Mt(MtServer::start("127.0.0.1:0", c).unwrap())
+    // Both drivers behind the one ServeHandle surface: no per-server
+    // match arms anywhere below.
+    let kind = if mt {
+        ServerKind::Mt
     } else {
-        Srv::Amped(Server::start("127.0.0.1:0", c).unwrap())
+        ServerKind::Amped
     };
-    let addr = match &srv {
-        Srv::Amped(s) => s.addr(),
-        Srv::Mt(s) => s.addr(),
-    };
+    let srv = flash_net::handle::start(kind, "127.0.0.1:0", c).unwrap();
+    let addr = srv.local_addr();
     let mut rng = SimRng::new(0x51D3);
     let mut big_window_bytes = 0u64;
     for (name, body) in [("wsmall.bin", &small), ("wbig.bin", &big)] {
@@ -1527,18 +1523,12 @@ fn run_random_range_windows(tag: &str, backend: BackendChoice, mt: bool) {
     }
     // Every wbig window rides the sendfile seam — the tier follows the
     // representation's size, not the window's.
-    let stats = match &srv {
-        Srv::Amped(s) => s.stats().bytes_sendfile(),
-        Srv::Mt(s) => s.stats().bytes_sendfile(),
-    };
     assert_eq!(
-        stats, big_window_bytes,
+        srv.stats().bytes_sendfile(),
+        big_window_bytes,
         "sendfile must move exactly the windowed bytes"
     );
-    match srv {
-        Srv::Amped(s) => s.stop(),
-        Srv::Mt(s) => s.stop(),
-    }
+    srv.stop();
     let _ = std::fs::remove_dir_all(root);
 }
 

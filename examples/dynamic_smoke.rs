@@ -1,0 +1,125 @@
+//! Dynamic-tier smoke test: a persistent worker pool serving chunked
+//! responses, a worker crash mid-body, and the pool respawning a fresh
+//! worker for the next request.
+//!
+//! The server routes `/app/*` to the dynamic tier. The first phase
+//! uses the built-in echo worker; the second points
+//! `dynamic_command` at a shell script that emits half a body and
+//! dies, demonstrating that the truncation is visible on the wire
+//! (no chunked terminator) and that the listener stays healthy.
+//!
+//! Run with: `cargo run --example dynamic_smoke`
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use flash_repro::http::chunked::ChunkedDecoder;
+use flash_repro::net::{NetConfig, Server};
+
+fn fetch(addr: std::net::SocketAddr, req: &str) -> Vec<u8> {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(req.as_bytes()).expect("send");
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    out
+}
+
+/// Splits a raw response at the header terminator.
+fn split(resp: &[u8]) -> (String, &[u8]) {
+    let pos = resp
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    (
+        String::from_utf8_lossy(&resp[..pos]).into_owned(),
+        &resp[pos + 4..],
+    )
+}
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("flash-dynamic-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    std::fs::write(root.join("index.html"), b"static tier still here").unwrap();
+
+    // Phase 1: the built-in echo worker streams chunked bodies.
+    let cfg = NetConfig::builder(&root)
+        .event_loops(1)
+        .dynamic_prefix("/app/")
+        .build()
+        .expect("consistent config");
+    let server = Server::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.addr();
+    println!("dynamic tier on http://{addr}/app/* (built-in worker)");
+
+    let resp = fetch(addr, "GET /app/demo HTTP/1.0\r\n\r\n");
+    let (hdr, wire) = split(&resp);
+    assert!(hdr.starts_with("HTTP/1.1 200 OK"), "{hdr}");
+    assert!(hdr.contains("Transfer-Encoding: chunked"), "{hdr}");
+    let body = ChunkedDecoder::decode_all(wire).expect("well-formed chunked body");
+    assert_eq!(body, b"hello from worker: /app/demo");
+    println!("GET /app/demo -> 200, chunked body {:?}", body.len());
+    assert_eq!(server.stats().dynamic_requests(), 1);
+    assert_eq!(server.stats().worker_respawns(), 0);
+    server.stop();
+
+    // Phase 2: a worker that dies halfway through its body. The pool
+    // retires the corpse and spawns a fresh worker for the next
+    // request — the listener never degrades.
+    let script = root.join("crashy.sh");
+    std::fs::write(
+        &script,
+        "if [ -f \"$0.once\" ]; then\n\
+         while read -r m p; do b=\"recovered: $p\"; \
+         printf 'DATA %s\\n%s' \"${#b}\" \"$b\"; printf 'END\\n'; done\n\
+         else\n: > \"$0.once\"\nread -r m p\nprintf 'DATA 4\\nhalf'\nexit 1\nfi\n",
+    )
+    .unwrap();
+    let cfg = NetConfig::builder(&root)
+        .event_loops(1)
+        .dynamic_prefix("/app/")
+        .dynamic_command(vec!["/bin/sh".into(), script.to_str().unwrap().to_string()])
+        .build()
+        .expect("consistent config");
+    let server = Server::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.addr();
+
+    let resp = fetch(addr, "GET /app/crash HTTP/1.0\r\n\r\n");
+    let (hdr, wire) = split(&resp);
+    assert!(hdr.starts_with("HTTP/1.1 200 OK"), "{hdr}");
+    let mut dec = ChunkedDecoder::new();
+    dec.feed(wire).unwrap();
+    assert!(
+        !dec.is_done(),
+        "a crashed worker must leave the chunked body visibly truncated"
+    );
+    println!(
+        "GET /app/crash -> worker died mid-body: {} bytes arrived, no terminator",
+        dec.body().len()
+    );
+
+    // The respawn counter is bumped by the helper that reaps the
+    // corpse; give it a moment.
+    let t0 = std::time::Instant::now();
+    while server.stats().worker_respawns() == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "respawn not counted");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // A fresh worker serves the next request on the same listener.
+    let resp = fetch(addr, "GET /app/next HTTP/1.0\r\n\r\n");
+    let (hdr, wire) = split(&resp);
+    assert!(hdr.starts_with("HTTP/1.1 200 OK"), "{hdr}");
+    let body = ChunkedDecoder::decode_all(wire).expect("clean body after respawn");
+    assert_eq!(body, b"recovered: /app/next");
+    println!(
+        "GET /app/next -> 200 after respawn (worker_respawns={})",
+        server.stats().worker_respawns()
+    );
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+    println!("dynamic smoke: OK");
+}

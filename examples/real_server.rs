@@ -30,7 +30,12 @@ fn main() -> std::io::Result<()> {
         "<html><body>Pai, Druschel, Zwaenepoel — USENIX 1999</body></html>\n",
     )?;
 
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root))?;
+    // The validating builder: same defaults as `NetConfig::new`, plus
+    // a consistency check before any socket is opened.
+    let cfg = NetConfig::builder(&root)
+        .build()
+        .expect("consistent config");
+    let server = Server::start("127.0.0.1:0", cfg)?;
     let addr = server.addr();
     println!("AMPED server listening on http://{addr}/ (docroot {root:?})");
 

@@ -24,7 +24,11 @@ fn main() {
     std::fs::write(root.join("huge.bin"), &payload).unwrap();
     std::fs::write(root.join("index.html"), b"small and cacheable").unwrap();
 
-    let server = Server::start("127.0.0.1:0", NetConfig::new(&root).with_event_loops(1)).unwrap();
+    let cfg = NetConfig::builder(&root)
+        .event_loops(1)
+        .build()
+        .expect("consistent config");
+    let server = Server::start("127.0.0.1:0", cfg).unwrap();
     let addr = server.addr();
 
     // Warm the small-file tier and snapshot cache residency.
